@@ -1,0 +1,88 @@
+// Experiment E10 — §3.3.3 query dissemination: distribution-tree shape and
+// broadcast cost.
+//
+// The tree is built by routing JOIN messages toward a well-known root; its
+// shape is inherited from the DHT's routing algorithm (footnote 6: Chord
+// yields roughly binomial trees). For each protocol and N we report reach
+// (nodes covered), time to full coverage, message count, and the fanout
+// distribution (root fanout, max fanout, interior-node share).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "overlay/distribution_tree.h"
+#include "overlay/sim_overlay.h"
+
+namespace pier {
+namespace {
+
+void Measure(uint32_t n, ProtocolKind kind, const char* name) {
+  SimOverlay::Options opts;
+  opts.sim.seed = 13;
+  opts.dht.router.protocol = kind;
+  opts.seed_routing = true;
+  opts.settle_time = 1 * kSecond;
+  SimOverlay net(n, opts);
+
+  std::vector<std::unique_ptr<DistributionTree>> trees;
+  std::vector<TimeUs> arrival(n, -1);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto tree = std::make_unique<DistributionTree>(net.dht(i));
+    tree->set_broadcast_handler([&, i](std::string_view) {
+      if (arrival[i] < 0) arrival[i] = net.loop()->now();
+    });
+    trees.push_back(std::move(tree));
+  }
+  net.RunFor(10 * kSecond);  // tree formation (periodic joins)
+
+  net.harness()->ResetStats();
+  TimeUs start = net.loop()->now();
+  trees[0]->Broadcast("opgraph");
+  net.RunFor(15 * kSecond);
+
+  uint32_t reached = 0;
+  TimeUs last = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (arrival[i] >= 0) {
+      reached++;
+      last = std::max(last, arrival[i] - start);
+    }
+  }
+  size_t interior = 0, max_fanout = 0;
+  for (auto& t : trees) {
+    interior += t->num_children() > 0;
+    max_fanout = std::max(max_fanout, t->num_children());
+  }
+
+  std::vector<int> w = {8, 8, 10, 14, 14, 10, 12};
+  bench::Row({name, std::to_string(n),
+              std::to_string(reached) + "/" + std::to_string(n),
+              bench::Ms(last) + "ms", std::to_string(net.harness()->total_msgs()),
+              std::to_string(max_fanout),
+              bench::Fmt(100.0 * interior / n, 0) + "%"},
+             w);
+}
+
+void Run() {
+  bench::Title("E10: distribution trees — reach, latency, shape per protocol");
+  std::vector<int> w = {8, 8, 10, 14, 14, 10, 12};
+  bench::Row({"proto", "N", "reach", "cover time", "bcast msgs", "max fan",
+              "interior%"},
+             w);
+  for (uint32_t n : {64u, 256u, 512u}) {
+    Measure(n, ProtocolKind::kChord, "chord");
+    Measure(n, ProtocolKind::kPrefix, "prefix");
+  }
+  bench::Note(
+      "expected shape: full reach; cover time grows slowly with N (tree "
+      "depth); Chord trees are taller/narrower (binomial-ish), prefix trees "
+      "bushier (higher max fanout, fewer interior nodes).");
+}
+
+}  // namespace
+}  // namespace pier
+
+int main() {
+  pier::Run();
+  return 0;
+}

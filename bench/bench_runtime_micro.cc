@@ -1,0 +1,110 @@
+// Experiment E3 — Table 1's substrate, measured: microbenchmarks of the
+// runtime primitives every PIER operation is built from (Main Scheduler
+// event dispatch, timer cancellation, simulated UDP delivery, wire codec,
+// tuple codec). google-benchmark harness.
+
+#include <benchmark/benchmark.h>
+
+#include "data/tuple.h"
+#include "runtime/event_loop.h"
+#include "runtime/sim_runtime.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/wire.h"
+
+namespace pier {
+namespace {
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  EventLoop loop;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    loop.ScheduleAfter(1, [&sink]() { sink++; });
+    loop.RunOne();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_EventLoopCancel(benchmark::State& state) {
+  EventLoop loop;
+  for (auto _ : state) {
+    uint64_t token = loop.ScheduleAfter(1000000, []() {});
+    loop.Cancel(token);
+  }
+  // Drain tombstones.
+  loop.RunUntilIdle();
+}
+BENCHMARK(BM_EventLoopCancel);
+
+void BM_SimUdpRoundtrip(benchmark::State& state) {
+  /// One datagram delivered between two virtual nodes through the topology
+  /// and congestion models, per iteration.
+  SimOptions opts;
+  opts.seed = 3;
+  SimHarness sim(opts);
+  sim.AddNodes(2);
+  struct Sink : UdpHandler {
+    uint64_t received = 0;
+    void HandleUdp(const NetAddress&, std::string_view) override { received++; }
+  };
+  Sink sink;
+  sim.vri(1)->UdpListen(9, &sink);
+  sim.vri(0)->UdpListen(9, &sink);
+  NetAddress dst = sim.AddressOf(1, 9);
+  for (auto _ : state) {
+    sim.vri(0)->UdpSend(9, dst, "payload-of-a-plausible-size-1234567890");
+    sim.loop()->RunUntilIdle();
+  }
+  benchmark::DoNotOptimize(sink.received);
+}
+BENCHMARK(BM_SimUdpRoundtrip);
+
+void BM_WireCodec(benchmark::State& state) {
+  for (auto _ : state) {
+    WireWriter w;
+    w.PutU64(0x12345678);
+    w.PutVarint(123456);
+    w.PutBytes("hello wire format");
+    w.PutDouble(3.14159);
+    std::string buf = std::move(w).data();
+    WireReader r(buf);
+    uint64_t a, b;
+    std::string_view s;
+    double d;
+    r.GetU64(&a).ok();
+    r.GetVarint(&b).ok();
+    r.GetBytes(&s).ok();
+    r.GetDouble(&d).ok();
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_WireCodec);
+
+void BM_TupleCodec(benchmark::State& state) {
+  Tuple t("fw");
+  t.Append("src", Value::String("10.1.2.3"));
+  t.Append("dst_port", Value::Int64(445));
+  t.Append("proto", Value::String("tcp"));
+  t.Append("ts", Value::Int64(1234567));
+  for (auto _ : state) {
+    std::string wire = t.Encode();
+    Result<Tuple> back = Tuple::Decode(wire);
+    benchmark::DoNotOptimize(back.ok());
+  }
+}
+BENCHMARK(BM_TupleCodec);
+
+void BM_RoutingIdHash(benchmark::State& state) {
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HashNamespaceKey("some_table", "key" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_RoutingIdHash);
+
+}  // namespace
+}  // namespace pier
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Endpoint network monitoring demo (§2.2, Figure 2): the "top 10 sources of
+// firewall events" applet, as a continuous query over in-situ logs.
+//
+//   $ build/examples/netmon_demo
+//
+// 60 simulated nodes each hold their own firewall log; the log never leaves
+// the node. A continuous aggregation query recomputes the global top-5
+// offenders every window as new events keep arriving.
+
+#include <cstdio>
+#include <map>
+
+#include "apps/workloads.h"
+#include "qp/sim_pier.h"
+#include "qp/sql.h"
+
+using namespace pier;
+
+int main() {
+  SimPier::Options options;
+  options.sim.seed = 7;
+  options.settle_time = 8 * kSecond;
+  SimPier net(60, options);
+  std::printf("booted %zu monitoring nodes\n", net.size());
+
+  FirewallOptions fopts;
+  fopts.num_sources = 200;
+  fopts.events_per_node = 15;
+  FirewallWorkload workload(fopts);
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    for (const Tuple& t : workload.EventsForNode(i)) {
+      net.qp(i)->StoreLocal("fw", t);  // in-situ: never published
+    }
+  }
+
+  // The Figure 2 query, continuous: hierarchical aggregation funnels partial
+  // counts up the aggregation tree; the root ranks them.
+  SqlOptions sql;
+  sql.agg_strategy = "hier";
+  auto plan = CompileSql(
+      "SELECT src, count(*) AS cnt FROM fw GROUP BY src "
+      "ORDER BY cnt DESC LIMIT 5 TIMEOUT 40s WINDOW 8s CONTINUOUS", sql);
+  if (!plan.ok()) {
+    std::printf("compile error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  int rank = 0;
+  net.qp(9)->SubmitQuery(*plan, [&](const Tuple& t) {
+    if (rank % 5 == 0) {
+      std::printf("\n-- top sources at t=%.1fs --\n",
+                  static_cast<double>(net.loop()->now()) / kSecond);
+    }
+    std::printf("  #%d %-18s %s events\n", rank % 5 + 1,
+                t.Get("src")->AsString()->data(),
+                t.Get("cnt")->ToString().c_str());
+    rank++;
+  });
+
+  // Keep injecting events from one aggressive source while the query runs;
+  // it should climb the ranking window by window.
+  for (int burst = 0; burst < 4; ++burst) {
+    net.RunFor(8 * kSecond);
+    for (uint32_t i = 0; i < net.size(); i += 2) {
+      Tuple t("fw");
+      t.Append("src", Value::String("66.6.6.6"));
+      t.Append("dst_port", Value::Int64(22));
+      t.Append("proto", Value::String("tcp"));
+      t.Append("ts", Value::Int64(burst));
+      net.qp(i)->StoreLocal("fw", t);
+    }
+  }
+  net.RunFor(15 * kSecond);
+  std::printf("\n(the injected attacker 66.6.6.6 climbs the ranking)\n");
+  return 0;
+}

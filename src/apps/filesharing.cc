@@ -1,0 +1,71 @@
+#include "apps/filesharing.h"
+
+#include <map>
+
+#include "qp/sql.h"
+
+namespace pier {
+
+void FilesharingApp::PublishCorpus(const FilesharingCorpus& corpus,
+                                   TimeUs lifetime) {
+  size_t n = net_->size();
+  for (const CorpusFile& f : corpus.files()) {
+    for (uint32_t host : f.hosts) {
+      if (host >= n) continue;
+      for (uint32_t kw : f.keywords) {
+        net_->qp(host)->Publish("fidx", {"kw"},
+                                FilesharingCorpus::IndexTuple(kw, f.file_id, host),
+                                lifetime);
+      }
+    }
+  }
+  // Let the puts route and settle.
+  net_->RunFor(3 * kSecond);
+}
+
+FilesharingApp::SearchResult FilesharingApp::Search(
+    uint32_t origin, const std::vector<uint32_t>& keywords,
+    TimeUs query_timeout, TimeUs max_wait) {
+  SearchResult result;
+  if (keywords.empty()) return result;
+
+  SqlOptions sql;
+  sql.tables["fidx"].partition_attrs = {"kw"};
+
+  TimeUs start = net_->loop()->now();
+  size_t need = keywords.size();
+  // file_id -> set of satisfied keyword slots (bitmask; queries are small).
+  auto satisfied = std::make_shared<std::map<int64_t, uint64_t>>();
+  auto hosts_seen = std::make_shared<std::map<int64_t, int>>();
+
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    std::string kw = FilesharingCorpus::KeywordName(keywords[i]);
+    auto plan = CompileSql("SELECT file_id, host FROM fidx WHERE kw = '" + kw +
+                               "' TIMEOUT " +
+                               std::to_string(query_timeout / kMillisecond) +
+                               "ms",
+                           sql);
+    if (!plan.ok()) continue;
+    uint64_t bit = 1ULL << i;
+    net_->qp(origin)->SubmitQuery(
+        *plan, [this, satisfied, hosts_seen, bit, need, start, &result](
+                   const Tuple& t) {
+          const Value* fid = t.Get("file_id");
+          if (fid == nullptr || fid->type() != ValueType::kInt64) return;
+          uint64_t& mask = (*satisfied)[fid->int64_unchecked()];
+          mask |= bit;
+          if (__builtin_popcountll(mask) == static_cast<int>(need)) {
+            // Conjunction satisfied: one concrete (file, host) answer.
+            result.results++;
+            if (!result.found) {
+              result.found = true;
+              result.first_result_latency = net_->loop()->now() - start;
+            }
+          }
+        });
+  }
+  net_->RunFor(max_wait);
+  return result;
+}
+
+}  // namespace pier

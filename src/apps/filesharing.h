@@ -1,0 +1,50 @@
+// The PIER filesharing search engine (§2.2, [41], [43]).
+//
+// A keyword inverted index is published into the DHT: one
+// fidx(kw, file_id, host) tuple per (keyword, file replica), partitioned by
+// keyword — the primary index of §3.3.3. A search becomes one
+// equality-disseminated query per keyword (the opgraph travels straight to
+// the partition owner; no broadcast); multi-keyword conjunctions intersect
+// on file_id at the client, mirroring the paper's observation that "each
+// keyword in a query becomes a table instance to be joined". The paper's
+// hybrid deployment used Gnutella for popular items and PIER for the rare
+// tail; benches/bench_fig1_filesharing reproduces that comparison.
+
+#ifndef PIER_APPS_FILESHARING_H_
+#define PIER_APPS_FILESHARING_H_
+
+#include <vector>
+
+#include "apps/workloads.h"
+#include "qp/sim_pier.h"
+
+namespace pier {
+
+class FilesharingApp {
+ public:
+  explicit FilesharingApp(SimPier* net) : net_(net) {}
+
+  /// Publish the corpus's inverted index from each replica's host.
+  /// Runs the simulation long enough for the puts to settle.
+  void PublishCorpus(const FilesharingCorpus& corpus,
+                     TimeUs lifetime = 30LL * 60 * kSecond);
+
+  struct SearchResult {
+    bool found = false;
+    TimeUs first_result_latency = -1;
+    int results = 0;  // matching (file, host) pairs seen before the timeout
+  };
+
+  /// Search for files matching ALL keywords, submitted at `origin`.
+  /// Advances the simulation up to `max_wait`; the underlying PIER queries
+  /// run with `query_timeout`.
+  SearchResult Search(uint32_t origin, const std::vector<uint32_t>& keywords,
+                      TimeUs query_timeout, TimeUs max_wait);
+
+ private:
+  SimPier* net_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_APPS_FILESHARING_H_

@@ -1,0 +1,189 @@
+#include "apps/gnutella.h"
+
+#include <algorithm>
+
+#include "util/wire.h"
+
+namespace pier {
+
+GnutellaNode::GnutellaNode(Vri* vri, Options options)
+    : vri_(vri), options_(options) {}
+
+void GnutellaNode::Start() { vri_->UdpListen(options_.port, this); }
+
+void GnutellaNode::AddLocalFile(uint64_t file_id,
+                                std::vector<uint32_t> keywords) {
+  files_.push_back(LocalFile{file_id, std::move(keywords)});
+}
+
+bool GnutellaNode::MatchesLocal(const std::vector<uint32_t>& keywords,
+                                std::vector<uint64_t>* out) const {
+  bool any = false;
+  for (const LocalFile& f : files_) {
+    bool all = true;
+    for (uint32_t kw : keywords) {
+      if (std::find(f.keywords.begin(), f.keywords.end(), kw) ==
+          f.keywords.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      out->push_back(f.file_id);
+      any = true;
+    }
+  }
+  return any;
+}
+
+void GnutellaNode::StartQuery(uint64_t query_id,
+                              const std::vector<uint32_t>& keywords, int ttl,
+                              HitCallback on_hit) {
+  own_queries_[query_id] = std::move(on_hit);
+  seen_queries_.insert(query_id);
+
+  // Local check first (a Gnutella servent answers from its own library too).
+  std::vector<uint64_t> local;
+  if (MatchesLocal(keywords, &local)) {
+    for (uint64_t fid : local) {
+      own_queries_[query_id](fid, vri_->LocalAddress());
+    }
+  }
+
+  WireWriter w;
+  w.PutU8(kMsgQuery);
+  w.PutU64(query_id);
+  w.PutU32(vri_->LocalAddress().host);
+  w.PutU16(options_.port);
+  w.PutU8(static_cast<uint8_t>(ttl));
+  w.PutVarint(keywords.size());
+  for (uint32_t kw : keywords) w.PutU32(kw);
+  std::string msg = std::move(w).data();
+  for (const NetAddress& n : neighbors_) {
+    vri_->UdpSend(options_.port, n, msg);
+  }
+}
+
+void GnutellaNode::HandleUdp(const NetAddress& source,
+                             std::string_view payload) {
+  if (payload.empty()) return;
+  uint8_t type = static_cast<uint8_t>(payload[0]);
+  if (type == kMsgQuery) {
+    HandleQuery(source, payload.substr(1));
+  } else if (type == kMsgHit) {
+    HandleHit(payload.substr(1));
+  }
+}
+
+void GnutellaNode::HandleQuery(const NetAddress& from, std::string_view body) {
+  WireReader r(body);
+  uint64_t query_id;
+  uint32_t origin_host;
+  uint16_t origin_port;
+  uint8_t ttl;
+  uint64_t nkw;
+  if (!r.GetU64(&query_id).ok() || !r.GetU32(&origin_host).ok() ||
+      !r.GetU16(&origin_port).ok() || !r.GetU8(&ttl).ok() ||
+      !r.GetVarint(&nkw).ok() || nkw > 64) {
+    return;
+  }
+  std::vector<uint32_t> keywords(nkw);
+  for (uint64_t i = 0; i < nkw; ++i) {
+    if (!r.GetU32(&keywords[i]).ok()) return;
+  }
+  stats_.queries_seen++;
+  if (!seen_queries_.insert(query_id).second) return;  // duplicate flood copy
+
+  NetAddress origin{origin_host, origin_port};
+  std::vector<uint64_t> matches;
+  if (MatchesLocal(keywords, &matches)) {
+    for (uint64_t fid : matches) {
+      WireWriter w;
+      w.PutU8(kMsgHit);
+      w.PutU64(query_id);
+      w.PutU64(fid);
+      w.PutU32(vri_->LocalAddress().host);
+      stats_.hits_sent++;
+      vri_->UdpSend(options_.port, origin, std::move(w).data());
+    }
+  }
+
+  if (ttl <= 1) return;
+  WireWriter w;
+  w.PutU8(kMsgQuery);
+  w.PutU64(query_id);
+  w.PutU32(origin_host);
+  w.PutU16(origin_port);
+  w.PutU8(static_cast<uint8_t>(ttl - 1));
+  w.PutVarint(keywords.size());
+  for (uint32_t kw : keywords) w.PutU32(kw);
+  std::string msg = std::move(w).data();
+  for (const NetAddress& n : neighbors_) {
+    if (n == from) continue;
+    stats_.queries_forwarded++;
+    vri_->UdpSend(options_.port, n, msg);
+  }
+}
+
+void GnutellaNode::HandleHit(std::string_view body) {
+  WireReader r(body);
+  uint64_t query_id, file_id;
+  uint32_t holder;
+  if (!r.GetU64(&query_id).ok() || !r.GetU64(&file_id).ok() ||
+      !r.GetU32(&holder).ok()) {
+    return;
+  }
+  auto it = own_queries_.find(query_id);
+  if (it == own_queries_.end()) return;
+  it->second(file_id, NetAddress{holder, options_.port});
+}
+
+GnutellaSim::GnutellaSim(uint32_t n, Options options)
+    : options_(options), harness_(options.sim) {
+  harness_.set_program_factory(
+      [this](Vri* vri, uint32_t) -> std::unique_ptr<SimProgram> {
+        return std::make_unique<GnutellaNode>(vri, options_.node);
+      });
+  harness_.AddNodes(n);
+  harness_.loop()->RunUntil(harness_.loop()->now() + 1);
+
+  // Random connected overlay: a ring guarantees connectivity, then random
+  // chords raise the average degree to the target.
+  std::vector<std::vector<uint32_t>> adj(n);
+  auto connect = [&](uint32_t a, uint32_t b) {
+    if (a == b) return;
+    if (std::find(adj[a].begin(), adj[a].end(), b) != adj[a].end()) return;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  for (uint32_t i = 0; i < n; ++i) connect(i, (i + 1) % n);
+  Rng* rng = harness_.rng();
+  uint32_t extra = n * std::max(0, options_.degree - 2) / 2;
+  for (uint32_t e = 0; e < extra; ++e) {
+    connect(static_cast<uint32_t>(rng->Uniform(n)),
+            static_cast<uint32_t>(rng->Uniform(n)));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<NetAddress> neighbors;
+    neighbors.reserve(adj[i].size());
+    for (uint32_t j : adj[i])
+      neighbors.push_back(harness_.AddressOf(j, options_.node.port));
+    node(i)->SetNeighbors(std::move(neighbors));
+  }
+}
+
+TimeUs GnutellaSim::RunQuery(uint32_t origin,
+                             const std::vector<uint32_t>& keywords, int ttl,
+                             TimeUs max_wait) {
+  TimeUs start = harness_.loop()->now();
+  TimeUs first = -1;
+  node(origin)->StartQuery(next_query_id_++, keywords, ttl,
+                           [&](uint64_t, const NetAddress&) {
+                             if (first < 0)
+                               first = harness_.loop()->now() - start;
+                           });
+  harness_.RunFor(max_wait);
+  return first;
+}
+
+}  // namespace pier

@@ -1,0 +1,116 @@
+// Gnutella-style unstructured flooding search: the Figure 1 baseline.
+//
+// A from-scratch model of the classic Gnutella query protocol: nodes form a
+// random connected overlay of fixed average degree; a query floods outward
+// with a TTL, each node matching it against its local files (conjunctive
+// keyword match) and answering the origin directly with a QUERYHIT. The
+// structural behaviour that matters for Figure 1 falls out of the protocol:
+// a TTL-bounded flood reaches a fixed fraction of the network, so items with
+// many replicas are found quickly while rare items are usually missed.
+//
+// Runs on the same simulation harness (and thus the same topology and
+// latency model) as the PIER nodes it is compared against.
+
+#ifndef PIER_APPS_GNUTELLA_H_
+#define PIER_APPS_GNUTELLA_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/sim_runtime.h"
+
+namespace pier {
+
+class GnutellaNode : public SimProgram, public UdpHandler {
+ public:
+  struct Options {
+    uint16_t port = 6346;
+  };
+
+  GnutellaNode(Vri* vri, Options options);
+
+  void Start() override;
+  void Stop() override {}
+
+  void SetNeighbors(std::vector<NetAddress> neighbors) {
+    neighbors_ = std::move(neighbors);
+  }
+  const std::vector<NetAddress>& neighbors() const { return neighbors_; }
+
+  /// Register a locally held file (keywords as vocabulary ranks).
+  void AddLocalFile(uint64_t file_id, std::vector<uint32_t> keywords);
+
+  /// Flood a query from this node. The callback fires once per QUERYHIT
+  /// received (file id + holder address).
+  using HitCallback =
+      std::function<void(uint64_t file_id, const NetAddress& holder)>;
+  void StartQuery(uint64_t query_id, const std::vector<uint32_t>& keywords,
+                  int ttl, HitCallback on_hit);
+
+  // UdpHandler:
+  void HandleUdp(const NetAddress& source, std::string_view payload) override;
+
+  struct Stats {
+    uint64_t queries_seen = 0;
+    uint64_t queries_forwarded = 0;
+    uint64_t hits_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr uint8_t kMsgQuery = 1;
+  static constexpr uint8_t kMsgHit = 2;
+
+  void HandleQuery(const NetAddress& from, std::string_view body);
+  void HandleHit(std::string_view body);
+  bool MatchesLocal(const std::vector<uint32_t>& keywords,
+                    std::vector<uint64_t>* out) const;
+
+  Vri* vri_;
+  Options options_;
+  std::vector<NetAddress> neighbors_;
+  struct LocalFile {
+    uint64_t file_id;
+    std::vector<uint32_t> keywords;
+  };
+  std::vector<LocalFile> files_;
+  std::unordered_set<uint64_t> seen_queries_;
+  std::unordered_map<uint64_t, HitCallback> own_queries_;
+  Stats stats_;
+};
+
+/// A whole simulated Gnutella network with a random connected overlay.
+class GnutellaSim {
+ public:
+  struct Options {
+    SimOptions sim;
+    GnutellaNode::Options node;
+    int degree = 4;  // average overlay degree
+  };
+
+  GnutellaSim(uint32_t n, Options options);
+
+  SimHarness* harness() { return &harness_; }
+  GnutellaNode* node(uint32_t index) {
+    return static_cast<GnutellaNode*>(harness_.program(index));
+  }
+  size_t size() const { return harness_.num_nodes(); }
+  void RunFor(TimeUs t) { harness_.RunFor(t); }
+
+  /// Flood `keywords` from `origin` and wait up to `max_wait` virtual time.
+  /// Returns the first-hit latency, or -1 if no result arrived.
+  TimeUs RunQuery(uint32_t origin, const std::vector<uint32_t>& keywords,
+                  int ttl, TimeUs max_wait);
+
+ private:
+  Options options_;
+  SimHarness harness_;
+  uint64_t next_query_id_ = 1;
+};
+
+}  // namespace pier
+
+#endif  // PIER_APPS_GNUTELLA_H_

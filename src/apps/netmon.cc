@@ -1,0 +1,49 @@
+#include "apps/netmon.h"
+
+#include "qp/sql.h"
+
+namespace pier {
+
+void NetmonApp::LoadLogs(const FirewallWorkload& workload, TimeUs lifetime) {
+  for (uint32_t i = 0; i < net_->size(); ++i) {
+    for (const Tuple& t : workload.EventsForNode(i)) {
+      net_->qp(i)->StoreLocal("fw", t, lifetime);
+    }
+  }
+}
+
+NetmonApp::TopKResult NetmonApp::TopKSources(uint32_t origin, int k,
+                                             TimeUs query_timeout,
+                                             const std::string& strategy) {
+  TopKResult out;
+  SqlOptions sql;
+  sql.agg_strategy = strategy;
+  auto plan = CompileSql(
+      "SELECT src, count(*) AS cnt FROM fw GROUP BY src ORDER BY cnt DESC "
+      "LIMIT " + std::to_string(k) + " TIMEOUT " +
+          std::to_string(query_timeout / kMillisecond) + "ms",
+      sql);
+  if (!plan.ok()) return out;
+
+  TimeUs start = net_->loop()->now();
+  std::vector<std::pair<std::string, int64_t>> received;
+  net_->qp(origin)->SubmitQuery(*plan, [&](const Tuple& t) {
+    const Value* src = t.Get("src");
+    const Value* cnt = t.Get("cnt");
+    if (src == nullptr || cnt == nullptr) return;
+    Result<std::string_view> s = src->AsString();
+    Result<int64_t> c = cnt->AsInt64();
+    if (!s.ok() || !c.ok()) return;
+    received.emplace_back(std::string(*s), *c);
+    out.latency = net_->loop()->now() - start;
+  });
+  net_->RunFor(query_timeout + 2 * kSecond);
+
+  // The top-k operator may re-emit a refined ranking after stragglers; keep
+  // the final (trailing) block of at most k rows.
+  size_t keep = std::min<size_t>(k, received.size());
+  out.rows.assign(received.end() - keep, received.end());
+  return out;
+}
+
+}  // namespace pier

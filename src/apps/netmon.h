@@ -1,0 +1,48 @@
+// Endpoint network monitoring (§2.2, Figure 2).
+//
+// Every node holds its own firewall log in situ (never published into the
+// network). A broadcast-disseminated aggregation query computes the top K
+// sources of firewall events across all nodes — the query behind the
+// paper's Figure 2 applet ("the IP addresses of the top ten sources of
+// firewall events across all nodes"), available over both aggregation
+// strategies (flat two-phase rehash, hierarchical aggregation tree).
+
+#ifndef PIER_APPS_NETMON_H_
+#define PIER_APPS_NETMON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "qp/sim_pier.h"
+
+namespace pier {
+
+class NetmonApp {
+ public:
+  explicit NetmonApp(SimPier* net) : net_(net) {}
+
+  /// Install each node's synthetic firewall log as a local table "fw".
+  void LoadLogs(const FirewallWorkload& workload,
+                TimeUs lifetime = 30LL * 60 * kSecond);
+
+  struct TopKResult {
+    std::vector<std::pair<std::string, int64_t>> rows;  // (src, count) ranked
+    TimeUs latency = 0;  // virtual time from submit to last row
+  };
+
+  /// Run the Figure 2 query at `origin`:
+  ///   SELECT src, count(*) AS cnt FROM fw GROUP BY src
+  ///   ORDER BY cnt DESC LIMIT k
+  /// strategy: "flat" or "hier" (§3.3.4 hierarchical aggregation).
+  TopKResult TopKSources(uint32_t origin, int k, TimeUs query_timeout,
+                         const std::string& strategy);
+
+ private:
+  SimPier* net_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_APPS_NETMON_H_

@@ -1,0 +1,123 @@
+// Synthetic workload generators standing in for the paper's live traces.
+//
+// Figure 1 used real Gnutella queries and files intercepted on the live
+// network; Figure 2 used real firewall logs on 350 PlanetLab hosts. Neither
+// trace is available, so these generators reproduce the *structural*
+// properties the experiments depend on (see DESIGN.md §2):
+//
+//   Filesharing — keyword popularity and file replication are Zipf-skewed:
+//   popular files exist on many hosts (flooding finds them fast), rare files
+//   on one or two (flooding usually fails within its TTL horizon, while a
+//   DHT keyword index finds them in O(log N) hops).
+//
+//   Firewall — a few source addresses generate a large fraction of all
+//   unwanted traffic [74], which is what makes a real-time distributed
+//   top-K query informative.
+
+#ifndef PIER_APPS_WORKLOADS_H_
+#define PIER_APPS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/tuple.h"
+#include "util/random.h"
+
+namespace pier {
+
+// ---------------------------------------------------------------------------
+// Filesharing corpus (Figure 1)
+// ---------------------------------------------------------------------------
+
+struct CorpusOptions {
+  uint64_t vocab_size = 2000;    // distinct keywords
+  uint64_t num_files = 4000;     // distinct files
+  int keywords_per_file = 3;     // keywords naming each file
+  double keyword_zipf = 1.0;     // keyword popularity skew
+  double file_zipf = 1.0;        // file popularity skew (drives replication)
+  int max_replicas = 32;         // copies of the most popular file
+  uint64_t seed = 1;
+};
+
+struct CorpusFile {
+  uint64_t file_id = 0;
+  std::vector<uint32_t> keywords;  // vocabulary ranks
+  std::vector<uint32_t> hosts;     // nodes holding a replica
+};
+
+/// A synthetic shared-file corpus spread over `num_nodes` hosts.
+class FilesharingCorpus {
+ public:
+  FilesharingCorpus(const CorpusOptions& options, uint32_t num_nodes);
+
+  const std::vector<CorpusFile>& files() const { return files_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// How many files mention keyword `kw` (its document frequency).
+  uint64_t KeywordFrequency(uint32_t kw) const { return kw_freq_[kw]; }
+
+  static std::string KeywordName(uint32_t kw) {
+    return "kw" + std::to_string(kw);
+  }
+
+  /// One user query: the keywords of some file, plus the ground truth.
+  struct Query {
+    std::vector<uint32_t> keywords;
+    uint64_t target_file = 0;
+    uint64_t target_replicas = 0;  // copies in the network
+    bool rare = false;             // rarest keyword below the rare threshold
+  };
+
+  /// Generate `n` queries. Each picks a file (Zipf by popularity, so query
+  /// load mirrors content popularity) and asks for `keywords_per_query` of
+  /// its keywords. rare_only restricts to queries whose rarest keyword has
+  /// document frequency <= rare_threshold (Figure 1's "rare items" subset).
+  std::vector<Query> MakeQueries(int n, int keywords_per_query, bool rare_only,
+                                 uint64_t rare_threshold, Rng* rng) const;
+
+  /// The inverted-index tuple for (file replica, keyword):
+  /// fidx(kw, file_id, host).
+  static Tuple IndexTuple(uint32_t kw, uint64_t file_id, uint32_t host);
+
+ private:
+  CorpusOptions options_;
+  uint32_t num_nodes_;
+  std::vector<CorpusFile> files_;
+  std::vector<uint64_t> kw_freq_;
+};
+
+// ---------------------------------------------------------------------------
+// Firewall event logs (Figure 2)
+// ---------------------------------------------------------------------------
+
+struct FirewallOptions {
+  uint64_t num_sources = 500;   // distinct offending source addresses
+  double source_zipf = 1.1;     // "top few sources generate most events" [74]
+  int events_per_node = 40;
+  uint64_t seed = 2;
+};
+
+/// Synthetic firewall logs: fw(src, dst_port, proto, ts).
+class FirewallWorkload {
+ public:
+  explicit FirewallWorkload(const FirewallOptions& options);
+
+  /// The events for one node. Deterministic per (seed, node).
+  std::vector<Tuple> EventsForNode(uint32_t node) const;
+
+  /// Ground truth: total events per source rank across `num_nodes` nodes
+  /// (sorted descending), for validating the distributed top-K.
+  std::vector<std::pair<std::string, uint64_t>> GroundTruthTopK(
+      uint32_t num_nodes, size_t k) const;
+
+  static std::string SourceName(uint64_t rank);
+
+ private:
+  FirewallOptions options_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_APPS_WORKLOADS_H_

@@ -1,0 +1,332 @@
+#include "overlay/dht.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/wire.h"
+
+namespace pier {
+
+Dht::Dht(Vri* vri, Options options) : vri_(vri), options_(options) {
+  router_ = std::make_unique<OverlayRouter>(vri_, options_.router);
+  objects_ = std::make_unique<ObjectManager>(vri_, options_.objects);
+
+  objects_->set_insert_hook([this](const ObjectManager::Object& obj) {
+    auto it = subs_by_ns_.find(obj.name.ns);
+    if (it == subs_by_ns_.end()) return;
+    // Copy: handlers may (un)subscribe while we iterate.
+    std::vector<uint64_t> tokens = it->second;
+    for (uint64_t token : tokens) {
+      auto sit = subs_.find(token);
+      if (sit != subs_.end()) sit->second.handler(obj.name, obj.value);
+    }
+  });
+
+  router_->set_delivery_handler(
+      [this](const RouteInfo& info, std::string_view payload) {
+        HandleRoutedDelivery(info, payload);
+      });
+  router_->RegisterDirectType(kMsgPut, [this](const NetAddress& f, std::string_view b) {
+    HandlePut(f, b);
+  });
+  router_->RegisterDirectType(kMsgGetReq, [this](const NetAddress& f, std::string_view b) {
+    HandleGetReq(f, b);
+  });
+  router_->RegisterDirectType(kMsgGetResp, [this](const NetAddress& f, std::string_view b) {
+    HandleGetResp(f, b);
+  });
+  router_->RegisterDirectType(kMsgRenewReq, [this](const NetAddress& f, std::string_view b) {
+    HandleRenewReq(f, b);
+  });
+  router_->RegisterDirectType(kMsgRenewResp, [this](const NetAddress& f, std::string_view b) {
+    HandleRenewResp(f, b);
+  });
+}
+
+Dht::~Dht() {
+  for (auto& [id, op] : pending_) {
+    (void)id;
+    if (op.timer != 0) vri_->CancelEvent(op.timer);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire helpers
+// ---------------------------------------------------------------------------
+
+std::string Dht::EncodeObject(const ObjectName& name, TimeUs lifetime,
+                              std::string_view value) {
+  WireWriter w;
+  w.PutBytes(name.ns);
+  w.PutBytes(name.key);
+  w.PutBytes(name.suffix);
+  w.PutU64(static_cast<uint64_t>(lifetime));
+  w.PutBytes(value);
+  return std::move(w).data();
+}
+
+Result<Dht::WireObject> Dht::DecodeObject(std::string_view wire) {
+  WireReader r(wire);
+  WireObject obj;
+  std::string_view ns, key, suffix, value;
+  uint64_t lifetime;
+  PIER_RETURN_IF_ERROR(r.GetBytes(&ns));
+  PIER_RETURN_IF_ERROR(r.GetBytes(&key));
+  PIER_RETURN_IF_ERROR(r.GetBytes(&suffix));
+  PIER_RETURN_IF_ERROR(r.GetU64(&lifetime));
+  PIER_RETURN_IF_ERROR(r.GetBytes(&value));
+  obj.name.ns = std::string(ns);
+  obj.name.key = std::string(key);
+  obj.name.suffix = std::string(suffix);
+  obj.lifetime = static_cast<TimeUs>(lifetime);
+  obj.value = std::string(value);
+  return obj;
+}
+
+void Dht::StoreObject(const ObjectName& name, std::string value, TimeUs lifetime) {
+  stats_.store_requests++;
+  objects_->Put(name, std::move(value), EffectiveLifetime(lifetime));
+}
+
+// ---------------------------------------------------------------------------
+// Inter-node operations
+// ---------------------------------------------------------------------------
+
+void Dht::Put(const std::string& ns, const std::string& key, const std::string& suffix,
+              std::string value, TimeUs lifetime, DoneCallback done) {
+  stats_.puts++;
+  ObjectName name{ns, key, suffix};
+  Id target = name.routing_id();
+  std::string wire = EncodeObject(name, lifetime, value);
+  router_->Lookup(target, [this, wire = std::move(wire), done = std::move(done)](
+                              const Result<NetAddress>& owner, Id) mutable {
+    if (!owner.ok()) {
+      if (done) done(owner.status());
+      return;
+    }
+    WireWriter w;
+    w.PutRaw(wire);
+    router_->SendDirect(owner.value(), kMsgPut, std::move(w).data(),
+                        [done = std::move(done)](const Status& s) {
+                          if (done) done(s);
+                        });
+  });
+}
+
+void Dht::Send(const std::string& ns, const std::string& key,
+               const std::string& suffix, std::string value, TimeUs lifetime) {
+  stats_.sends++;
+  ObjectName name{ns, key, suffix};
+  router_->Route(ns, name.routing_id(), EncodeObject(name, lifetime, value));
+}
+
+void Dht::SendToId(Id target, const std::string& ns, const std::string& key,
+                   const std::string& suffix, std::string value,
+                   TimeUs lifetime) {
+  stats_.sends++;
+  ObjectName name{ns, key, suffix};
+  router_->Route(ns, target, EncodeObject(name, lifetime, value));
+}
+
+void Dht::Get(const std::string& ns, const std::string& key, GetCallback cb) {
+  stats_.gets++;
+  Id target = RoutingId(ns, key);
+  uint64_t op_id = next_op_id_++;
+  PendingOp op;
+  op.get_cb = std::move(cb);
+  op.timer = vri_->ScheduleEvent(options_.op_timeout, [this, op_id]() {
+    auto it = pending_.find(op_id);
+    if (it == pending_.end()) return;
+    GetCallback cb2 = std::move(it->second.get_cb);
+    pending_.erase(it);
+    cb2(Status::TimedOut("dht get timed out"), {});
+  });
+  pending_[op_id] = std::move(op);
+
+  router_->Lookup(target, [this, op_id, ns, key](const Result<NetAddress>& owner, Id) {
+    auto it = pending_.find(op_id);
+    if (it == pending_.end()) return;
+    if (!owner.ok()) {
+      GetCallback cb2 = std::move(it->second.get_cb);
+      vri_->CancelEvent(it->second.timer);
+      pending_.erase(it);
+      cb2(owner.status(), {});
+      return;
+    }
+    WireWriter w;
+    w.PutU64(op_id);
+    w.PutU32(router_->local_address().host);
+    w.PutU16(router_->local_address().port);
+    w.PutBytes(ns);
+    w.PutBytes(key);
+    router_->SendDirect(owner.value(), kMsgGetReq, std::move(w).data(), nullptr);
+  });
+}
+
+void Dht::Renew(const std::string& ns, const std::string& key,
+                const std::string& suffix, TimeUs lifetime, DoneCallback done) {
+  stats_.renews++;
+  ObjectName name{ns, key, suffix};
+  uint64_t op_id = next_op_id_++;
+  PendingOp op;
+  op.done_cb = std::move(done);
+  op.timer = vri_->ScheduleEvent(options_.op_timeout, [this, op_id]() {
+    auto it = pending_.find(op_id);
+    if (it == pending_.end()) return;
+    DoneCallback cb2 = std::move(it->second.done_cb);
+    pending_.erase(it);
+    if (cb2) cb2(Status::TimedOut("dht renew timed out"));
+  });
+  pending_[op_id] = std::move(op);
+
+  router_->Lookup(
+      name.routing_id(),
+      [this, op_id, name, lifetime](const Result<NetAddress>& owner, Id) {
+        auto it = pending_.find(op_id);
+        if (it == pending_.end()) return;
+        if (!owner.ok()) {
+          DoneCallback cb2 = std::move(it->second.done_cb);
+          vri_->CancelEvent(it->second.timer);
+          pending_.erase(it);
+          if (cb2) cb2(owner.status());
+          return;
+        }
+        WireWriter w;
+        w.PutU64(op_id);
+        w.PutU32(router_->local_address().host);
+        w.PutU16(router_->local_address().port);
+        w.PutBytes(name.ns);
+        w.PutBytes(name.key);
+        w.PutBytes(name.suffix);
+        w.PutU64(static_cast<uint64_t>(EffectiveLifetime(lifetime)));
+        router_->SendDirect(owner.value(), kMsgRenewReq, std::move(w).data(),
+                            nullptr);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Intra-node operations
+// ---------------------------------------------------------------------------
+
+void Dht::LocalScan(const std::string& ns,
+                    const std::function<void(const ObjectName&, std::string_view)>& fn) {
+  objects_->Scan(ns, [&fn](const ObjectManager::Object& obj) {
+    fn(obj.name, obj.value);
+  });
+}
+
+uint64_t Dht::OnNewData(const std::string& ns, NewDataHandler handler) {
+  uint64_t token = next_sub_id_++;
+  subs_[token] = Subscription{ns, std::move(handler)};
+  subs_by_ns_[ns].push_back(token);
+  return token;
+}
+
+void Dht::CancelNewData(uint64_t token) {
+  auto it = subs_.find(token);
+  if (it == subs_.end()) return;
+  auto& vec = subs_by_ns_[it->second.ns];
+  vec.erase(std::remove(vec.begin(), vec.end(), token), vec.end());
+  if (vec.empty()) subs_by_ns_.erase(it->second.ns);
+  subs_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers
+// ---------------------------------------------------------------------------
+
+void Dht::HandleRoutedDelivery(const RouteInfo& info, std::string_view payload) {
+  // A routed Send reached the responsible node: store like a put.
+  stats_.routed_deliveries++;
+  stats_.routed_delivery_hops += info.hops;
+  auto obj = DecodeObject(payload);
+  if (!obj.ok()) return;  // malformed: drop
+  StoreObject(obj->name, std::move(obj->value), obj->lifetime);
+}
+
+void Dht::HandlePut(const NetAddress& from, std::string_view body) {
+  (void)from;
+  auto obj = DecodeObject(body);
+  if (!obj.ok()) return;
+  StoreObject(obj->name, std::move(obj->value), obj->lifetime);
+}
+
+void Dht::HandleGetReq(const NetAddress& from, std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t op_id;
+  uint32_t host;
+  uint16_t port;
+  std::string_view ns, key;
+  if (!r.GetU64(&op_id).ok() || !r.GetU32(&host).ok() || !r.GetU16(&port).ok() ||
+      !r.GetBytes(&ns).ok() || !r.GetBytes(&key).ok())
+    return;
+  auto items = objects_->Get(ns, key);
+  WireWriter w;
+  w.PutU64(op_id);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const auto* obj : items) {
+    w.PutBytes(obj->name.suffix);
+    w.PutBytes(obj->value);
+  }
+  router_->SendDirect(NetAddress{host, port}, kMsgGetResp, std::move(w).data(),
+                      nullptr);
+}
+
+void Dht::HandleGetResp(const NetAddress& from, std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t op_id;
+  uint32_t count;
+  if (!r.GetU64(&op_id).ok() || !r.GetU32(&count).ok()) return;
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  GetCallback cb = std::move(it->second.get_cb);
+  vri_->CancelEvent(it->second.timer);
+  pending_.erase(it);
+  std::vector<DhtItem> items;
+  items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view suffix, value;
+    if (!r.GetBytes(&suffix).ok() || !r.GetBytes(&value).ok()) break;
+    items.push_back(DhtItem{std::string(suffix), std::string(value)});
+  }
+  if (cb) cb(Status::Ok(), std::move(items));
+}
+
+void Dht::HandleRenewReq(const NetAddress& from, std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t op_id;
+  uint32_t host;
+  uint16_t port;
+  std::string_view ns, key, suffix;
+  uint64_t lifetime;
+  if (!r.GetU64(&op_id).ok() || !r.GetU32(&host).ok() || !r.GetU16(&port).ok() ||
+      !r.GetBytes(&ns).ok() || !r.GetBytes(&key).ok() || !r.GetBytes(&suffix).ok() ||
+      !r.GetU64(&lifetime).ok())
+    return;
+  ObjectName name{std::string(ns), std::string(key), std::string(suffix)};
+  Status s = objects_->Renew(name, static_cast<TimeUs>(lifetime));
+  WireWriter w;
+  w.PutU64(op_id);
+  w.PutU8(s.ok() ? 1 : 0);
+  router_->SendDirect(NetAddress{host, port}, kMsgRenewResp, std::move(w).data(),
+                      nullptr);
+}
+
+void Dht::HandleRenewResp(const NetAddress& from, std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t op_id;
+  uint8_t ok;
+  if (!r.GetU64(&op_id).ok() || !r.GetU8(&ok).ok()) return;
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  DoneCallback cb = std::move(it->second.done_cb);
+  vri_->CancelEvent(it->second.timer);
+  pending_.erase(it);
+  if (cb) cb(ok ? Status::Ok() : Status::NotFound("renew: object not present"));
+}
+
+}  // namespace pier

@@ -1,0 +1,186 @@
+// The overlay wrapper: PIER's DHT API (Table 2, Figures 5-6).
+//
+// The query processor interacts only with this class, which choreographs the
+// router and object manager:
+//
+//   inter-node:  Get / Put / Send / Renew  (+ handleGet callback)
+//   intra-node:  LocalScan (handleLScan), OnNewData (newData/handleNewData),
+//                RegisterUpcall (upcall/handleUpcall)
+//
+// put and renew are two-phase: a lookup resolves the identifier-to-address
+// mapping, then a direct point-to-point message performs the operation. send
+// routes the object through the overlay in a single call, giving every node
+// on the path an upcall (Figure 6).
+
+#ifndef PIER_OVERLAY_DHT_H_
+#define PIER_OVERLAY_DHT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/object_id.h"
+#include "overlay/object_manager.h"
+#include "overlay/router.h"
+#include "runtime/vri.h"
+
+namespace pier {
+
+/// One stored object returned by Get.
+struct DhtItem {
+  std::string suffix;
+  std::string value;
+};
+
+class Dht {
+ public:
+  struct Options {
+    OverlayRouter::Options router;
+    ObjectManager::Options objects;
+    TimeUs op_timeout = 10 * kSecond;
+    /// Default soft-state lifetime used when callers pass lifetime = 0.
+    TimeUs default_lifetime = 2LL * 60 * kSecond;
+  };
+
+  Dht(Vri* vri, Options options);
+  Dht(Vri* vri) : Dht(vri, Options{}) {}  // NOLINT
+  ~Dht();
+
+  Dht(const Dht&) = delete;
+  Dht& operator=(const Dht&) = delete;
+
+  /// Join the overlay (null bootstrap = first node).
+  void Join(const NetAddress& bootstrap) { router_->Join(bootstrap); }
+  bool IsReady() const { return router_->IsReady(); }
+
+  // --- Inter-node operations (Table 2) ---------------------------------------
+
+  using DoneCallback = std::function<void(const Status&)>;
+  using GetCallback =
+      std::function<void(const Status&, std::vector<DhtItem> items)>;
+
+  /// get(namespace, key): fetch all objects stored under (ns, key) from the
+  /// responsible node; `cb` is the handleGet callback.
+  void Get(const std::string& ns, const std::string& key, GetCallback cb);
+
+  /// put(namespace, key, suffix, object, lifetime): two-phase store at the
+  /// responsible node.
+  void Put(const std::string& ns, const std::string& key, const std::string& suffix,
+           std::string value, TimeUs lifetime, DoneCallback done = nullptr);
+
+  /// send(...): like put, but routed hop-by-hop through the overlay so
+  /// intermediate nodes receive upcalls (§3.2.4, Figure 6).
+  void Send(const std::string& ns, const std::string& key, const std::string& suffix,
+            std::string value, TimeUs lifetime);
+
+  /// send variant with an explicit routing target: the object is stored (and
+  /// newData fires) at the owner of `target` rather than of RoutingId(ns,key).
+  /// The query processor uses this to route opgraphs to the node that owns a
+  /// table partition (equality-predicate dissemination, §3.3.3).
+  void SendToId(Id target, const std::string& ns, const std::string& key,
+                const std::string& suffix, std::string value, TimeUs lifetime);
+
+  /// renew(...): extend an object's lifetime; fails with NotFound if the
+  /// responsible node no longer holds it (publisher must re-put).
+  void Renew(const std::string& ns, const std::string& key, const std::string& suffix,
+             TimeUs lifetime, DoneCallback done);
+
+  // --- Intra-node operations (Table 2) ----------------------------------------
+
+  /// localScan: visit all objects of `ns` stored at this node (handleLScan).
+  void LocalScan(const std::string& ns,
+                 const std::function<void(const ObjectName&, std::string_view)>& fn);
+
+  /// newData: subscribe to objects newly stored at this node in `ns`
+  /// (handleNewData). Returns a subscription token.
+  using NewDataHandler =
+      std::function<void(const ObjectName&, std::string_view value)>;
+  uint64_t OnNewData(const std::string& ns, NewDataHandler handler);
+  void CancelNewData(uint64_t token);
+
+  /// upcall: intercept in-transit Send objects in `ns` (handleUpcall). The
+  /// handler may decode the object with DecodeObject, mutate it, and return
+  /// kDrop to consume it.
+  void RegisterUpcall(const std::string& ns, OverlayRouter::UpcallHandler handler) {
+    router_->RegisterUpcall(ns, std::move(handler));
+  }
+  void UnregisterUpcall(const std::string& ns) { router_->UnregisterUpcall(ns); }
+
+  // --- Object wire helpers (used by upcall handlers) ---------------------------
+
+  struct WireObject {
+    ObjectName name;
+    TimeUs lifetime = 0;
+    std::string value;
+  };
+  static std::string EncodeObject(const ObjectName& name, TimeUs lifetime,
+                                  std::string_view value);
+  static Result<WireObject> DecodeObject(std::string_view wire);
+
+  // --- Introspection ------------------------------------------------------------
+
+  OverlayRouter* router() { return router_.get(); }
+  ObjectManager* objects() { return objects_.get(); }
+  Id local_id() const { return router_->local_id(); }
+  NetAddress local_address() const { return router_->local_address(); }
+  Vri* vri() { return vri_; }
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t sends = 0;
+    uint64_t renews = 0;
+    uint64_t store_requests = 0;  // objects stored on behalf of others
+    uint64_t routed_deliveries = 0;  // Send objects that reached this owner
+    uint64_t routed_delivery_hops = 0;  // cumulative hop count of the above
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Direct message types (>= 16; below that is the router's).
+  static constexpr uint8_t kMsgPut = 16;
+  static constexpr uint8_t kMsgGetReq = 17;
+  static constexpr uint8_t kMsgGetResp = 18;
+  static constexpr uint8_t kMsgRenewReq = 19;
+  static constexpr uint8_t kMsgRenewResp = 20;
+
+  void HandlePut(const NetAddress& from, std::string_view body);
+  void HandleGetReq(const NetAddress& from, std::string_view body);
+  void HandleGetResp(const NetAddress& from, std::string_view body);
+  void HandleRenewReq(const NetAddress& from, std::string_view body);
+  void HandleRenewResp(const NetAddress& from, std::string_view body);
+  void HandleRoutedDelivery(const RouteInfo& info, std::string_view payload);
+  void StoreObject(const ObjectName& name, std::string value, TimeUs lifetime);
+  TimeUs EffectiveLifetime(TimeUs lifetime) const {
+    return lifetime > 0 ? lifetime : options_.default_lifetime;
+  }
+
+  Vri* vri_;
+  Options options_;
+  std::unique_ptr<OverlayRouter> router_;
+  std::unique_ptr<ObjectManager> objects_;
+
+  struct PendingOp {
+    GetCallback get_cb;
+    DoneCallback done_cb;
+    uint64_t timer = 0;
+  };
+  std::unordered_map<uint64_t, PendingOp> pending_;
+  uint64_t next_op_id_ = 1;
+
+  struct Subscription {
+    std::string ns;
+    NewDataHandler handler;
+  };
+  std::unordered_map<uint64_t, Subscription> subs_;
+  std::unordered_map<std::string, std::vector<uint64_t>> subs_by_ns_;
+  uint64_t next_sub_id_ = 1;
+
+  Stats stats_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_OVERLAY_DHT_H_

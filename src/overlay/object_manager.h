@@ -1,0 +1,87 @@
+// The soft-state object manager (§3.2.3, Figure 5).
+//
+// PIER has no persistent storage: every stored object carries a lifetime and
+// is discarded when it expires. Publishers that want persistence must renew;
+// a renew succeeds only if the object is still present at this node (if the
+// responsible node changed, the renew fails and the publisher must re-put).
+// The system clamps lifetimes to a maximum so objects whose publisher died
+// are eventually garbage collected.
+
+#ifndef PIER_OVERLAY_OBJECT_MANAGER_H_
+#define PIER_OVERLAY_OBJECT_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "overlay/object_id.h"
+#include "runtime/vri.h"
+#include "util/status.h"
+
+namespace pier {
+
+class ObjectManager {
+ public:
+  struct Options {
+    TimeUs max_lifetime = 30LL * 60 * kSecond;  // system-enforced cap
+    TimeUs gc_period = 2 * kSecond;
+  };
+
+  struct Object {
+    ObjectName name;
+    std::string value;
+    TimeUs expires_at = 0;
+  };
+
+  ObjectManager(Vri* vri, Options options);
+  ObjectManager(Vri* vri) : ObjectManager(vri, Options{}) {}  // NOLINT
+  ~ObjectManager();
+
+  /// Store (or overwrite) an object. Lifetime is clamped to max_lifetime.
+  /// Fires the insert hook.
+  void Put(ObjectName name, std::string value, TimeUs lifetime);
+
+  /// Extend the lifetime of an existing object. NotFound if absent/expired —
+  /// this is the signal that tells a publisher its object moved or died.
+  Status Renew(const ObjectName& name, TimeUs lifetime);
+
+  /// All live objects with the given namespace and key (any suffix).
+  std::vector<const Object*> Get(std::string_view ns, std::string_view key);
+
+  /// Visit all live objects in a namespace (localScan).
+  void Scan(std::string_view ns, const std::function<void(const Object&)>& fn);
+
+  /// Remove one object (used by operators that consume state).
+  void Remove(const ObjectName& name);
+
+  /// Remove every object in a namespace (query teardown).
+  void DropNamespace(std::string_view ns);
+
+  /// Called whenever a new object is stored (the wrapper turns this into
+  /// per-namespace newData callbacks).
+  using InsertHook = std::function<void(const Object&)>;
+  void set_insert_hook(InsertHook hook) { insert_hook_ = std::move(hook); }
+
+  size_t TotalObjects() const;
+  size_t NamespaceObjects(std::string_view ns) const;
+
+  /// Drop everything past its lifetime (also runs periodically).
+  void DropExpired();
+
+ private:
+  // ns -> key -> suffix -> Object. Ordered maps keep Scan deterministic.
+  using SuffixMap = std::map<std::string, Object>;
+  using KeyMap = std::map<std::string, SuffixMap>;
+  std::map<std::string, KeyMap, std::less<>> store_;
+
+  Vri* vri_;
+  Options options_;
+  InsertHook insert_hook_;
+  uint64_t gc_timer_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_OVERLAY_OBJECT_MANAGER_H_

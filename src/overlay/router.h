@@ -1,0 +1,174 @@
+// The overlay router (§3.2.4, Figure 5): multi-hop forwarding with upcalls.
+//
+// The router owns the node's UdpCc transport on the DHT port, hosts the
+// routing protocol (Chord or Prefix), and implements:
+//   * Route(): greedy multi-hop delivery of a message toward the owner of an
+//     identifier, invoking per-namespace upcall handlers at each intermediate
+//     node (the mechanism behind PIER's distribution trees, hierarchical
+//     aggregation, and hierarchical joins, §3.3.6);
+//   * Lookup(): resolve an identifier to its owner's address — the first
+//     phase of the DHT's two-phase put/get (Figure 6);
+//   * a direct-message extension point used by the object-storage layer.
+
+#ifndef PIER_OVERLAY_ROUTER_H_
+#define PIER_OVERLAY_ROUTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "overlay/object_id.h"
+#include "overlay/routing_protocol.h"
+#include "runtime/udpcc.h"
+#include "runtime/vri.h"
+
+namespace pier {
+
+/// Default UDP port for overlay traffic.
+constexpr uint16_t kDhtPort = 5000;
+
+/// What an upcall handler tells the router to do with an in-transit message.
+enum class UpcallAction {
+  kContinue,  // forward toward the destination (payload may be modified)
+  kDrop,      // consume the message here
+};
+
+/// Metadata accompanying a routed message.
+struct RouteInfo {
+  Id target = 0;
+  std::string ns;
+  NetAddress origin;  // the node that called Route()
+  uint8_t hops = 0;   // network hops taken so far (1 at the first receiver)
+};
+
+class OverlayRouter : public ProtocolHost {
+ public:
+  struct Options {
+    ProtocolKind protocol = ProtocolKind::kChord;
+    uint16_t port = kDhtPort;
+    uint8_t max_hops = 64;
+    TimeUs lookup_timeout = 5 * kSecond;
+    int route_retry_limit = 3;
+    uint64_t id_salt = 0;  // lets tests control id placement
+  };
+
+  OverlayRouter(Vri* vri, Options options);
+  ~OverlayRouter() override;
+
+  OverlayRouter(const OverlayRouter&) = delete;
+  OverlayRouter& operator=(const OverlayRouter&) = delete;
+
+  /// Join the overlay; a null bootstrap means "first node".
+  void Join(const NetAddress& bootstrap);
+
+  bool IsReady() const { return protocol_->IsReady(); }
+
+  // --- Routed messaging ----------------------------------------------------
+
+  /// Handler invoked at *intermediate* nodes for messages in namespace `ns`.
+  /// May mutate the payload before returning kContinue.
+  using UpcallHandler =
+      std::function<UpcallAction(const RouteInfo& info, std::string* payload)>;
+
+  void RegisterUpcall(const std::string& ns, UpcallHandler handler);
+  void UnregisterUpcall(const std::string& ns);
+
+  /// Handler invoked at the node that owns the message's target id.
+  using DeliveryHandler =
+      std::function<void(const RouteInfo& info, std::string_view payload)>;
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    delivery_handler_ = std::move(handler);
+  }
+
+  /// Route `payload` toward the owner of `target` with upcalls en route.
+  void Route(const std::string& ns, Id target, std::string payload);
+
+  // --- Owner lookup (Figure 6, phase one) -----------------------------------
+
+  using LookupCallback =
+      std::function<void(const Result<NetAddress>& owner, Id owner_id)>;
+
+  void Lookup(Id target, LookupCallback cb);
+
+  // --- Direct typed messages (object-layer extension point) -----------------
+
+  using DirectHandler =
+      std::function<void(const NetAddress& from, std::string_view payload)>;
+
+  /// Register a handler for a message type byte. Types below 16 are reserved
+  /// for the router itself.
+  void RegisterDirectType(uint8_t type, DirectHandler handler);
+
+  /// Reliable direct message; `on_delivery` may be null.
+  void SendDirect(const NetAddress& to, uint8_t type, std::string payload,
+                  std::function<void(const Status&)> on_delivery = nullptr);
+
+  // --- Introspection ---------------------------------------------------------
+
+  RoutingProtocol* protocol() { return protocol_.get(); }
+
+  struct Stats {
+    uint64_t routed_originated = 0;
+    uint64_t routed_forwarded = 0;
+    uint64_t routed_delivered = 0;
+    uint64_t upcall_drops = 0;
+    uint64_t lookups_started = 0;
+    uint64_t lookups_ok = 0;
+    uint64_t lookups_failed = 0;
+    uint64_t route_dead_ends = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  UdpCc* transport() { return transport_.get(); }
+
+  // --- ProtocolHost -----------------------------------------------------------
+  void SendProtocolMessage(const NetAddress& to, std::string payload,
+                           std::function<void(const Status&)> on_delivery) override;
+  Vri* vri() override { return vri_; }
+  Id local_id() const override { return local_id_; }
+  NetAddress local_address() const override { return local_address_; }
+
+ private:
+  // Reserved direct-message type bytes.
+  static constexpr uint8_t kMsgProto = 1;
+  static constexpr uint8_t kMsgRoute = 2;
+  static constexpr uint8_t kMsgLookupReq = 3;
+  static constexpr uint8_t kMsgLookupResp = 4;
+
+  void HandleMessage(const NetAddress& from, std::string_view payload);
+  void HandleRoute(const NetAddress& from, std::string_view body);
+  void HandleLookupReq(const NetAddress& from, std::string_view body);
+  void HandleLookupResp(std::string_view body);
+  void ForwardRoute(RouteInfo info, std::string payload, int attempts);
+  void Deliver(const RouteInfo& info, std::string_view payload);
+  std::string EncodeRoute(const RouteInfo& info, std::string_view payload);
+
+  Vri* vri_;
+  Options options_;
+  NetAddress local_address_;
+  Id local_id_;
+  std::unique_ptr<UdpCc> transport_;
+  std::unique_ptr<RoutingProtocol> protocol_;
+  DeliveryHandler delivery_handler_;
+  std::unordered_map<std::string, UpcallHandler> upcalls_;
+  std::map<uint8_t, DirectHandler> direct_handlers_;
+
+  struct PendingLookup {
+    LookupCallback cb;
+    uint64_t timer = 0;
+  };
+  std::unordered_map<uint64_t, PendingLookup> pending_lookups_;
+  uint64_t next_lookup_id_ = 1;
+
+  Stats stats_;
+};
+
+/// Factory defined in routing_chord.cc / routing_prefix.cc.
+std::unique_ptr<RoutingProtocol> MakeRoutingProtocol(ProtocolKind kind,
+                                                     ProtocolHost* host);
+
+}  // namespace pier
+
+#endif  // PIER_OVERLAY_ROUTER_H_

@@ -1,0 +1,18 @@
+#include "overlay/router.h"
+#include "overlay/routing_chord.h"
+#include "overlay/routing_prefix.h"
+
+namespace pier {
+
+std::unique_ptr<RoutingProtocol> MakeRoutingProtocol(ProtocolKind kind,
+                                                     ProtocolHost* host) {
+  switch (kind) {
+    case ProtocolKind::kChord:
+      return std::make_unique<ChordProtocol>(host);
+    case ProtocolKind::kPrefix:
+      return std::make_unique<PrefixProtocol>(host);
+  }
+  return nullptr;
+}
+
+}  // namespace pier

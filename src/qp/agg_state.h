@@ -1,0 +1,76 @@
+// Mergeable aggregate state, shared by GroupBy and the hierarchical
+// aggregation operator.
+//
+// PIER's in-network aggregation works for distributive and algebraic
+// functions, where constant-size state merges associatively (§3.3.4). The
+// state here covers COUNT, SUM, MIN, MAX and AVG (algebraic: SUM + COUNT).
+// Holistic aggregates are intentionally absent, as in the paper.
+
+#ifndef PIER_QP_AGG_STATE_H_
+#define PIER_QP_AGG_STATE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/tuple.h"
+#include "data/value.h"
+#include "util/status.h"
+#include "util/wire.h"
+
+namespace pier {
+
+enum class AggFunc : uint8_t { kCount = 1, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate in a GROUP BY list: a function, an input column (empty for
+/// COUNT(*)) and an output alias.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  std::string col;
+  std::string alias;
+};
+
+/// Parse "count::cnt,sum:bytes:total,max:sev:worst" (func:col:alias, comma
+/// separated; col may be empty for COUNT(*)).
+Result<std::vector<AggSpec>> ParseAggSpecs(const std::string& text);
+
+/// Render back to the ParseAggSpecs format.
+std::string FormatAggSpecs(const std::vector<AggSpec>& specs);
+
+/// Constant-size mergeable state covering all supported functions at once.
+class AggState {
+ public:
+  /// Fold one input tuple in (skips tuples lacking the column: best-effort).
+  void Update(const AggSpec& spec, const Tuple& t);
+
+  /// Merge another partial state (associative, commutative).
+  void Merge(const AggState& other);
+
+  /// The final value for a function.
+  Value Finalize(AggFunc func) const;
+
+  int64_t count() const { return count_; }
+
+  // --- Partial-state transport -------------------------------------------------
+
+  /// Append this state to `out` as columns "<alias>#n", "<alias>#s",
+  /// "<alias>#mn", "<alias>#mx" (the mode=partial wire format).
+  void ToPartialColumns(const std::string& alias, Tuple* out) const;
+
+  /// Rebuild from partial columns; false if they are absent/malformed.
+  bool FromPartialColumns(const Tuple& t, const std::string& alias);
+
+  void EncodeTo(WireWriter* w) const;
+  static Result<AggState> DecodeFrom(WireReader* r);
+
+ private:
+  int64_t count_ = 0;
+  Value sum_;  // null until first numeric input; int64 or double after
+  Value min_;
+  Value max_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_QP_AGG_STATE_H_

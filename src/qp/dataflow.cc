@@ -1,0 +1,23 @@
+#include "qp/dataflow.h"
+
+namespace pier {
+
+void Operator::Open() {
+  if (opened_) return;
+  opened_ = true;
+  for (Operator* c : children_) c->Open();
+  OnOpen();
+}
+
+void Operator::EmitTuple(uint32_t tag, const Tuple& tuple) {
+  stats_.emitted++;
+  if (outputs_.size() == 1) {
+    outputs_[0].first->Consume(outputs_[0].second, tag, tuple);
+    return;
+  }
+  for (auto& [op, port] : outputs_) {
+    op->Consume(port, tag, tuple);  // copies: Tee semantics
+  }
+}
+
+}  // namespace pier

@@ -1,0 +1,147 @@
+// Local dataflow (§3.3.5): the non-blocking iterator model.
+//
+// PIER's event-driven core cannot block in handlers, so the classic pull
+// iterator is split: control flows parent -> child as Open()/probe function
+// calls, and data flows child -> parent as push calls (Consume). A tuple
+// flows upward until an operator drops it (selection), absorbs it into state
+// (join, group-by), or parks it in a Queue, whose zero-delay timer yields the
+// stack back to the Main Scheduler. Probe tags accompany every pushed tuple
+// so operators with reordered nested probes can match data to stored state.
+//
+// Blocking state (group-by, top-k, Bloom build) is emitted on Flush(), which
+// the executor drives: once near the timeout for snapshot queries, once per
+// window for continuous ones. There are no EOFs, by design (§3.3.2).
+
+#ifndef PIER_QP_DATAFLOW_H_
+#define PIER_QP_DATAFLOW_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/tuple.h"
+#include "overlay/dht.h"
+#include "qp/opgraph.h"
+#include "runtime/vri.h"
+
+namespace pier {
+
+/// Node-local services an operator may use. One context per opgraph instance.
+class ExecContext {
+ public:
+  Vri* vri = nullptr;
+  Dht* dht = nullptr;
+  uint64_t query_id = 0;
+  uint32_t graph_id = 0;
+  NetAddress proxy;
+  bool continuous = false;
+  TimeUs window = 5 * kSecond;
+  /// Remaining lifetime of the query from the moment the graph started here;
+  /// operators use it as the soft-state lifetime for published state.
+  TimeUs query_lifetime = 30 * kSecond;
+
+  /// Forward an answer tuple to the proxy (wired up by the QueryProcessor).
+  std::function<void(const Tuple&)> emit_result;
+
+  /// Ask the executor to stop this query locally (e.g. LIMIT satisfied).
+  std::function<void()> request_stop;
+
+  /// Namespace scoped to this query ("q<id>.<what>"); used for rendezvous
+  /// partitions, operator state and aggregation channels.
+  std::string QueryNs(const std::string& what) const {
+    return "q" + std::to_string(query_id) + "." + what;
+  }
+
+  /// Monotonic per-context uniquifier for DHT suffixes. The graph id is part
+  /// of the name: two graph instances on the same node (e.g. the two sides
+  /// of a rehash join writing into one namespace) must never mint the same
+  /// suffix, or their objects would replace each other at the owner.
+  std::string NextSuffix() {
+    return std::to_string(graph_id) + "." + std::to_string(++suffix_counter_) +
+           "@" + std::to_string(dht ? dht->local_address().host : 0);
+  }
+
+ private:
+  uint64_t suffix_counter_ = 0;
+};
+
+/// Base class for all physical operators.
+class Operator {
+ public:
+  explicit Operator(const OpSpec& spec) : spec_(spec) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Parse parameters and acquire resources. Called before wiring completes;
+  /// must not emit tuples.
+  virtual Status Init(ExecContext* cx) {
+    cx_ = cx;
+    return Status::Ok();
+  }
+
+  /// Control channel, parent -> child. Propagates to children exactly once,
+  /// then runs OnOpen (access methods start producing there).
+  void Open();
+
+  /// Data channel, child -> parent: consume one pushed tuple.
+  virtual void Consume(int port, uint32_t tag, Tuple tuple) = 0;
+
+  /// Emit blocking state downstream. The executor calls this in dataflow
+  /// order, so upstream operators have already flushed.
+  virtual void Flush() {}
+
+  /// Stop timers/subscriptions and drop state. Must be idempotent.
+  virtual void Close() {}
+
+  // --- Wiring (done by the opgraph instance) ---------------------------------
+
+  void AddOutput(Operator* op, int port) { outputs_.push_back({op, port}); }
+  void AddChild(Operator* op) { children_.push_back(op); }
+
+  const OpSpec& spec() const { return spec_; }
+
+  /// Push a tuple straight to this operator's outputs, bypassing Consume.
+  /// Used by the executor to feed externally produced tuples (range-index
+  /// results) into a graph through a Source placeholder.
+  void InjectDownstream(const Tuple& t) { EmitTuple(0, t); }
+
+  struct OpStats {
+    uint64_t consumed = 0;
+    uint64_t emitted = 0;
+  };
+  const OpStats& op_stats() const { return stats_; }
+
+  /// Named operator-specific counters for benches and tests (e.g. the eddy's
+  /// "evaluations", the hierarchical join's "early_results"). Returns -1 for
+  /// unknown names.
+  virtual int64_t Metric(const std::string& name) const {
+    (void)name;
+    return -1;
+  }
+
+ protected:
+  /// Hook for subclasses; runs once, after children are open.
+  virtual void OnOpen() {}
+
+  /// Push a tuple to every output edge.
+  void EmitTuple(uint32_t tag, const Tuple& tuple);
+
+  ExecContext* cx_ = nullptr;
+  OpSpec spec_;
+  std::vector<std::pair<Operator*, int>> outputs_;
+  std::vector<Operator*> children_;
+  OpStats stats_;
+  bool opened_ = false;
+  bool closed_ = false;
+};
+
+/// Factory: build the physical operator for a spec. Defined across the
+/// op_*.cc files; returns InvalidArgument for unknown kinds.
+Result<std::unique_ptr<Operator>> MakeOperator(const OpSpec& spec);
+
+}  // namespace pier
+
+#endif  // PIER_QP_DATAFLOW_H_

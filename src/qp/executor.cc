@@ -1,0 +1,212 @@
+#include "qp/executor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pier {
+
+OpGraphInstance::OpGraphInstance(ExecContext cx, OpGraph graph)
+    : cx_(std::move(cx)), graph_(std::move(graph)) {}
+
+OpGraphInstance::~OpGraphInstance() { Close(); }
+
+Status OpGraphInstance::Build() {
+  PIER_RETURN_IF_ERROR(graph_.Validate());
+  for (const OpSpec& spec : graph_.ops) {
+    PIER_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op, MakeOperator(spec));
+    PIER_RETURN_IF_ERROR(op->Init(&cx_));
+    by_id_[spec.id] = op.get();
+    ops_.push_back(std::move(op));
+  }
+  for (const GraphEdge& e : graph_.edges) {
+    Operator* from = by_id_[e.from];
+    Operator* to = by_id_[e.to];
+    from->AddOutput(to, e.port);
+    to->AddChild(from);
+  }
+  // Topological order (sources first) for deterministic flush propagation.
+  std::map<uint32_t, int> in_degree;
+  for (const OpSpec& spec : graph_.ops) in_degree[spec.id] = 0;
+  for (const GraphEdge& e : graph_.edges) in_degree[e.to]++;
+  std::vector<std::unique_ptr<Operator>> ordered;
+  std::vector<uint32_t> ready;
+  for (auto& [id, deg] : in_degree) {
+    if (deg == 0) ready.push_back(id);
+  }
+  std::map<uint32_t, std::unique_ptr<Operator>> pool;
+  for (auto& op : ops_) pool[op->spec().id] = std::move(op);
+  while (!ready.empty()) {
+    uint32_t id = ready.back();
+    ready.pop_back();
+    ordered.push_back(std::move(pool[id]));
+    pool.erase(id);
+    for (const GraphEdge& e : graph_.edges) {
+      if (e.from != id) continue;
+      if (--in_degree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  // Cycles (recursive UFL graphs) are representable but not executable here;
+  // append the remainder in id order so Close still reaches every op.
+  for (auto& [id, op] : pool) {
+    if (op) ordered.push_back(std::move(op));
+  }
+  ops_ = std::move(ordered);
+  return Status::Ok();
+}
+
+void OpGraphInstance::Start() {
+  for (auto& op : ops_) op->Open();
+}
+
+void OpGraphInstance::Flush() {
+  for (auto& op : ops_) op->Flush();
+}
+
+void OpGraphInstance::Close() {
+  if (closed_) return;
+  closed_ = true;
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) (*it)->Close();
+}
+
+Operator* OpGraphInstance::FindOp(uint32_t op_id) {
+  auto it = by_id_.find(op_id);
+  return it != by_id_.end() ? it->second : nullptr;
+}
+
+QueryExecutor::QueryExecutor(Vri* vri, Dht* dht) : vri_(vri), dht_(dht) {}
+
+QueryExecutor::~QueryExecutor() {
+  for (auto& [qid, rq] : queries_) {
+    for (uint64_t t : rq.flush_timers) vri_->CancelEvent(t);
+    if (rq.window_timer) vri_->CancelEvent(rq.window_timer);
+    if (rq.close_timer) vri_->CancelEvent(rq.close_timer);
+    for (auto& inst : rq.instances) inst->Close();
+  }
+}
+
+Status QueryExecutor::StartGraphs(const QueryPlan& meta,
+                                  const std::vector<OpGraph>& graphs) {
+  auto [it, created] = queries_.try_emplace(meta.query_id);
+  RunningQuery& rq = it->second;
+  if (created) {
+    rq.meta = meta;
+    rq.meta.graphs.clear();
+    rq.start_time = vri_->Now();
+    ArmQueryTimers(&rq);
+  }
+  for (const OpGraph& g : graphs) {
+    bool duplicate = false;
+    for (auto& inst : rq.instances) duplicate |= inst->graph_id() == g.id;
+    if (duplicate) continue;  // re-dissemination of a graph we already run
+
+    ExecContext cx;
+    cx.vri = vri_;
+    cx.dht = dht_;
+    cx.query_id = meta.query_id;
+    cx.graph_id = g.id;
+    cx.proxy = meta.proxy;
+    cx.continuous = meta.continuous;
+    cx.window = meta.window;
+    cx.query_lifetime = meta.timeout;
+    uint64_t qid = meta.query_id;
+    NetAddress proxy = meta.proxy;
+    cx.emit_result = [this, qid, proxy](const Tuple& t) {
+      if (result_sink_) result_sink_(qid, proxy, t);
+    };
+    cx.request_stop = [this, qid]() { StopQuery(qid); };
+
+    auto inst = std::make_unique<OpGraphInstance>(std::move(cx), g);
+    Status s = inst->Build();
+    if (!s.ok()) {
+      PIER_LOG(kWarn) << "opgraph " << g.id << " of query " << meta.query_id
+                      << " rejected: " << s.ToString();
+      continue;  // a bad graph must not take down the node
+    }
+    inst->Start();
+    OpGraphInstance* raw = inst.get();
+    rq.instances.push_back(std::move(inst));
+    if (!meta.continuous) ArmInstanceFlush(&rq, raw, g.flush_stage);
+  }
+  return Status::Ok();
+}
+
+void QueryExecutor::ArmQueryTimers(RunningQuery* rq) {
+  uint64_t qid = rq->meta.query_id;
+  rq->close_timer =
+      vri_->ScheduleEvent(rq->meta.timeout, [this, qid]() { DoStop(qid); });
+  if (rq->meta.continuous) {
+    // Window flushes repeat until the close timer wins.
+    TimeUs window = std::max<TimeUs>(rq->meta.window, kMillisecond);
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, qid, window, tick]() {
+      auto it = queries_.find(qid);
+      if (it == queries_.end()) return;
+      for (auto& inst : it->second.instances) inst->Flush();
+      it->second.window_timer = vri_->ScheduleEvent(window, *tick);
+    };
+    rq->window_timer = vri_->ScheduleEvent(window, *tick);
+  }
+}
+
+void QueryExecutor::ArmInstanceFlush(RunningQuery* rq, OpGraphInstance* inst,
+                                     int32_t stage) {
+  // Each later flush stage waits one more step, so state flows through
+  // multi-graph pipelines: stage 0 partials arrive before stage 1 finals
+  // flush, which arrive before the stage 2 top-k flushes.
+  TimeUs step = rq->meta.flush_after > 0 ? rq->meta.flush_after
+                                         : rq->meta.timeout / 4;
+  TimeUs when = rq->start_time + step * (stage + 1);
+  TimeUs delay = std::max<TimeUs>(0, when - vri_->Now());
+  uint64_t qid = rq->meta.query_id;
+  rq->flush_timers.push_back(vri_->ScheduleEvent(delay, [this, qid, inst]() {
+    // The instance pointer stays valid while the query is registered.
+    if (!queries_.count(qid)) return;
+    inst->Flush();
+  }));
+}
+
+void QueryExecutor::StopQuery(uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end() || it->second.stopping) return;
+  it->second.stopping = true;
+  // Deferred: StopQuery may be called from inside an operator on the stack.
+  vri_->ScheduleEvent(0, [this, query_id]() { DoStop(query_id); });
+}
+
+void QueryExecutor::DoStop(uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  RunningQuery& rq = it->second;
+  for (uint64_t t : rq.flush_timers) vri_->CancelEvent(t);
+  if (rq.window_timer) vri_->CancelEvent(rq.window_timer);
+  if (rq.close_timer) vri_->CancelEvent(rq.close_timer);
+  for (auto& inst : rq.instances) inst->Close();
+  queries_.erase(it);
+}
+
+Operator* QueryExecutor::FindOp(uint64_t query_id, uint32_t graph_id,
+                                uint32_t op_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return nullptr;
+  for (auto& inst : it->second.instances) {
+    if (inst->graph_id() == graph_id) return inst->FindOp(op_id);
+  }
+  return nullptr;
+}
+
+Status QueryExecutor::InjectTuple(uint64_t query_id, uint32_t graph_id,
+                                  uint32_t op_id, const Tuple& t) {
+  Operator* op = FindOp(query_id, graph_id, op_id);
+  if (op == nullptr) return Status::NotFound("no such operator");
+  op->InjectDownstream(t);
+  return Status::Ok();
+}
+
+void QueryExecutor::FlushQuery(uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  for (auto& inst : it->second.instances) inst->Flush();
+}
+
+}  // namespace pier

@@ -1,0 +1,116 @@
+// Query execution on one node: opgraph instantiation, flush scheduling and
+// timeout-driven teardown (§3.3.2).
+//
+// "A node continues to execute an opgraph until a timeout specified in the
+// query expires" — there are no EOFs. The executor arms one close timer per
+// query; snapshot queries additionally get a flush pass (blocking operators
+// emit their state) partway through the lifetime, continuous queries get one
+// per window.
+
+#ifndef PIER_QP_EXECUTOR_H_
+#define PIER_QP_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "qp/dataflow.h"
+#include "qp/opgraph.h"
+
+namespace pier {
+
+/// One opgraph instantiated on this node.
+class OpGraphInstance {
+ public:
+  OpGraphInstance(ExecContext cx, OpGraph graph);
+  ~OpGraphInstance();
+
+  OpGraphInstance(const OpGraphInstance&) = delete;
+  OpGraphInstance& operator=(const OpGraphInstance&) = delete;
+
+  /// Instantiate operators, wire edges, topologically order.
+  Status Build();
+
+  /// Open every operator (control flows parent -> child; access methods
+  /// start producing).
+  void Start();
+
+  /// Flush blocking state in dataflow order.
+  void Flush();
+
+  void Close();
+
+  Operator* FindOp(uint32_t op_id);
+  uint32_t graph_id() const { return graph_.id; }
+  ExecContext* context() { return &cx_; }
+
+ private:
+  ExecContext cx_;
+  OpGraph graph_;
+  std::vector<std::unique_ptr<Operator>> ops_;  // topological (sources first)
+  std::map<uint32_t, Operator*> by_id_;
+  bool closed_ = false;
+};
+
+/// All queries running on this node.
+class QueryExecutor {
+ public:
+  QueryExecutor(Vri* vri, Dht* dht);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Where answer tuples go (the QueryProcessor routes them to the proxy).
+  using ResultSink = std::function<void(uint64_t query_id,
+                                        const NetAddress& proxy, const Tuple&)>;
+  void set_result_sink(ResultSink sink) { result_sink_ = std::move(sink); }
+
+  /// Instantiate `graphs` of the query described by `meta` on this node.
+  /// The first arrival arms the flush/close timers; later arrivals (more
+  /// graphs of the same query) just add instances.
+  Status StartGraphs(const QueryPlan& meta, const std::vector<OpGraph>& graphs);
+
+  /// Tear down a query: close instances, cancel timers, drop state. Safe to
+  /// call from inside an operator (deferred to a zero-delay event).
+  void StopQuery(uint64_t query_id);
+
+  bool HasQuery(uint64_t query_id) const { return queries_.count(query_id) > 0; }
+  size_t num_active() const { return queries_.size(); }
+
+  /// Introspection for tests and benches.
+  Operator* FindOp(uint64_t query_id, uint32_t graph_id, uint32_t op_id);
+
+  /// Push a tuple into an injectable Source op (range-index dissemination
+  /// feeds PHT results into a local graph this way).
+  Status InjectTuple(uint64_t query_id, uint32_t graph_id, uint32_t op_id,
+                     const Tuple& t);
+
+  /// Force a flush pass now (tests and benches).
+  void FlushQuery(uint64_t query_id);
+
+ private:
+  struct RunningQuery {
+    QueryPlan meta;  // graphs emptied; metadata only
+    std::vector<std::unique_ptr<OpGraphInstance>> instances;
+    std::vector<uint64_t> flush_timers;
+    uint64_t window_timer = 0;
+    uint64_t close_timer = 0;
+    TimeUs start_time = 0;
+    bool stopping = false;
+  };
+
+  void ArmQueryTimers(RunningQuery* rq);
+  void ArmInstanceFlush(RunningQuery* rq, OpGraphInstance* inst,
+                        int32_t stage);
+  void DoStop(uint64_t query_id);
+
+  Vri* vri_;
+  Dht* dht_;
+  ResultSink result_sink_;
+  std::map<uint64_t, RunningQuery> queries_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_QP_EXECUTOR_H_

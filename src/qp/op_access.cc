@@ -1,0 +1,207 @@
+// Access methods and DHT-facing operators (§3.3.1, §3.3.6):
+//
+//   scan      localScan of a DHT namespace on this node, with "catch-up":
+//             tuples that arrive after the scan are delivered via newData
+//             (§3.3.4, No Global Synchronization).
+//   newdata   pure subscription to a namespace (rendezvous consumer).
+//   put       the Exchange: repartitions tuples by value by publishing them
+//             into the DHT under a partitioning key (§3.3.6).
+//   result    the result handler: forwards answer tuples to the proxy.
+
+#include <unordered_set>
+
+#include "qp/dataflow.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pier {
+namespace {
+
+/// scan[ns=<table>, watch=0|1]: deliver every local tuple of a namespace.
+/// The access method decodes stored objects into tuples; malformed objects
+/// are dropped (best effort).
+class ScanOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    ns_ = spec_.GetString("ns");
+    if (ns_.empty()) return Status::InvalidArgument("scan needs ns");
+    watch_ = spec_.GetInt("watch", 1) != 0;
+    return Status::Ok();
+  }
+
+  void OnOpen() override {
+    // Subscribe before scanning so nothing falls between the two.
+    if (watch_) {
+      sub_ = cx_->dht->OnNewData(
+          ns_, [this](const ObjectName& name, std::string_view value) {
+            Deliver(name, value);
+          });
+    }
+    timer_ = cx_->vri->ScheduleEvent(0, [this]() {
+      timer_ = 0;
+      cx_->dht->LocalScan(
+          ns_, [this](const ObjectName& name, std::string_view value) {
+            Deliver(name, value);
+          });
+    });
+  }
+
+  void Consume(int, uint32_t, Tuple) override {}
+
+  void Close() override {
+    if (sub_) cx_->dht->CancelNewData(sub_);
+    sub_ = 0;
+    if (timer_) cx_->vri->CancelEvent(timer_);
+    timer_ = 0;
+  }
+
+ private:
+  void Deliver(const ObjectName& name, std::string_view value) {
+    // Scan + watch can see the same object twice (stored mid-scan); dedup by
+    // the object's *identity* (key + suffix), never by content — distinct
+    // publishers legitimately produce byte-identical tuples.
+    uint64_t h = HashCombine(Fnv1a64(name.key), Fnv1a64(name.suffix));
+    if (!seen_.insert(h).second) return;
+    Result<Tuple> t = Tuple::Decode(value);
+    if (!t.ok()) {
+      malformed_++;
+      return;
+    }
+    stats_.consumed++;
+    EmitTuple(0, *t);
+  }
+
+  std::string ns_;
+  bool watch_ = true;
+  uint64_t sub_ = 0;
+  uint64_t timer_ = 0;
+  uint64_t malformed_ = 0;
+  std::unordered_set<uint64_t> seen_;
+};
+
+/// newdata[ns=<name>]: subscription only — the consuming half of a DHT
+/// rendezvous between opgraphs. With catchup=1 it also scans objects that
+/// arrived before the graph reached this node (§3.3.4: operators must be
+/// able to "catch up" because there is no global synchronization).
+class NewDataOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    ns_ = spec_.GetString("ns");
+    if (ns_.empty()) return Status::InvalidArgument("newdata needs ns");
+    catchup_ = spec_.GetInt("catchup", 1) != 0;
+    return Status::Ok();
+  }
+
+  void OnOpen() override {
+    sub_ = cx_->dht->OnNewData(
+        ns_, [this](const ObjectName& name, std::string_view value) {
+          Deliver(name, value);
+        });
+    if (catchup_) {
+      timer_ = cx_->vri->ScheduleEvent(0, [this]() {
+        timer_ = 0;
+        cx_->dht->LocalScan(
+            ns_, [this](const ObjectName& name, std::string_view value) {
+              Deliver(name, value);
+            });
+      });
+    }
+  }
+
+  void Consume(int, uint32_t, Tuple) override {}
+
+  void Close() override {
+    if (sub_) cx_->dht->CancelNewData(sub_);
+    sub_ = 0;
+    if (timer_) cx_->vri->CancelEvent(timer_);
+    timer_ = 0;
+  }
+
+ private:
+  void Deliver(const ObjectName& name, std::string_view value) {
+    uint64_t h = HashCombine(Fnv1a64(name.key), Fnv1a64(name.suffix));
+    if (!seen_.insert(h).second) return;
+    Result<Tuple> t = Tuple::Decode(value);
+    if (!t.ok()) return;
+    stats_.consumed++;
+    EmitTuple(0, *t);
+  }
+
+  std::string ns_;
+  bool catchup_ = true;
+  uint64_t sub_ = 0;
+  uint64_t timer_ = 0;
+  std::unordered_set<uint64_t> seen_;
+};
+
+/// put[ns=<name>, key=<attrs>, mode=put|send]: the distributed Exchange.
+/// Each tuple is published into the DHT partitioned by its key attributes;
+/// mode=send routes hop-by-hop (enabling upcall-based in-network processing),
+/// mode=put uses the two-phase lookup + direct store (Figure 6).
+class PutOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    ns_ = spec_.GetString("ns");
+    if (ns_.empty()) return Status::InvalidArgument("put needs ns");
+    key_attrs_ = spec_.GetStrings("key");
+    use_send_ = spec_.GetString("mode", "put") == "send";
+    lifetime_ = spec_.GetInt("lifetime_ms", 0) * kMillisecond;
+    if (lifetime_ <= 0) lifetime_ = cx_->query_lifetime;
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t, Tuple t) override {
+    stats_.consumed++;
+    std::string key = t.PartitionKey(key_attrs_);
+    std::string suffix = cx_->NextSuffix();
+    if (use_send_) {
+      cx_->dht->Send(ns_, key, suffix, t.Encode(), lifetime_);
+    } else {
+      cx_->dht->Put(ns_, key, suffix, t.Encode(), lifetime_);
+    }
+    stats_.emitted++;
+  }
+
+ private:
+  std::string ns_;
+  std::vector<std::string> key_attrs_;
+  bool use_send_ = false;
+  TimeUs lifetime_ = 0;
+};
+
+/// result: forward every input tuple to the query's proxy node (§3.3.2).
+class ResultOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  void Consume(int, uint32_t, Tuple t) override {
+    stats_.consumed++;
+    if (cx_->emit_result) {
+      cx_->emit_result(t);
+      stats_.emitted++;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> MakeAccessOperator(const OpSpec& spec) {
+  switch (spec.kind) {
+    case OpKind::kScan: return std::make_unique<ScanOp>(spec);
+    case OpKind::kNewData: return std::make_unique<NewDataOp>(spec);
+    case OpKind::kPut: return std::make_unique<PutOp>(spec);
+    case OpKind::kResult: return std::make_unique<ResultOp>(spec);
+    default: return nullptr;
+  }
+}
+
+}  // namespace pier

@@ -1,0 +1,210 @@
+// Aggregation operators (§3.3.4).
+//
+// GroupBy implements hash aggregation with distributive/algebraic functions
+// (COUNT, SUM, MIN, MAX, AVG). Three modes compose into multi-phase plans
+// (the paper's bandwidth-reducing aggregation [62]):
+//
+//   mode=local    complete aggregation of the local input (default)
+//   mode=partial  emit mergeable partial-state tuples (source side)
+//   mode=final    merge partial-state tuples and emit finals (collector side)
+//
+// Aggregates are emitted on Flush(): once near the timeout for snapshot
+// queries, per window for continuous ones (tumbling by default).
+//
+// TopK implements ORDER BY <col> [DESC] LIMIT k at a collection point; PIER
+// uses no distributed sort (§2.1.3), so TopK only ever runs over a stream
+// that has already been funneled to one node (typically the proxy).
+
+#include <algorithm>
+#include <map>
+
+#include "qp/agg_state.h"
+#include "qp/dataflow.h"
+
+namespace pier {
+
+namespace {
+
+class GroupByOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    keys_ = spec_.GetStrings("keys");
+    PIER_ASSIGN_OR_RETURN(aggs_, ParseAggSpecs(spec_.GetString("aggs")));
+    if (aggs_.empty()) return Status::InvalidArgument("groupby needs aggs");
+    std::string mode = spec_.GetString("mode", "local");
+    if (mode == "local") {
+      mode_ = Mode::kLocal;
+    } else if (mode == "partial") {
+      mode_ = Mode::kPartial;
+    } else if (mode == "final") {
+      mode_ = Mode::kFinal;
+    } else {
+      return Status::InvalidArgument("bad groupby mode '" + mode + "'");
+    }
+    tumbling_ = spec_.GetInt("tumbling", 1) != 0;
+    out_table_ = spec_.GetString("table", "agg");
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t, Tuple t) override {
+    stats_.consumed++;
+    std::string gk;
+    for (const std::string& k : keys_) {
+      const Value* v = t.Get(k);
+      if (v == nullptr) return;  // best-effort discard
+      gk += v->CanonicalString();
+      gk.push_back('|');
+    }
+    Group& g = groups_[gk];
+    if (g.states.empty()) {
+      g.key_tuple = t.Project(keys_);
+      g.states.resize(aggs_.size());
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (mode_ == Mode::kFinal) {
+        AggState incoming;
+        if (!incoming.FromPartialColumns(t, aggs_[i].alias)) continue;
+        g.states[i].Merge(incoming);
+      } else {
+        g.states[i].Update(aggs_[i], t);
+      }
+    }
+  }
+
+  void Flush() override {
+    for (auto& [gk, g] : groups_) {
+      (void)gk;
+      Tuple out(out_table_);
+      for (const Column& c : g.key_tuple.columns()) out.Append(c.name, c.value);
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (mode_ == Mode::kPartial) {
+          g.states[i].ToPartialColumns(aggs_[i].alias, &out);
+        } else {
+          out.Append(aggs_[i].alias, g.states[i].Finalize(aggs_[i].func));
+        }
+      }
+      EmitTuple(0, out);
+    }
+    if (tumbling_) groups_.clear();
+  }
+
+  void Close() override { groups_.clear(); }
+
+ private:
+  enum class Mode { kLocal, kPartial, kFinal };
+
+  struct Group {
+    Tuple key_tuple;
+    std::vector<AggState> states;
+  };
+
+  std::vector<std::string> keys_;
+  std::vector<AggSpec> aggs_;
+  Mode mode_ = Mode::kLocal;
+  bool tumbling_ = true;
+  std::string out_table_;
+  // Ordered map: deterministic emission order across runs.
+  std::map<std::string, Group> groups_;
+};
+
+/// topk[k=10, col=cnt, desc=1]: buffer, sort on Flush, emit the top k.
+class TopKOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    k_ = static_cast<size_t>(spec_.GetInt("k", 10));
+    col_ = spec_.GetString("col");
+    if (col_.empty()) return Status::InvalidArgument("topk needs col");
+    desc_ = spec_.GetInt("desc", 1) != 0;
+    dedup_cols_ = spec_.GetStrings("dedup");
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t, Tuple t) override {
+    stats_.consumed++;
+    const Value* v = t.Get(col_);
+    if (v == nullptr) return;
+    if (!dedup_cols_.empty()) {
+      // Upstream re-emissions (refined aggregates) replace by group key;
+      // the latest value for a group wins.
+      std::string key = t.PartitionKey(dedup_cols_);
+      by_key_[key] = std::move(t);
+      return;
+    }
+    buf_.push_back(std::move(t));
+  }
+
+  void Flush() override {
+    std::vector<Tuple> rows;
+    if (!dedup_cols_.empty()) {
+      rows.reserve(by_key_.size());
+      for (auto& [k, t] : by_key_) {
+        (void)k;
+        rows.push_back(t);
+      }
+    } else {
+      rows = std::move(buf_);
+      buf_.clear();
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [this](const Tuple& a, const Tuple& b) {
+                       Result<int> c =
+                           Value::Compare(*a.Get(col_), *b.Get(col_));
+                       if (!c.ok()) return false;
+                       return desc_ ? *c > 0 : *c < 0;
+                     });
+    size_t n = std::min(k_, rows.size());
+    if (!dedup_cols_.empty() && !emitted_keys_.empty()) {
+      // Re-flush after refinement: only emit if the answer set changed.
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < n; ++i) keys.push_back(rows[i].PartitionKey(dedup_cols_));
+      // (Values may change too; we re-emit whenever anything differs.)
+      bool same = keys.size() == emitted_keys_.size();
+      for (size_t i = 0; same && i < n; ++i) {
+        same = keys[i] == emitted_keys_[i] && rows[i] == emitted_rows_[i];
+      }
+      if (same) return;
+    }
+    emitted_keys_.clear();
+    emitted_rows_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      EmitTuple(0, rows[i]);
+      if (!dedup_cols_.empty()) {
+        emitted_keys_.push_back(rows[i].PartitionKey(dedup_cols_));
+        emitted_rows_.push_back(rows[i]);
+      }
+    }
+  }
+
+  void Close() override {
+    buf_.clear();
+    by_key_.clear();
+  }
+
+ private:
+  size_t k_ = 10;
+  std::string col_;
+  bool desc_ = true;
+  std::vector<std::string> dedup_cols_;
+  std::vector<Tuple> buf_;
+  std::map<std::string, Tuple> by_key_;
+  std::vector<std::string> emitted_keys_;
+  std::vector<Tuple> emitted_rows_;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> MakeAggOperator(const OpSpec& spec) {
+  switch (spec.kind) {
+    case OpKind::kGroupBy: return std::make_unique<GroupByOp>(spec);
+    case OpKind::kTopK: return std::make_unique<TopKOp>(spec);
+    default: return nullptr;
+  }
+}
+
+}  // namespace pier

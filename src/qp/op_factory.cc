@@ -1,0 +1,30 @@
+// Operator factory: dispatch an OpSpec to the file that implements its kind.
+
+#include "qp/dataflow.h"
+
+namespace pier {
+
+// Implemented in the op_*.cc files.
+std::unique_ptr<Operator> MakeRelationalOperator(const OpSpec& spec);
+std::unique_ptr<Operator> MakeAccessOperator(const OpSpec& spec);
+std::unique_ptr<Operator> MakeAggOperator(const OpSpec& spec);
+std::unique_ptr<Operator> MakeJoinOperator(const OpSpec& spec);
+std::unique_ptr<Operator> MakeHierOperator(const OpSpec& spec);
+std::unique_ptr<Operator> MakeEddyOperator(const OpSpec& spec);
+
+Result<std::unique_ptr<Operator>> MakeOperator(const OpSpec& spec) {
+  std::unique_ptr<Operator> op;
+  if (!op) op = MakeRelationalOperator(spec);
+  if (!op) op = MakeAccessOperator(spec);
+  if (!op) op = MakeAggOperator(spec);
+  if (!op) op = MakeJoinOperator(spec);
+  if (!op) op = MakeHierOperator(spec);
+  if (!op) op = MakeEddyOperator(spec);
+  if (!op) {
+    return Status::NotSupported(std::string("no implementation for operator ") +
+                                OpKindName(spec.kind));
+  }
+  return op;
+}
+
+}  // namespace pier

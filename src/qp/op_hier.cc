@@ -1,0 +1,496 @@
+// Hierarchical (in-network) operators (§3.3.4, §3.3.6).
+//
+// HierAgg — hierarchical aggregation. Every node folds its local input into
+// per-group partial states. On flush the partials are routed (DHT send)
+// toward a root identifier. Intermediate nodes intercept the message with an
+// upcall, merge it into a pending window, and after a hold period forward a
+// single combined partial one hop closer to the root; in the optimal case
+// each node sends exactly one partial. The root merges everything and emits
+// final tuples downstream (only the root instance emits). This shifts
+// in-bandwidth from the collection point to the interior of the tree.
+//
+// HierJoin — hierarchical rehash join. Tuples are routed toward their hash
+// bucket with DHT sends. Each intermediate node caches a copy annotated with
+// the node's identity and joins it against opposite-side tuples already
+// cached there; a pair whose annotation sets are disjoint has never met
+// before, so the match is emitted "early" and sent directly to the proxy.
+// The bucket owner joins arriving tuples too, suppressing pairs whose
+// annotation sets intersect (those were already produced in-network). This
+// offloads the hot bucket's out-bandwidth onto path nodes.
+
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+#include "qp/agg_state.h"
+#include "qp/dataflow.h"
+#include "qp/join_common.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pier {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// HierAgg
+// ---------------------------------------------------------------------------
+
+/// One partial-aggregate message: a set of groups, each with the group-key
+/// tuple and one AggState per aggregate.
+struct PartialBatch {
+  struct Group {
+    Tuple key;
+    std::vector<AggState> states;
+  };
+  std::vector<Group> groups;
+
+  std::string Encode() const {
+    WireWriter w;
+    w.PutVarint(groups.size());
+    for (const Group& g : groups) {
+      g.key.EncodeTo(&w);
+      w.PutVarint(g.states.size());
+      for (const AggState& s : g.states) s.EncodeTo(&w);
+    }
+    return std::move(w).data();
+  }
+
+  static Result<PartialBatch> Decode(std::string_view wire) {
+    WireReader r(wire);
+    PartialBatch b;
+    uint64_t n;
+    PIER_RETURN_IF_ERROR(r.GetVarint(&n));
+    if (n > 1 << 20) return Status::Corruption("absurd group count");
+    for (uint64_t i = 0; i < n; ++i) {
+      Group g;
+      PIER_ASSIGN_OR_RETURN(g.key, Tuple::DecodeFrom(&r));
+      uint64_t ns;
+      PIER_RETURN_IF_ERROR(r.GetVarint(&ns));
+      if (ns > 64) return Status::Corruption("absurd state count");
+      for (uint64_t j = 0; j < ns; ++j) {
+        PIER_ASSIGN_OR_RETURN(AggState s, AggState::DecodeFrom(&r));
+        g.states.push_back(std::move(s));
+      }
+      b.groups.push_back(std::move(g));
+    }
+    return b;
+  }
+};
+
+/// hieragg[keys=?, aggs=?, hold_ms=?, table=?]
+class HierAggOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    keys_ = spec_.GetStrings("keys");
+    PIER_ASSIGN_OR_RETURN(aggs_, ParseAggSpecs(spec_.GetString("aggs")));
+    if (aggs_.empty()) return Status::InvalidArgument("hieragg needs aggs");
+    hold_ = spec_.GetInt("hold_ms", 500) * kMillisecond;
+    out_table_ = spec_.GetString("table", "agg");
+    ns_ = cx_->QueryNs("g" + std::to_string(cx_->graph_id) + ".op" +
+                       std::to_string(spec_.id) + ".agg");
+    root_key_ = "root";
+    alive_ = std::make_shared<char>(1);
+
+    // Intercept partials flowing through this node toward the root.
+    std::weak_ptr<char> alive = alive_;
+    cx_->dht->RegisterUpcall(
+        ns_, [this, alive](const RouteInfo&, std::string* payload) {
+          if (alive.expired()) return UpcallAction::kContinue;
+          Result<Dht::WireObject> obj = Dht::DecodeObject(*payload);
+          if (!obj.ok()) return UpcallAction::kContinue;
+          Result<PartialBatch> batch = PartialBatch::Decode(obj->value);
+          if (!batch.ok()) return UpcallAction::kContinue;
+          AbsorbIntoPending(*batch);
+          ArmForwardTimer();
+          return UpcallAction::kDrop;
+        });
+
+    // The root receives whatever reaches the owner of (ns, root_key).
+    newdata_sub_ = cx_->dht->OnNewData(
+        ns_, [this, alive](const ObjectName& name, std::string_view value) {
+          if (alive.expired()) return;
+          AbsorbRootObject(name, value);
+        });
+    return Status::Ok();
+  }
+
+  void OnOpen() override {
+    // Catch-up: partials that arrived before this node got the opgraph.
+    std::weak_ptr<char> alive = alive_;
+    catchup_timer_ = cx_->vri->ScheduleEvent(0, [this, alive]() {
+      if (alive.expired()) return;
+      catchup_timer_ = 0;
+      cx_->dht->LocalScan(
+          ns_, [this](const ObjectName& name, std::string_view value) {
+            AbsorbRootObject(name, value);
+          });
+    });
+  }
+
+  void Consume(int, uint32_t, Tuple t) override {
+    stats_.consumed++;
+    std::string gk;
+    for (const std::string& k : keys_) {
+      const Value* v = t.Get(k);
+      if (v == nullptr) return;
+      gk += v->CanonicalString();
+      gk.push_back('|');
+    }
+    LocalGroup& g = local_[gk];
+    if (g.states.empty()) {
+      g.key = t.Project(keys_);
+      g.states.resize(aggs_.size());
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) g.states[i].Update(aggs_[i], t);
+  }
+
+  /// Send the local window's partials one step toward the root.
+  void Flush() override {
+    if (local_.empty()) return;
+    PartialBatch batch;
+    for (auto& [gk, g] : local_) {
+      (void)gk;
+      batch.groups.push_back({std::move(g.key), std::move(g.states)});
+    }
+    local_.clear();
+    cx_->dht->Send(ns_, root_key_, cx_->NextSuffix(), batch.Encode(),
+                   cx_->query_lifetime);
+  }
+
+  void Close() override {
+    alive_.reset();
+    cx_->dht->UnregisterUpcall(ns_);
+    if (newdata_sub_) cx_->dht->CancelNewData(newdata_sub_);
+    newdata_sub_ = 0;
+    if (forward_timer_) cx_->vri->CancelEvent(forward_timer_);
+    if (root_timer_) cx_->vri->CancelEvent(root_timer_);
+    if (catchup_timer_) cx_->vri->CancelEvent(catchup_timer_);
+    forward_timer_ = root_timer_ = catchup_timer_ = 0;
+    cx_->dht->objects()->DropNamespace(ns_);
+  }
+
+ private:
+  struct LocalGroup {
+    Tuple key;
+    std::vector<AggState> states;
+  };
+  /// gk -> merged pending state (intermediate-node window, and root window).
+  using Window = std::map<std::string, LocalGroup>;
+
+  void Absorb(Window* w, const PartialBatch& batch) {
+    for (const PartialBatch::Group& g : batch.groups) {
+      std::string gk;
+      for (const Column& c : g.key.columns()) {
+        gk += c.value.CanonicalString();
+        gk.push_back('|');
+      }
+      LocalGroup& dst = (*w)[gk];
+      if (dst.states.empty()) {
+        dst.key = g.key;
+        dst.states.resize(aggs_.size());
+      }
+      for (size_t i = 0; i < aggs_.size() && i < g.states.size(); ++i)
+        dst.states[i].Merge(g.states[i]);
+    }
+  }
+
+  void AbsorbIntoPending(const PartialBatch& b) { Absorb(&pending_, b); }
+  void AbsorbIntoRoot(const PartialBatch& b) { Absorb(&root_, b); }
+
+  /// Root-side entry point shared by newdata and the catch-up scan; dedup by
+  /// object identity (aggregate states must be merged exactly once).
+  void AbsorbRootObject(const ObjectName& name, std::string_view value) {
+    uint64_t id = HashCombine(Fnv1a64(name.key), Fnv1a64(name.suffix));
+    if (!root_seen_.insert(id).second) return;
+    Result<PartialBatch> batch = PartialBatch::Decode(value);
+    if (!batch.ok()) return;
+    AbsorbIntoRoot(*batch);
+    ArmRootTimer();
+  }
+
+  void ArmForwardTimer() {
+    if (forward_timer_) return;
+    std::weak_ptr<char> alive = alive_;
+    forward_timer_ = cx_->vri->ScheduleEvent(hold_, [this, alive]() {
+      if (alive.expired()) return;
+      forward_timer_ = 0;
+      if (pending_.empty()) return;
+      PartialBatch batch;
+      for (auto& [gk, g] : pending_) {
+        (void)gk;
+        batch.groups.push_back({std::move(g.key), std::move(g.states)});
+      }
+      pending_.clear();
+      cx_->dht->Send(ns_, root_key_, cx_->NextSuffix(), batch.Encode(),
+                     cx_->query_lifetime);
+    });
+  }
+
+  void ArmRootTimer() {
+    // Debounced: every new arrival pushes the emission out by `hold`, so the
+    // root emits once the partial stream quiesces. Stragglers trigger a
+    // re-emission of the (cumulative) totals — monotone refinement, which is
+    // PIER's relaxed answer model; downstream TopK dedups by group key.
+    if (root_timer_) cx_->vri->CancelEvent(root_timer_);
+    std::weak_ptr<char> alive = alive_;
+    root_timer_ = cx_->vri->ScheduleEvent(hold_, [this, alive]() {
+      if (alive.expired()) return;
+      root_timer_ = 0;
+      EmitFinals();
+    });
+  }
+
+  void EmitFinals() {
+    for (auto& [gk, g] : root_) {
+      (void)gk;
+      Tuple out(out_table_);
+      for (const Column& c : g.key.columns()) out.Append(c.name, c.value);
+      for (size_t i = 0; i < aggs_.size(); ++i)
+        out.Append(aggs_[i].alias, g.states[i].Finalize(aggs_[i].func));
+      EmitTuple(0, out);
+    }
+    // root_ is kept (cumulative): late partials refine rather than reset.
+    // Blocking operators downstream (TopK at the root) flushed before our
+    // network round-trips finished; push them again now that finals exist.
+    FlushDownstream();
+  }
+
+  void FlushDownstream() {
+    for (auto& [op, port] : outputs_) {
+      (void)port;
+      op->Flush();
+    }
+  }
+
+  std::vector<std::string> keys_;
+  std::vector<AggSpec> aggs_;
+  TimeUs hold_ = 500 * kMillisecond;
+  std::string out_table_, ns_, root_key_;
+  Window local_;    // this node's own input
+  Window pending_;  // intercepted children partials awaiting forwarding
+  Window root_;     // root-side accumulation
+  std::unordered_set<uint64_t> root_seen_;
+  uint64_t newdata_sub_ = 0;
+  uint64_t catchup_timer_ = 0;
+  uint64_t forward_timer_ = 0;
+  uint64_t root_timer_ = 0;
+  std::shared_ptr<char> alive_;
+};
+
+// ---------------------------------------------------------------------------
+// HierJoin
+// ---------------------------------------------------------------------------
+
+/// A join tuple in flight: which side it belongs to, the nodes that have
+/// cached it en route (the paper's annotations), and the tuple itself.
+struct JoinRecord {
+  uint8_t side = 0;  // 0 = left, 1 = right
+  std::vector<uint32_t> path;  // annotating node hosts
+  Tuple tuple;
+
+  std::string Encode() const {
+    WireWriter w;
+    w.PutU8(side);
+    w.PutVarint(path.size());
+    for (uint32_t h : path) w.PutU32(h);
+    tuple.EncodeTo(&w);
+    return std::move(w).data();
+  }
+
+  static Result<JoinRecord> Decode(std::string_view wire) {
+    WireReader r(wire);
+    JoinRecord rec;
+    PIER_RETURN_IF_ERROR(r.GetU8(&rec.side));
+    uint64_t n;
+    PIER_RETURN_IF_ERROR(r.GetVarint(&n));
+    if (n > 4096) return Status::Corruption("absurd path length");
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t h;
+      PIER_RETURN_IF_ERROR(r.GetU32(&h));
+      rec.path.push_back(h);
+    }
+    PIER_ASSIGN_OR_RETURN(rec.tuple, Tuple::DecodeFrom(&r));
+    return rec;
+  }
+
+  bool PathIntersects(const JoinRecord& other) const {
+    for (uint32_t a : path) {
+      for (uint32_t b : other.path) {
+        if (a == b) return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// hierjoin[l_key=?, r_key=?, table=?, qualify=0|1]
+/// Port 0/1 feed the left/right local streams; join results are sent
+/// directly to the proxy (there are no downstream edges at non-proxy nodes).
+class HierJoinOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    l_key_ = spec_.GetString("l_key");
+    r_key_ = spec_.GetString("r_key");
+    if (l_key_.empty() || r_key_.empty())
+      return Status::InvalidArgument("hierjoin needs l_key and r_key");
+    l_table_ = spec_.GetString("l_table");
+    r_table_ = spec_.GetString("r_table");
+    out_table_ = spec_.GetString("table", "join");
+    qualify_ = spec_.GetInt("qualify", 0) != 0;
+    ns_ = cx_->QueryNs("g" + std::to_string(cx_->graph_id) + ".op" +
+                       std::to_string(spec_.id) + ".hj");
+    alive_ = std::make_shared<char>(1);
+
+    std::weak_ptr<char> alive = alive_;
+    // Intermediate nodes: cache + early join + annotate.
+    cx_->dht->RegisterUpcall(
+        ns_, [this, alive](const RouteInfo&, std::string* payload) {
+          if (alive.expired()) return UpcallAction::kContinue;
+          Result<Dht::WireObject> obj = Dht::DecodeObject(*payload);
+          if (!obj.ok()) return UpcallAction::kContinue;
+          Result<JoinRecord> rec = JoinRecord::Decode(obj->value);
+          if (!rec.ok()) return UpcallAction::kContinue;
+          ProcessAtCache(obj->name.key, *rec, /*at_owner=*/false);
+          // Annotate with this node and forward the updated record.
+          rec->path.push_back(cx_->dht->local_address().host);
+          *payload = Dht::EncodeObject(obj->name, obj->lifetime, rec->Encode());
+          return UpcallAction::kContinue;
+        });
+
+    // Bucket owner: join with suppression of already-produced pairs.
+    newdata_sub_ = cx_->dht->OnNewData(
+        ns_, [this, alive](const ObjectName& name, std::string_view value) {
+          if (alive.expired()) return;
+          ProcessOwnerRecord(name, value);
+        });
+    return Status::Ok();
+  }
+
+  void OnOpen() override {
+    // Catch-up (§3.3.4, No Global Synchronization): tuples routed here
+    // before this node received the opgraph are already stored; fold them in.
+    std::weak_ptr<char> alive = alive_;
+    catchup_timer_ = cx_->vri->ScheduleEvent(0, [this, alive]() {
+      if (alive.expired()) return;
+      catchup_timer_ = 0;
+      cx_->dht->LocalScan(
+          ns_, [this](const ObjectName& name, std::string_view value) {
+            ProcessOwnerRecord(name, value);
+          });
+    });
+  }
+
+  void Consume(int port, uint32_t, Tuple t) override {
+    stats_.consumed++;
+    if (!l_table_.empty()) {
+      if (t.table() == l_table_) {
+        port = 0;
+      } else if (t.table() == r_table_) {
+        port = 1;
+      } else {
+        return;
+      }
+    }
+    if (port != 0 && port != 1) return;
+    const std::string& key_col = port == 0 ? l_key_ : r_key_;
+    const Value* key = t.Get(key_col);
+    if (key == nullptr) return;
+    JoinRecord rec;
+    rec.side = static_cast<uint8_t>(port);
+    rec.tuple = std::move(t);
+    cx_->dht->Send(ns_, key->CanonicalString(), cx_->NextSuffix(),
+                   rec.Encode(), cx_->query_lifetime);
+  }
+
+  void Close() override {
+    alive_.reset();
+    cx_->dht->UnregisterUpcall(ns_);
+    if (newdata_sub_) cx_->dht->CancelNewData(newdata_sub_);
+    newdata_sub_ = 0;
+    if (catchup_timer_) cx_->vri->CancelEvent(catchup_timer_);
+    catchup_timer_ = 0;
+    cache_.clear();
+    cx_->dht->objects()->DropNamespace(ns_);
+  }
+
+  uint64_t early_results() const { return early_results_; }
+  uint64_t owner_results() const { return owner_results_; }
+
+  int64_t Metric(const std::string& name) const override {
+    if (name == "early_results") return static_cast<int64_t>(early_results_);
+    if (name == "owner_results") return static_cast<int64_t>(owner_results_);
+    return -1;
+  }
+
+ private:
+  /// Owner-side entry point: newdata and the catch-up scan can both see the
+  /// same stored object, so dedup by object identity before joining.
+  void ProcessOwnerRecord(const ObjectName& name, std::string_view value) {
+    uint64_t id = HashCombine(Fnv1a64(name.key), Fnv1a64(name.suffix));
+    if (!owner_seen_.insert(id).second) return;
+    Result<JoinRecord> rec = JoinRecord::Decode(value);
+    if (!rec.ok()) return;
+    ProcessAtCache(name.key, *rec, /*at_owner=*/true);
+  }
+
+  /// Join `rec` against the opposite side cached under `key`, then cache it.
+  /// A pair is produced if and only if the two records' annotation sets are
+  /// disjoint — at a shared cache node the incoming record does not yet carry
+  /// this node, while at the owner both carry it, which makes the early
+  /// result exactly-once.
+  void ProcessAtCache(const std::string& key, const JoinRecord& rec,
+                      bool at_owner) {
+    CacheSlot& slot = cache_[key];
+    for (const JoinRecord& other : slot.side[1 - rec.side]) {
+      if (rec.PathIntersects(other)) continue;
+      const Tuple& l = rec.side == 0 ? rec.tuple : other.tuple;
+      const Tuple& r = rec.side == 0 ? other.tuple : rec.tuple;
+      Tuple joined = JoinTuples(l, r, out_table_, qualify_);
+      if (at_owner) {
+        owner_results_++;
+      } else {
+        early_results_++;
+      }
+      if (cx_->emit_result) cx_->emit_result(joined);
+      stats_.emitted++;
+    }
+    // Cache the record annotated with this node so later arrivals pair
+    // against it (and so the owner can suppress re-production).
+    JoinRecord cached = rec;
+    cached.path.push_back(cx_->dht->local_address().host);
+    slot.side[rec.side].push_back(std::move(cached));
+  }
+
+  struct CacheSlot {
+    std::vector<JoinRecord> side[2];
+  };
+  std::string l_key_, r_key_, l_table_, r_table_, out_table_, ns_;
+  bool qualify_ = false;
+  /// join key -> per-side cached records.
+  std::map<std::string, CacheSlot> cache_;
+  std::unordered_set<uint64_t> owner_seen_;
+  uint64_t newdata_sub_ = 0;
+  uint64_t catchup_timer_ = 0;
+  uint64_t early_results_ = 0;
+  uint64_t owner_results_ = 0;
+  std::shared_ptr<char> alive_;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> MakeHierOperator(const OpSpec& spec) {
+  switch (spec.kind) {
+    case OpKind::kHierAgg: return std::make_unique<HierAggOp>(spec);
+    case OpKind::kHierJoin: return std::make_unique<HierJoinOp>(spec);
+    default: return nullptr;
+  }
+}
+
+}  // namespace pier

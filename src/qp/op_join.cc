@@ -1,0 +1,407 @@
+// Join operators (§3.3.4): Symmetric Hash join [71], Fetch Matches join [44],
+// and the Bloom-join building blocks (§2.1.1).
+//
+// Symmetric-hash state lives in the DHT's local object manager rather than a
+// private hashtable — the paper's "Operator State" use of the overlay
+// (§3.3.6) — so join state is soft state like everything else.
+//
+// Fetch Matches is the distributed index join: each outer tuple triggers a
+// DHT get against the inner table's primary index ("each call to the index is
+// like disseminating a small single-table subquery", §3.3.3).
+
+#include <memory>
+#include <unordered_set>
+
+#include "qp/dataflow.h"
+#include "qp/join_common.h"
+#include "util/bloom.h"
+#include "util/hash.h"
+
+namespace pier {
+
+namespace {
+
+/// shjoin[l_key=?, r_key=?, table=?, qualify=0|1, pred=<residual>]
+/// Port 0 is the left input, port 1 the right. Alternatively, with
+/// l_table/r_table set, a single mixed input (the usual rehash namespace) is
+/// split by each tuple's self-described table name — the common shape after
+/// a DHT rendezvous, where both sides arrive through one newdata scan.
+class SymHashJoinOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    l_key_ = spec_.GetString("l_key");
+    r_key_ = spec_.GetString("r_key");
+    if (l_key_.empty() || r_key_.empty())
+      return Status::InvalidArgument("shjoin needs l_key and r_key");
+    out_table_ = spec_.GetString("table", "join");
+    qualify_ = spec_.GetInt("qualify", 0) != 0;
+    l_table_ = spec_.GetString("l_table");
+    r_table_ = spec_.GetString("r_table");
+    if (spec_.Has("pred")) {
+      PIER_ASSIGN_OR_RETURN(residual_, spec_.GetExpr("pred"));
+    }
+    std::string base = cx_->QueryNs("g" + std::to_string(cx_->graph_id) +
+                                    ".op" + std::to_string(spec_.id));
+    ns_[0] = base + ".l";
+    ns_[1] = base + ".r";
+    return Status::Ok();
+  }
+
+  void Consume(int port, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    if (!l_table_.empty()) {
+      // Mixed-stream mode: route by the tuple's self-described table name.
+      if (t.table() == l_table_) {
+        port = 0;
+      } else if (t.table() == r_table_) {
+        port = 1;
+      } else {
+        return;  // neither side: discard (best effort)
+      }
+    }
+    if (port != 0 && port != 1) return;
+    const std::string& key_col = port == 0 ? l_key_ : r_key_;
+    const Value* key = t.Get(key_col);
+    if (key == nullptr) return;  // best-effort discard
+    std::string k = key->CanonicalString();
+
+    // Store in this side's soft-state partition.
+    ObjectName name;
+    name.ns = ns_[port];
+    name.key = k;
+    name.suffix = cx_->NextSuffix();
+    cx_->dht->objects()->Put(std::move(name), t.Encode(), cx_->query_lifetime);
+
+    // Probe the opposite side.
+    int other = 1 - port;
+    for (const ObjectManager::Object* obj :
+         cx_->dht->objects()->Get(ns_[other], k)) {
+      Result<Tuple> o = Tuple::Decode(obj->value);
+      if (!o.ok()) continue;
+      const Tuple& l = port == 0 ? t : *o;
+      const Tuple& r = port == 0 ? *o : t;
+      Tuple joined = JoinTuples(l, r, out_table_, qualify_);
+      if (residual_) {
+        Result<bool> keep = residual_->EvalPredicate(joined);
+        if (!keep.ok() || !*keep) continue;
+      }
+      EmitTuple(tag, joined);
+    }
+  }
+
+  void Close() override {
+    cx_->dht->objects()->DropNamespace(ns_[0]);
+    cx_->dht->objects()->DropNamespace(ns_[1]);
+  }
+
+ private:
+  std::string l_key_, r_key_, out_table_;
+  std::string l_table_, r_table_;
+  bool qualify_ = false;
+  ExprPtr residual_;
+  std::string ns_[2];
+};
+
+/// fmjoin[table=?, key_expr=<expr over outer>, pred=?, table_out=?, qualify=0|1]
+/// The inner relation must be published into the DHT with its join attribute
+/// as partitioning key; `key` computes the outer tuple's lookup value.
+class FetchMatchesOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    inner_table_ = spec_.GetString("table");
+    if (inner_table_.empty())
+      return Status::InvalidArgument("fmjoin needs table");
+    PIER_ASSIGN_OR_RETURN(key_expr_, spec_.GetExpr("key_expr"));
+    out_table_ = spec_.GetString("table_out", "join");
+    qualify_ = spec_.GetInt("qualify", 0) != 0;
+    if (spec_.Has("pred")) {
+      PIER_ASSIGN_OR_RETURN(residual_, spec_.GetExpr("pred"));
+    }
+    alive_ = std::make_shared<char>(1);
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    Result<Value> key = key_expr_->Eval(t);
+    if (!key.ok()) return;
+    // Must match Tuple::PartitionKey's single-attribute format.
+    std::string k = key->CanonicalString() + "|";
+    in_flight_++;
+    std::weak_ptr<char> alive = alive_;
+    cx_->dht->Get(
+        inner_table_, k,
+        [this, alive, tag, outer = std::move(t)](const Status& s,
+                                                 std::vector<DhtItem> items) {
+          if (alive.expired()) return;  // operator closed/destroyed
+          in_flight_--;
+          if (!s.ok()) return;
+          for (const DhtItem& item : items) {
+            Result<Tuple> inner = Tuple::Decode(item.value);
+            if (!inner.ok()) continue;
+            Tuple joined = JoinTuples(outer, *inner, out_table_, qualify_);
+            if (residual_) {
+              Result<bool> keep = residual_->EvalPredicate(joined);
+              if (!keep.ok() || !*keep) continue;
+            }
+            EmitTuple(tag, joined);
+          }
+        });
+  }
+
+  void Close() override { alive_.reset(); }
+
+  int in_flight() const { return in_flight_; }
+
+ private:
+  std::string inner_table_, out_table_;
+  ExprPtr key_expr_;
+  ExprPtr residual_;
+  bool qualify_ = false;
+  int in_flight_ = 0;
+  std::shared_ptr<char> alive_;
+};
+
+/// bloomcreate[col=?, ns=?, bits=?, hashes=?, hold_ms=?]: fold the input
+/// column into a Bloom filter; on Flush, route the filter toward the owner
+/// of ("<ns>", "filter"). Filters are ORed *in-network*: intermediate nodes
+/// intercept them with an upcall, merge into a pending filter, and forward
+/// one combined filter after a hold period (the same tree combining as
+/// hierarchical aggregation), so the owner stores O(fanout) filter objects
+/// instead of one per node and probers fetch a few kilobytes, not N.
+class BloomCreateOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    col_ = spec_.GetString("col");
+    ns_ = spec_.GetString("ns");
+    if (col_.empty() || ns_.empty())
+      return Status::InvalidArgument("bloomcreate needs col and ns");
+    size_t bits = static_cast<size_t>(spec_.GetInt("bits", 8192));
+    int hashes = static_cast<int>(spec_.GetInt("hashes", 4));
+    hold_ = spec_.GetInt("hold_ms", 300) * kMillisecond;
+    filter_ = std::make_unique<BloomFilter>(bits, hashes);
+    alive_ = std::make_shared<char>(1);
+
+    std::weak_ptr<char> alive = alive_;
+    cx_->dht->RegisterUpcall(
+        ns_, [this, alive](const RouteInfo&, std::string* payload) {
+          if (alive.expired()) return UpcallAction::kContinue;
+          Result<Dht::WireObject> obj = Dht::DecodeObject(*payload);
+          if (!obj.ok()) return UpcallAction::kContinue;
+          Result<BloomFilter> f = BloomFilter::Deserialize(obj->value);
+          if (!f.ok()) return UpcallAction::kContinue;
+          if (!pending_) {
+            pending_ = std::make_unique<BloomFilter>(std::move(*f));
+          } else if (!pending_->Merge(*f).ok()) {
+            return UpcallAction::kContinue;  // geometry mismatch: pass along
+          }
+          ArmForwardTimer();
+          return UpcallAction::kDrop;
+        });
+
+    // Owner-side coalescing: filters that reach the rendezvous owner are
+    // merged into ONE object (the partials are removed locally), so probers
+    // fetch a single filter no matter how many nodes contributed.
+    coalesce_sub_ = cx_->dht->OnNewData(
+        ns_, [this, alive](const ObjectName& name, std::string_view value) {
+          if (alive.expired() || name.suffix == kMergedSuffix) return;
+          Result<BloomFilter> f = BloomFilter::Deserialize(value);
+          if (!f.ok()) return;
+          if (!owner_merged_) {
+            owner_merged_ = std::make_unique<BloomFilter>(std::move(*f));
+          } else if (!owner_merged_->Merge(*f).ok()) {
+            return;
+          }
+          cx_->dht->objects()->Remove(name);
+          ObjectName merged;
+          merged.ns = name.ns;
+          merged.key = name.key;
+          merged.suffix = kMergedSuffix;
+          cx_->dht->objects()->Put(std::move(merged),
+                                   owner_merged_->Serialize(),
+                                   cx_->query_lifetime);
+        });
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t, Tuple t) override {
+    stats_.consumed++;
+    const Value* v = t.Get(col_);
+    if (v == nullptr) return;
+    filter_->Add(v->CanonicalString());
+    added_++;
+  }
+
+  void Flush() override {
+    if (added_ == 0 && flushed_) return;  // nothing new to report
+    flushed_ = true;
+    added_ = 0;
+    cx_->dht->Send(ns_, "filter", cx_->NextSuffix(), filter_->Serialize(),
+                   cx_->query_lifetime);
+  }
+
+  void Close() override {
+    alive_.reset();
+    cx_->dht->UnregisterUpcall(ns_);
+    if (coalesce_sub_) cx_->dht->CancelNewData(coalesce_sub_);
+    coalesce_sub_ = 0;
+    if (forward_timer_) cx_->vri->CancelEvent(forward_timer_);
+    forward_timer_ = 0;
+  }
+
+ private:
+  static constexpr const char* kMergedSuffix = "!merged";
+
+  void ArmForwardTimer() {
+    if (forward_timer_) return;
+    std::weak_ptr<char> alive = alive_;
+    forward_timer_ = cx_->vri->ScheduleEvent(hold_, [this, alive]() {
+      if (alive.expired()) return;
+      forward_timer_ = 0;
+      if (!pending_) return;
+      cx_->dht->Send(ns_, "filter", cx_->NextSuffix(), pending_->Serialize(),
+                     cx_->query_lifetime);
+      pending_.reset();
+    });
+  }
+
+  std::string col_, ns_;
+  TimeUs hold_ = 300 * kMillisecond;
+  std::unique_ptr<BloomFilter> filter_;
+  std::unique_ptr<BloomFilter> pending_;  // upcall-intercepted, awaiting merge
+  std::unique_ptr<BloomFilter> owner_merged_;  // rendezvous-owner coalescing
+  uint64_t added_ = 0;
+  bool flushed_ = false;
+  uint64_t forward_timer_ = 0;
+  uint64_t coalesce_sub_ = 0;
+  std::shared_ptr<char> alive_;
+};
+
+/// bloomprobe[col=?, ns=?, wait_ms=?]: buffer tuples until the published
+/// filters are fetched (one get against the rendezvous key), then let only
+/// probable matches through. Fails open: if no filter shows up by the
+/// deadline, everything passes (a Bloom join must never lose results).
+class BloomProbeOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    col_ = spec_.GetString("col");
+    ns_ = spec_.GetString("ns");
+    if (col_.empty() || ns_.empty())
+      return Status::InvalidArgument("bloomprobe needs col and ns");
+    wait_ = spec_.GetInt("wait_ms", 2000) * kMillisecond;
+    alive_ = std::make_shared<char>(1);
+    return Status::Ok();
+  }
+
+  void OnOpen() override {
+    std::weak_ptr<char> alive = alive_;
+    timer_ = cx_->vri->ScheduleEvent(wait_, [this, alive]() {
+      if (alive.expired()) return;
+      timer_ = 0;
+      FetchFilter();
+    });
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    if (!ready_) {
+      buf_.emplace_back(tag, std::move(t));
+      return;
+    }
+    MaybeEmit(tag, t);
+  }
+
+  void Close() override {
+    alive_.reset();
+    if (timer_) cx_->vri->CancelEvent(timer_);
+    timer_ = 0;
+    buf_.clear();
+  }
+
+  uint64_t filtered() const { return filtered_; }
+
+ private:
+  void FetchFilter() {
+    std::weak_ptr<char> alive = alive_;
+    cx_->dht->Get(ns_, "filter",
+                  [this, alive](const Status& s, std::vector<DhtItem> items) {
+                    if (alive.expired()) return;
+                    for (const DhtItem& item : items) {
+                      Result<BloomFilter> f = BloomFilter::Deserialize(item.value);
+                      if (!f.ok()) continue;
+                      if (!filter_) {
+                        filter_ =
+                            std::make_unique<BloomFilter>(std::move(*f));
+                      } else {
+                        filter_->Merge(*f).ok();  // geometry mismatch: skip
+                      }
+                    }
+                    (void)s;
+                    ready_ = true;
+                    for (auto& [tag, t] : buf_) MaybeEmit(tag, t);
+                    buf_.clear();
+                  });
+  }
+
+  void MaybeEmit(uint32_t tag, const Tuple& t) {
+    const Value* v = t.Get(col_);
+    if (v == nullptr) return;
+    if (filter_ && !filter_->MayContain(v->CanonicalString())) {
+      filtered_++;
+      return;
+    }
+    EmitTuple(tag, t);
+  }
+
+  std::string col_, ns_;
+  TimeUs wait_ = 2 * kSecond;
+  bool ready_ = false;
+  std::unique_ptr<BloomFilter> filter_;
+  std::vector<std::pair<uint32_t, Tuple>> buf_;
+  uint64_t filtered_ = 0;
+  uint64_t timer_ = 0;
+  std::shared_ptr<char> alive_;
+};
+
+}  // namespace
+
+Tuple JoinTuples(const Tuple& l, const Tuple& r, const std::string& out_table,
+                 bool qualify) {
+  Tuple out(out_table);
+  if (qualify) {
+    for (const Column& c : l.columns())
+      out.Append(l.table() + "." + c.name, c.value);
+    for (const Column& c : r.columns())
+      out.Append(r.table() + "." + c.name, c.value);
+    return out;
+  }
+  for (const Column& c : l.columns()) out.Append(c.name, c.value);
+  for (const Column& c : r.columns()) {
+    if (!out.Has(c.name)) out.Append(c.name, c.value);
+  }
+  return out;
+}
+
+std::unique_ptr<Operator> MakeJoinOperator(const OpSpec& spec) {
+  switch (spec.kind) {
+    case OpKind::kSymHashJoin: return std::make_unique<SymHashJoinOp>(spec);
+    case OpKind::kFetchMatches: return std::make_unique<FetchMatchesOp>(spec);
+    case OpKind::kBloomCreate: return std::make_unique<BloomCreateOp>(spec);
+    case OpKind::kBloomProbe: return std::make_unique<BloomProbeOp>(spec);
+    default: return nullptr;
+  }
+}
+
+}  // namespace pier

@@ -1,0 +1,369 @@
+// Tuple-at-a-time relational operators: source, selection, projection, tee,
+// union, duplicate elimination, queue, limit, control gate, materializer.
+//
+// All follow the best-effort policy (§3.3.4): a tuple that fails to evaluate
+// (missing column, type mismatch) is silently discarded.
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "qp/dataflow.h"
+#include "util/logging.h"
+
+namespace pier {
+namespace {
+
+/// Inline constant tuples, one per "tuple<i>" param (encoded). Used by tests
+/// and examples as a trivial access method.
+class SourceOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    for (int i = 0;; ++i) {
+      std::string key = "tuple" + std::to_string(i);
+      if (!spec_.Has(key)) break;
+      PIER_ASSIGN_OR_RETURN(Tuple t, Tuple::Decode(spec_.GetString(key)));
+      tuples_.push_back(std::move(t));
+    }
+    return Status::Ok();
+  }
+
+  void OnOpen() override {
+    // Produce asynchronously: real access methods never emit inside Open.
+    timer_ = cx_->vri->ScheduleEvent(0, [this]() {
+      timer_ = 0;
+      for (const Tuple& t : tuples_) {
+        stats_.consumed++;
+        EmitTuple(0, t);
+      }
+    });
+  }
+
+  void Consume(int, uint32_t, Tuple) override {}  // no inputs
+
+  void Close() override {
+    if (timer_) cx_->vri->CancelEvent(timer_);
+    timer_ = 0;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  uint64_t timer_ = 0;
+};
+
+/// selection[pred=<expr>]
+class SelectionOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    PIER_ASSIGN_OR_RETURN(pred_, spec_.GetExpr("pred"));
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    Result<bool> keep = pred_->EvalPredicate(t);
+    if (keep.ok() && *keep) EmitTuple(tag, t);
+  }
+
+ private:
+  ExprPtr pred_;
+};
+
+/// projection[cols=a,b] or computed columns via expr params
+/// ("out0=alias", "expr0=<expr>", "out1=...", ...).
+class ProjectionOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    cols_ = spec_.GetStrings("cols");
+    for (int i = 0;; ++i) {
+      std::string out_key = "out" + std::to_string(i);
+      std::string expr_key = "expr" + std::to_string(i);
+      if (!spec_.Has(out_key) || !spec_.Has(expr_key)) break;
+      PIER_ASSIGN_OR_RETURN(ExprPtr e, spec_.GetExpr(expr_key));
+      computed_.push_back({spec_.GetString(out_key), std::move(e)});
+    }
+    if (cols_.empty() && computed_.empty())
+      return Status::InvalidArgument("projection with nothing to project");
+    out_table_ = spec_.GetString("table");
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    Tuple out = cols_.empty() ? Tuple(t.table()) : t.Project(cols_);
+    if (!out_table_.empty()) out.set_table(out_table_);
+    for (const auto& [name, expr] : computed_) {
+      Result<Value> v = expr->Eval(t);
+      if (!v.ok()) return;  // best-effort: discard the whole tuple
+      out.Append(name, std::move(v).value());
+    }
+    EmitTuple(tag, out);
+  }
+
+ private:
+  std::vector<std::string> cols_;
+  std::vector<std::pair<std::string, ExprPtr>> computed_;
+  std::string out_table_;
+};
+
+/// Explicit tee: one input copied to every output edge.
+class TeeOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    EmitTuple(tag, t);
+  }
+};
+
+/// Union of any number of inputs (bag semantics; DupElim above for sets).
+/// Optionally renames tuples onto one output table.
+class UnionOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    out_table_ = spec_.GetString("table");
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    if (!out_table_.empty()) t.set_table(out_table_);
+    EmitTuple(tag, t);
+  }
+
+ private:
+  std::string out_table_;
+};
+
+/// Hash-based duplicate elimination on full tuple content (or on a column
+/// subset via cols=...).
+class DupElimOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    cols_ = spec_.GetStrings("cols");
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    const Tuple& key_tuple = cols_.empty() ? t : (scratch_ = t.Project(cols_));
+    uint64_t h = key_tuple.Hash();
+    auto [it, inserted] = seen_.try_emplace(h);
+    if (!inserted) {
+      // Hash collision check: only equal tuples are duplicates.
+      for (const Tuple& prev : it->second) {
+        if (prev == key_tuple) return;
+      }
+    }
+    it->second.push_back(key_tuple);
+    EmitTuple(tag, t);
+  }
+
+  void Close() override { seen_.clear(); }
+
+ private:
+  std::vector<std::string> cols_;
+  std::unordered_map<uint64_t, std::vector<Tuple>> seen_;
+  Tuple scratch_;
+};
+
+/// Queue (§3.3.5): absorbs pushes and re-emits from a zero-delay timer so
+/// deep dataflows yield the stack back to the Main Scheduler.
+class QueueOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    max_size_ = static_cast<size_t>(spec_.GetInt("max_size", 1 << 16));
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    if (buf_.size() >= max_size_) {
+      dropped_++;  // back-pressure by shedding, never by blocking
+      return;
+    }
+    buf_.emplace_back(tag, std::move(t));
+    if (timer_ == 0) {
+      timer_ = cx_->vri->ScheduleEvent(0, [this]() { Drain(); });
+    }
+  }
+
+  void Flush() override { Drain(); }
+
+  void Close() override {
+    if (timer_) cx_->vri->CancelEvent(timer_);
+    timer_ = 0;
+    buf_.clear();
+  }
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  void Drain() {
+    timer_ = 0;
+    // Emit a bounded batch per activation, then yield again.
+    size_t batch = 256;
+    while (!buf_.empty() && batch-- > 0) {
+      auto [tag, t] = std::move(buf_.front());
+      buf_.pop_front();
+      EmitTuple(tag, t);
+    }
+    if (!buf_.empty() && timer_ == 0) {
+      timer_ = cx_->vri->ScheduleEvent(0, [this]() { Drain(); });
+    }
+  }
+
+  std::deque<std::pair<uint32_t, Tuple>> buf_;
+  size_t max_size_ = 1 << 16;
+  uint64_t dropped_ = 0;
+  uint64_t timer_ = 0;
+};
+
+/// limit[k=n]: pass the first k tuples, then ask the executor to stop the
+/// query locally.
+class LimitOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    k_ = spec_.GetInt("k", 10);
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    if (passed_ >= k_) return;
+    passed_++;
+    EmitTuple(tag, t);
+    if (passed_ >= k_ && cx_->request_stop) cx_->request_stop();
+  }
+
+ private:
+  int64_t k_ = 10;
+  int64_t passed_ = 0;
+};
+
+/// Control flow manager (§3.3.4): a gate that can pause (buffer) and resume
+/// the flow, bounding in-flight work. Paused externally via executor params
+/// or by downstream shedding policies.
+class ControlOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    paused_ = spec_.GetInt("paused", 0) != 0;
+    max_buffer_ = static_cast<size_t>(spec_.GetInt("max_buffer", 4096));
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    if (!paused_) {
+      EmitTuple(tag, t);
+      return;
+    }
+    if (buf_.size() < max_buffer_) buf_.emplace_back(tag, std::move(t));
+  }
+
+  void Pause() { paused_ = true; }
+
+  void Resume() {
+    paused_ = false;
+    for (auto& [tag, t] : buf_) EmitTuple(tag, t);
+    buf_.clear();
+  }
+
+  void Flush() override {
+    if (!paused_) return;
+    Resume();
+    paused_ = true;
+  }
+
+  void Close() override { buf_.clear(); }
+
+  bool paused() const { return paused_; }
+
+ private:
+  bool paused_ = false;
+  size_t max_buffer_ = 4096;
+  std::deque<std::pair<uint32_t, Tuple>> buf_;
+};
+
+/// In-memory table materializer (§3.3.4): stores the input stream as a local
+/// soft-state table in the DHT's object manager, making it visible to Scan
+/// and FetchMatches on this node. Also passes tuples through.
+class MaterializerOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Init(ExecContext* cx) override {
+    PIER_RETURN_IF_ERROR(Operator::Init(cx));
+    ns_ = spec_.GetString("ns");
+    if (ns_.empty()) return Status::InvalidArgument("materializer needs ns");
+    key_attrs_ = spec_.GetStrings("key");
+    lifetime_ = spec_.GetInt("lifetime_ms", 0) * kMillisecond;
+    if (lifetime_ <= 0) lifetime_ = cx_->query_lifetime;
+    return Status::Ok();
+  }
+
+  void Consume(int, uint32_t tag, Tuple t) override {
+    stats_.consumed++;
+    ObjectName name;
+    name.ns = ns_;
+    name.key = t.PartitionKey(key_attrs_);
+    name.suffix = cx_->NextSuffix();
+    cx_->dht->objects()->Put(std::move(name), t.Encode(), lifetime_);
+    EmitTuple(tag, t);
+  }
+
+  void Close() override {
+    if (spec_.GetInt("drop_on_close", 1) != 0)
+      cx_->dht->objects()->DropNamespace(ns_);
+  }
+
+ private:
+  std::string ns_;
+  std::vector<std::string> key_attrs_;
+  TimeUs lifetime_ = 0;
+};
+
+}  // namespace
+
+// Factory for this file's operators; the dispatcher lives in op_factory.cc.
+std::unique_ptr<Operator> MakeRelationalOperator(const OpSpec& spec) {
+  switch (spec.kind) {
+    case OpKind::kSource: return std::make_unique<SourceOp>(spec);
+    case OpKind::kSelection: return std::make_unique<SelectionOp>(spec);
+    case OpKind::kProjection: return std::make_unique<ProjectionOp>(spec);
+    case OpKind::kTee: return std::make_unique<TeeOp>(spec);
+    case OpKind::kUnion: return std::make_unique<UnionOp>(spec);
+    case OpKind::kDupElim: return std::make_unique<DupElimOp>(spec);
+    case OpKind::kQueue: return std::make_unique<QueueOp>(spec);
+    case OpKind::kLimit: return std::make_unique<LimitOp>(spec);
+    case OpKind::kControl: return std::make_unique<ControlOp>(spec);
+    case OpKind::kMaterializer: return std::make_unique<MaterializerOp>(spec);
+    default: return nullptr;
+  }
+}
+
+}  // namespace pier

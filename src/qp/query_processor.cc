@@ -1,0 +1,257 @@
+#include "qp/query_processor.h"
+
+#include "util/logging.h"
+
+namespace pier {
+
+QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
+    : vri_(vri), dht_(dht), options_(options) {
+  tree_ = std::make_unique<DistributionTree>(dht_, options_.tree);
+  executor_ = std::make_unique<QueryExecutor>(vri_, dht_);
+
+  executor_->set_result_sink(
+      [this](uint64_t qid, const NetAddress& proxy, const Tuple& t) {
+        ForwardAnswer(qid, proxy, t);
+      });
+
+  // Broadcast dissemination arrives through the distribution tree.
+  tree_->set_broadcast_handler([this](std::string_view payload) {
+    HandleDisseminationBlob(payload);
+  });
+
+  // Targeted (equality) dissemination arrives as a stored object.
+  dissem_sub_ = dht_->OnNewData(
+      kDissemNs, [this](const ObjectName&, std::string_view value) {
+        HandleDisseminationBlob(value);
+      });
+
+  // Answer tuples from executing nodes.
+  dht_->router()->RegisterDirectType(
+      kMsgAnswer, [this](const NetAddress& from, std::string_view body) {
+        HandleAnswerMsg(from, body);
+      });
+}
+
+QueryProcessor::~QueryProcessor() {
+  if (dissem_sub_) dht_->CancelNewData(dissem_sub_);
+  for (auto& [qid, c] : clients_) {
+    if (c.done_timer) vri_->CancelEvent(c.done_timer);
+  }
+}
+
+void QueryProcessor::Publish(const std::string& table,
+                             const std::vector<std::string>& key_attrs,
+                             const Tuple& t, TimeUs lifetime) {
+  if (lifetime <= 0) lifetime = options_.publish_lifetime;
+  std::string suffix = std::to_string(next_suffix_++) + "@" +
+                       std::to_string(dht_->local_address().host);
+  dht_->Put(table, t.PartitionKey(key_attrs), suffix, t.Encode(), lifetime);
+}
+
+void QueryProcessor::PublishSecondary(const std::string& index_table,
+                                      const std::string& index_attr,
+                                      const std::string& base_table,
+                                      const std::vector<std::string>& base_key_attrs,
+                                      const Tuple& t, TimeUs lifetime) {
+  const Value* v = t.Get(index_attr);
+  if (v == nullptr) return;  // nothing to index
+  Tuple entry(index_table);
+  entry.Append(index_attr, *v);
+  entry.Append("base_table", Value::String(base_table));
+  entry.Append("base_key", Value::String(t.PartitionKey(base_key_attrs)));
+  Publish(index_table, {index_attr}, entry, lifetime);
+}
+
+Pht* QueryProcessor::PhtFor(const std::string& table, int key_bits) {
+  std::string id = table + "/" + std::to_string(key_bits);
+  auto it = phts_.find(id);
+  if (it == phts_.end()) {
+    Pht::Options popts;
+    popts.table = table;
+    popts.key_bits = key_bits;
+    popts.lifetime = options_.publish_lifetime;
+    it = phts_.emplace(id, std::make_unique<Pht>(dht_, popts)).first;
+  }
+  return it->second.get();
+}
+
+void QueryProcessor::PublishRange(const std::string& pht_table,
+                                  const std::string& key_attr, const Tuple& t,
+                                  int key_bits) {
+  const Value* v = t.Get(key_attr);
+  if (v == nullptr) return;
+  Result<int64_t> key = v->AsInt64();
+  if (!key.ok() || *key < 0) return;
+  PhtFor(pht_table, key_bits)
+      ->Insert(static_cast<uint64_t>(*key), t.Encode(), nullptr);
+}
+
+void QueryProcessor::StoreLocal(const std::string& table, const Tuple& t,
+                                TimeUs lifetime) {
+  if (lifetime <= 0) lifetime = options_.publish_lifetime;
+  ObjectName name;
+  name.ns = table;
+  name.key = "";  // local-only: the partition key is never routed on
+  name.suffix = std::to_string(next_suffix_++) + "@" +
+                std::to_string(dht_->local_address().host);
+  dht_->objects()->Put(std::move(name), t.Encode(), lifetime);
+}
+
+Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
+                                             TupleCallback on_tuple,
+                                             DoneCallback on_done) {
+  if (plan.query_id == 0) {
+    plan.query_id = vri_->rng()->Next();
+    if (plan.query_id == 0) plan.query_id = 1;
+  }
+  plan.proxy = dht_->local_address();
+  PIER_RETURN_IF_ERROR(plan.Validate());
+  stats_.queries_submitted++;
+
+  ClientQuery client;
+  client.on_tuple = std::move(on_tuple);
+  client.on_done = std::move(on_done);
+  uint64_t qid = plan.query_id;
+  client.done_timer = vri_->ScheduleEvent(
+      plan.timeout + options_.done_slack, [this, qid]() {
+        auto it = clients_.find(qid);
+        if (it == clients_.end()) return;
+        DoneCallback done = std::move(it->second.on_done);
+        clients_.erase(it);
+        if (done) done();
+      });
+  clients_[qid] = std::move(client);
+
+  Disseminate(plan);
+  return qid;
+}
+
+void QueryProcessor::CancelQuery(uint64_t query_id) {
+  auto it = clients_.find(query_id);
+  if (it != clients_.end()) {
+    if (it->second.done_timer) vri_->CancelEvent(it->second.done_timer);
+    clients_.erase(it);
+  }
+  executor_->StopQuery(query_id);
+}
+
+void QueryProcessor::Disseminate(const QueryPlan& plan) {
+  // Partition the graphs by dissemination class, then ship each class.
+  QueryPlan broadcast = plan;
+  broadcast.graphs.clear();
+  std::vector<OpGraph> local;
+  for (const OpGraph& g : plan.graphs) {
+    switch (g.dissem) {
+      case DissemKind::kBroadcast:
+        broadcast.graphs.push_back(g);
+        break;
+      case DissemKind::kLocal:
+        local.push_back(g);
+        break;
+      case DissemKind::kEquality: {
+        QueryPlan one = plan;
+        one.graphs = {g};
+        Id target = RoutingId(g.dissem_ns, g.dissem_key);
+        dht_->SendToId(target, kDissemNs,
+                       std::to_string(plan.query_id) + "." +
+                           std::to_string(g.id),
+                       "q", one.Encode(), plan.timeout);
+        break;
+      }
+      case DissemKind::kRange:
+        StartRangeGraph(plan, g);
+        break;
+    }
+  }
+  if (!broadcast.graphs.empty()) tree_->Broadcast(broadcast.Encode());
+  if (!local.empty()) {
+    QueryPlan meta = plan;
+    meta.graphs.clear();
+    executor_->StartGraphs(meta, local);
+  }
+}
+
+void QueryProcessor::HandleDisseminationBlob(std::string_view blob) {
+  Result<QueryPlan> plan = QueryPlan::Decode(blob);
+  if (!plan.ok()) {
+    PIER_LOG(kWarn) << "dropping malformed dissemination: "
+                    << plan.status().ToString();
+    return;
+  }
+  stats_.graphs_received += plan->graphs.size();
+  QueryPlan meta = *plan;
+  meta.graphs.clear();
+  executor_->StartGraphs(meta, plan->graphs);
+}
+
+void QueryProcessor::StartRangeGraph(const QueryPlan& plan, const OpGraph& g) {
+  // The range graph runs at the proxy; the PHT supplies the matching tuples,
+  // injected through the graph's Source placeholder (inject=1).
+  QueryPlan meta = plan;
+  meta.graphs.clear();
+  executor_->StartGraphs(meta, {g});
+
+  uint32_t inject_op = 0;
+  int key_bits = 32;
+  for (const OpSpec& op : g.ops) {
+    if (op.kind == OpKind::kSource && op.GetInt("inject", 0) != 0) {
+      inject_op = op.id;
+      key_bits = static_cast<int>(op.GetInt("pht_key_bits", 32));
+      break;
+    }
+  }
+  if (inject_op == 0) {
+    PIER_LOG(kWarn) << "range graph without an injectable source";
+    return;
+  }
+  Pht::Options popts;
+  popts.table = g.dissem_ns;
+  popts.key_bits = key_bits;
+  auto pht = std::make_shared<Pht>(dht_, popts);
+  uint64_t qid = plan.query_id;
+  uint32_t gid = g.id;
+  pht->RangeQuery(
+      static_cast<uint64_t>(g.dissem_lo), static_cast<uint64_t>(g.dissem_hi),
+      [this, pht, qid, gid, inject_op](const Status& s,
+                                       std::vector<PhtItem> items) {
+        if (!s.ok()) return;
+        for (const PhtItem& item : items) {
+          Result<Tuple> t = Tuple::Decode(item.value);
+          if (!t.ok()) continue;
+          executor_->InjectTuple(qid, gid, inject_op, *t);
+        }
+      });
+}
+
+void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
+                                   const Tuple& t) {
+  if (proxy == dht_->local_address() || proxy.IsNull()) {
+    // This node is the proxy: deliver directly to the client.
+    auto it = clients_.find(query_id);
+    if (it == clients_.end()) return;  // client cancelled or timed out
+    stats_.answers_delivered++;
+    if (it->second.on_tuple) it->second.on_tuple(t);
+    return;
+  }
+  stats_.answers_forwarded++;
+  WireWriter w;
+  w.PutU64(query_id);
+  t.EncodeTo(&w);
+  dht_->router()->SendDirect(proxy, kMsgAnswer, std::move(w).data());
+}
+
+void QueryProcessor::HandleAnswerMsg(const NetAddress& from,
+                                     std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t qid;
+  if (!r.GetU64(&qid).ok()) return;
+  Result<Tuple> t = Tuple::DecodeFrom(&r);
+  if (!t.ok()) return;
+  auto it = clients_.find(qid);
+  if (it == clients_.end()) return;  // late answer after done/cancel
+  stats_.answers_delivered++;
+  if (it->second.on_tuple) it->second.on_tuple(*t);
+}
+
+}  // namespace pier

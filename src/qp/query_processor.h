@@ -1,0 +1,135 @@
+// The per-node PIER query processor: the "life of a query" (§3.3.2).
+//
+// A client submits a plan at any node; that node becomes the query's proxy.
+// The proxy disseminates each opgraph to the nodes that need it — everyone
+// via the distribution tree (true-predicate index), one partition owner via
+// DHT routing (equality-predicate index), PHT leaves for ranges, or just the
+// proxy itself for final collection graphs. Executing nodes forward answer
+// tuples back to the proxy, which delivers them to the client. Everything is
+// bounded by the query timeout; there is no completion protocol.
+
+#ifndef PIER_QP_QUERY_PROCESSOR_H_
+#define PIER_QP_QUERY_PROCESSOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "overlay/dht.h"
+#include "overlay/distribution_tree.h"
+#include "overlay/pht.h"
+#include "qp/executor.h"
+#include "qp/opgraph.h"
+
+namespace pier {
+
+class QueryProcessor {
+ public:
+  struct Options {
+    DistributionTree::Options tree;
+    /// Default lifetime for published base tuples.
+    TimeUs publish_lifetime = 10LL * 60 * kSecond;
+    /// Extra slack past the timeout before the client's on_done fires.
+    TimeUs done_slack = 1 * kSecond;
+  };
+
+  QueryProcessor(Vri* vri, Dht* dht, Options options);
+  QueryProcessor(Vri* vri, Dht* dht) : QueryProcessor(vri, dht, Options{}) {}
+  ~QueryProcessor();
+
+  QueryProcessor(const QueryProcessor&) = delete;
+  QueryProcessor& operator=(const QueryProcessor&) = delete;
+
+  // --- Publishing (primary/secondary indexes, §3.3.3) -------------------------
+
+  /// Publish a tuple into the DHT under `table`, partitioned by `key_attrs`
+  /// (the primary index). lifetime 0 uses the default.
+  void Publish(const std::string& table, const std::vector<std::string>& key_attrs,
+               const Tuple& t, TimeUs lifetime = 0);
+
+  /// Publish a secondary index entry: a (index-key, tupleID-ish) pair — a
+  /// small tuple holding the indexed value and the base tuple's location
+  /// (table + primary key), per §3.3.3.
+  void PublishSecondary(const std::string& index_table,
+                        const std::string& index_attr,
+                        const std::string& base_table,
+                        const std::vector<std::string>& base_key_attrs,
+                        const Tuple& t, TimeUs lifetime = 0);
+
+  /// Publish into a PHT range index keyed by integer column `key_attr`.
+  void PublishRange(const std::string& pht_table, const std::string& key_attr,
+                    const Tuple& t, int key_bits = 32);
+
+  /// Store a tuple in this node's local soft-state table WITHOUT shipping it
+  /// anywhere — data "in situ" (§2.1.2): endpoint monitoring sources (packet
+  /// traces, firewall logs) stay at their origin and are reached by scans
+  /// in broadcast-disseminated opgraphs.
+  void StoreLocal(const std::string& table, const Tuple& t, TimeUs lifetime = 0);
+
+  // --- Client API (this node is the proxy) -------------------------------------
+
+  using TupleCallback = std::function<void(const Tuple&)>;
+  using DoneCallback = std::function<void()>;
+
+  /// Parse-free entry point: submit an already-built plan. Fills in
+  /// query_id (if 0) and proxy, validates, disseminates. Returns the id.
+  Result<uint64_t> SubmitQuery(QueryPlan plan, TupleCallback on_tuple,
+                               DoneCallback on_done = nullptr);
+
+  /// Stop delivering results and tear down local execution. Remote opgraphs
+  /// drain via their own timeouts (soft state, no recall protocol).
+  void CancelQuery(uint64_t query_id);
+
+  // --- Introspection -------------------------------------------------------------
+
+  QueryExecutor* executor() { return executor_.get(); }
+  Dht* dht() { return dht_; }
+  DistributionTree* tree() { return tree_.get(); }
+
+  struct Stats {
+    uint64_t queries_submitted = 0;
+    uint64_t graphs_received = 0;
+    uint64_t answers_forwarded = 0;  // sent toward a remote proxy
+    uint64_t answers_delivered = 0;  // handed to a local client
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Router direct-message type for answer tuples (16-20 are the DHT's).
+  static constexpr uint8_t kMsgAnswer = 32;
+  /// Namespace that carries targeted (equality) dissemination objects.
+  static constexpr const char* kDissemNs = "!dissem";
+
+  struct ClientQuery {
+    TupleCallback on_tuple;
+    DoneCallback on_done;
+    uint64_t done_timer = 0;
+  };
+
+  void Disseminate(const QueryPlan& plan);
+  void HandleDisseminationBlob(std::string_view blob);
+  void HandleAnswerMsg(const NetAddress& from, std::string_view body);
+  void ForwardAnswer(uint64_t query_id, const NetAddress& proxy, const Tuple& t);
+  void StartRangeGraph(const QueryPlan& meta, const OpGraph& g);
+
+  Vri* vri_;
+  Dht* dht_;
+  Options options_;
+  std::unique_ptr<DistributionTree> tree_;
+  std::unique_ptr<QueryExecutor> executor_;
+  /// Persistent PHT handles per (table, key_bits): Pht::Insert is
+  /// asynchronous, so the instance must outlive the operation (and a stable
+  /// instance keeps its uniquifier counter monotone).
+  Pht* PhtFor(const std::string& table, int key_bits);
+
+  std::map<std::string, std::unique_ptr<Pht>> phts_;
+  std::map<uint64_t, ClientQuery> clients_;
+  uint64_t dissem_sub_ = 0;
+  uint64_t next_suffix_ = 1;
+  Stats stats_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_QP_QUERY_PROCESSOR_H_

@@ -1,0 +1,66 @@
+// SimPier: a simulated network of full PIER nodes (DHT + query processor).
+//
+// The query-processing analogue of SimOverlay: boots `n` virtual nodes, each
+// running a Dht and a QueryProcessor, seeds routing (or lets nodes join
+// live), and runs the distribution tree long enough for dissemination to
+// work. Tests, benches and examples submit queries at any node via qp(i).
+
+#ifndef PIER_QP_SIM_PIER_H_
+#define PIER_QP_SIM_PIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "overlay/sim_overlay.h"
+#include "qp/query_processor.h"
+
+namespace pier {
+
+class SimPier {
+ public:
+  struct Options {
+    SimOptions sim;
+    Dht::Options dht;
+    QueryProcessor::Options qp;
+    bool seed_routing = true;
+    /// Virtual time to run after boot: join traffic + distribution-tree
+    /// formation (the tree needs a few join refresh periods).
+    TimeUs settle_time = 8 * kSecond;
+  };
+
+  class PierNode : public SimProgram {
+   public:
+    PierNode(Vri* vri, const Options& options, NetAddress bootstrap);
+    void Start() override;
+    void Stop() override {}
+    Dht* dht() { return dht_.get(); }
+    QueryProcessor* qp() { return qp_.get(); }
+
+   private:
+    std::unique_ptr<Dht> dht_;
+    std::unique_ptr<QueryProcessor> qp_;
+    NetAddress bootstrap_;
+  };
+
+  SimPier(uint32_t n, Options options);
+  explicit SimPier(uint32_t n) : SimPier(n, Options{}) {}
+
+  SimHarness* harness() { return &harness_; }
+  EventLoop* loop() { return harness_.loop(); }
+  Dht* dht(uint32_t index);
+  QueryProcessor* qp(uint32_t index);
+  size_t size() const { return harness_.num_nodes(); }
+
+  /// Install globally-consistent routing state on every live node.
+  void SeedAll();
+
+  void RunFor(TimeUs t) { harness_.RunFor(t); }
+
+ private:
+  Options options_;
+  SimHarness harness_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_QP_SIM_PIER_H_

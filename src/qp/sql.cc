@@ -1,0 +1,751 @@
+#include "qp/sql.h"
+
+#include "qp/agg_state.h"
+
+#include <atomic>
+#include <cctype>
+
+#include "util/hash.h"
+
+namespace pier {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Find the first top-level (outside quotes and parens) occurrence of the
+/// keyword `kw` (which may contain a space, e.g. "group by") at a word
+/// boundary. Returns npos if absent.
+size_t FindKeyword(std::string_view text, std::string_view kw, size_t from = 0) {
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = from; i + kw.size() <= text.size(); ++i) {
+    char c = text[i];
+    if (in_str) {
+      if (c == '\'') in_str = false;
+      continue;
+    }
+    if (c == '\'') {
+      in_str = true;
+      continue;
+    }
+    if (c == '(') depth++;
+    if (c == ')') depth--;
+    if (depth > 0) continue;
+    bool match = true;
+    for (size_t j = 0; j < kw.size(); ++j) {
+      char a = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i + j])));
+      char b = kw[j];
+      if (b == ' ') {
+        if (!std::isspace(static_cast<unsigned char>(text[i + j]))) {
+          match = false;
+          break;
+        }
+      } else if (a != b) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    bool left_ok = i == 0 || !std::isalnum(static_cast<unsigned char>(text[i - 1]));
+    size_t end = i + kw.size();
+    bool right_ok =
+        end >= text.size() || !std::isalnum(static_cast<unsigned char>(text[end]));
+    if (left_ok && right_ok) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Split on top-level commas.
+std::vector<std::string> SplitTopLevel(std::string_view text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_str = false;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size()) {
+      char c = text[i];
+      if (in_str) {
+        if (c == '\'') in_str = false;
+        continue;
+      }
+      if (c == '\'') {
+        in_str = true;
+        continue;
+      }
+      if (c == '(') depth++;
+      if (c == ')') depth--;
+      if (c != ',' || depth > 0) continue;
+    }
+    std::string part = Trim(text.substr(start, i - start));
+    if (!part.empty()) out.push_back(std::move(part));
+    start = i + 1;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Expression rewriting
+// ---------------------------------------------------------------------------
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == ExprKind::kLogic && e->logic_op() == LogicOp::kAnd) {
+    SplitConjuncts(e->children()[0], out);
+    SplitConjuncts(e->children()[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+ExprPtr JoinConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr e = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) e = Expr::And(e, conjuncts[i]);
+  return e;
+}
+
+/// Rebuild an expression with every column name passed through `rename`.
+ExprPtr RewriteColumns(const ExprPtr& e,
+                       const std::function<std::string(const std::string&)>& rename) {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kColumn:
+      return Expr::Column(rename(e->column_name()));
+    case ExprKind::kCmp:
+      return Expr::Cmp(e->cmp_op(), RewriteColumns(e->children()[0], rename),
+                       RewriteColumns(e->children()[1], rename));
+    case ExprKind::kLogic:
+      if (e->logic_op() == LogicOp::kNot)
+        return Expr::Not(RewriteColumns(e->children()[0], rename));
+      return e->logic_op() == LogicOp::kAnd
+                 ? Expr::And(RewriteColumns(e->children()[0], rename),
+                             RewriteColumns(e->children()[1], rename))
+                 : Expr::Or(RewriteColumns(e->children()[0], rename),
+                            RewriteColumns(e->children()[1], rename));
+    case ExprKind::kArith:
+      return Expr::Arith(e->arith_op(), RewriteColumns(e->children()[0], rename),
+                         RewriteColumns(e->children()[1], rename));
+    case ExprKind::kFunc: {
+      std::vector<ExprPtr> args;
+      for (const ExprPtr& c : e->children())
+        args.push_back(RewriteColumns(c, rename));
+      return Expr::Func(e->func_name(), std::move(args));
+    }
+  }
+  return e;
+}
+
+/// Table prefix of a dotted column ("e.src" -> "e"), or "" if undotted.
+std::string ColumnPrefix(const std::string& name) {
+  size_t dot = name.find('.');
+  return dot == std::string::npos ? std::string() : name.substr(0, dot);
+}
+
+std::string StripPrefix(const std::string& name) {
+  size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Parsed query structure
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  bool star = false;
+  bool is_agg = false;
+  AggFunc func = AggFunc::kCount;
+  std::string col;    // "" for count(*)
+  std::string alias;  // output name
+};
+
+struct FromTable {
+  std::string table;
+  std::string alias;
+};
+
+struct ParsedSql {
+  std::vector<SelectItem> items;
+  std::vector<FromTable> from;
+  ExprPtr where;  // null if absent
+  std::vector<std::string> group_by;
+  std::string order_col;
+  bool order_desc = false;
+  int64_t limit = -1;
+  TimeUs timeout = 0;
+  TimeUs window = 0;
+  bool continuous = false;
+};
+
+Result<TimeUs> ParseDuration(const std::string& text) {
+  std::string t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty duration");
+  TimeUs mult = kMillisecond;
+  std::string num = t;
+  if (t.size() > 2 && Lower(t.substr(t.size() - 2)) == "ms") {
+    num = t.substr(0, t.size() - 2);
+  } else if (t.back() == 's' || t.back() == 'S') {
+    mult = kSecond;
+    num = t.substr(0, t.size() - 1);
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(num.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0)
+    return Status::InvalidArgument("bad duration '" + text + "'");
+  return v * mult;
+}
+
+Result<SelectItem> ParseSelectItem(const std::string& raw) {
+  SelectItem item;
+  std::string text = Trim(raw);
+  // Optional "AS alias" suffix.
+  size_t as_pos = FindKeyword(text, "as");
+  if (as_pos != std::string::npos) {
+    item.alias = Trim(text.substr(as_pos + 2));
+    text = Trim(text.substr(0, as_pos));
+  }
+  if (text == "*") {
+    item.star = true;
+    return item;
+  }
+  size_t paren = text.find('(');
+  if (paren != std::string::npos) {
+    std::string fn = Lower(Trim(text.substr(0, paren)));
+    size_t close = text.rfind(')');
+    if (close == std::string::npos || close < paren)
+      return Status::InvalidArgument("unbalanced parens in '" + raw + "'");
+    std::string arg = Trim(text.substr(paren + 1, close - paren - 1));
+    item.is_agg = true;
+    if (fn == "count") {
+      item.func = AggFunc::kCount;
+    } else if (fn == "sum") {
+      item.func = AggFunc::kSum;
+    } else if (fn == "min") {
+      item.func = AggFunc::kMin;
+    } else if (fn == "max") {
+      item.func = AggFunc::kMax;
+    } else if (fn == "avg") {
+      item.func = AggFunc::kAvg;
+    } else {
+      return Status::InvalidArgument("unknown aggregate '" + fn + "'");
+    }
+    item.col = arg == "*" ? "" : StripPrefix(arg);
+    if (item.alias.empty()) {
+      item.alias = fn + (item.col.empty() ? "" : "_" + item.col);
+    }
+    return item;
+  }
+  item.col = text;  // prefix stripped later, once aliases are known
+  if (item.alias.empty()) item.alias = StripPrefix(text);
+  return item;
+}
+
+Result<ParsedSql> Parse(const std::string& sql) {
+  ParsedSql q;
+  std::string text = Trim(sql);
+  if (!text.empty() && text.back() == ';') text.pop_back();
+
+  size_t sel = FindKeyword(text, "select");
+  if (sel != 0) return Status::InvalidArgument("query must start with SELECT");
+  size_t from = FindKeyword(text, "from");
+  if (from == std::string_view::npos)
+    return Status::InvalidArgument("missing FROM");
+
+  struct ClausePos {
+    const char* kw;
+    size_t pos;
+  };
+  size_t where = FindKeyword(text, "where", from);
+  size_t group = FindKeyword(text, "group by", from);
+  size_t order = FindKeyword(text, "order by", from);
+  size_t limit = FindKeyword(text, "limit", from);
+  size_t timeout = FindKeyword(text, "timeout", from);
+  size_t window = FindKeyword(text, "window", from);
+  size_t continuous = FindKeyword(text, "continuous", from);
+
+  auto clause_end = [&](size_t start) {
+    size_t end = text.size();
+    for (size_t p : {where, group, order, limit, timeout, window, continuous}) {
+      if (p != std::string_view::npos && p > start) end = std::min(end, p);
+    }
+    return end;
+  };
+
+  // SELECT list.
+  for (const std::string& part :
+       SplitTopLevel(text.substr(6, from - 6))) {
+    PIER_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem(part));
+    q.items.push_back(std::move(item));
+  }
+  if (q.items.empty()) return Status::InvalidArgument("empty SELECT list");
+
+  // FROM list.
+  size_t from_end = clause_end(from + 4);
+  for (const std::string& part :
+       SplitTopLevel(text.substr(from + 4, from_end - from - 4))) {
+    FromTable ft;
+    size_t sp = part.find(' ');
+    if (sp == std::string::npos) {
+      ft.table = part;
+      ft.alias = part;
+    } else {
+      ft.table = Trim(part.substr(0, sp));
+      ft.alias = Trim(part.substr(sp + 1));
+    }
+    q.from.push_back(std::move(ft));
+  }
+  if (q.from.empty() || q.from.size() > 2)
+    return Status::NotSupported("FROM must name one or two tables");
+
+  if (where != std::string_view::npos) {
+    size_t end = clause_end(where + 5);
+    PIER_ASSIGN_OR_RETURN(q.where,
+                          ParseExpr(text.substr(where + 5, end - where - 5)));
+  }
+  if (group != std::string_view::npos) {
+    size_t end = clause_end(group + 8);
+    for (const std::string& col :
+         SplitTopLevel(text.substr(group + 8, end - group - 8))) {
+      q.group_by.push_back(StripPrefix(col));
+    }
+  }
+  if (order != std::string_view::npos) {
+    size_t end = clause_end(order + 8);
+    std::string clause = Trim(text.substr(order + 8, end - order - 8));
+    size_t sp = clause.find(' ');
+    if (sp != std::string::npos) {
+      std::string dir = Lower(Trim(clause.substr(sp + 1)));
+      if (dir == "desc") {
+        q.order_desc = true;
+      } else if (dir != "asc") {
+        return Status::InvalidArgument("bad ORDER BY direction '" + dir + "'");
+      }
+      clause = Trim(clause.substr(0, sp));
+    }
+    q.order_col = StripPrefix(clause);
+  }
+  if (limit != std::string_view::npos) {
+    size_t end = clause_end(limit + 5);
+    q.limit = std::strtoll(Trim(text.substr(limit + 5, end - limit - 5)).c_str(),
+                           nullptr, 10);
+    if (q.limit <= 0) return Status::InvalidArgument("bad LIMIT");
+  }
+  if (timeout != std::string_view::npos) {
+    size_t end = clause_end(timeout + 7);
+    PIER_ASSIGN_OR_RETURN(
+        q.timeout, ParseDuration(text.substr(timeout + 7, end - timeout - 7)));
+  }
+  if (window != std::string_view::npos) {
+    size_t end = clause_end(window + 6);
+    PIER_ASSIGN_OR_RETURN(
+        q.window, ParseDuration(text.substr(window + 6, end - window - 6)));
+  }
+  q.continuous = continuous != std::string_view::npos;
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Plan assembly
+// ---------------------------------------------------------------------------
+
+/// Process-unique query ids. SubmitQuery keeps a nonzero id, and the
+/// compiler needs one early so rendezvous namespaces ("q<id>.x") can be
+/// baked into operator parameters.
+uint64_t NextQueryId(const std::string& sql) {
+  static std::atomic<uint64_t> counter{1};
+  uint64_t c = counter.fetch_add(1);
+  uint64_t id = HashCombine(Fnv1a64(sql), c);
+  return id == 0 ? 1 : id;
+}
+
+/// Equality-dissemination check: does `where` pin every partition attribute
+/// of `hint` to a constant? If so fill dissem ns/key.
+bool TryEqualityDissem(const ExprPtr& where, const std::string& table,
+                       const TableHint& hint, OpGraph* g) {
+  if (!where || hint.partition_attrs.empty()) return false;
+  std::string key;
+  for (const std::string& attr : hint.partition_attrs) {
+    Value v;
+    if (!where->ExtractEqualityConstant(attr, &v)) return false;
+    key += v.CanonicalString();
+    key.push_back('|');
+  }
+  g->dissem = DissemKind::kEquality;
+  g->dissem_ns = table;
+  g->dissem_key = key;
+  return true;
+}
+
+struct Compiler {
+  const SqlOptions& options;
+  ParsedSql q;
+  QueryPlan plan;
+  std::string qns;  // "q<id>"
+
+  std::string Ns(const std::string& what) const { return qns + "." + what; }
+
+  /// Per-side filter + join predicate extraction for two-table queries.
+  struct JoinInfo {
+    std::string l_col, r_col;       // join attrs (bare names)
+    ExprPtr l_filter, r_filter;     // pushed-down side filters (bare names)
+    ExprPtr residual;               // everything else (bare names)
+    bool found = false;
+  };
+
+  Result<JoinInfo> AnalyzeJoin() {
+    JoinInfo info;
+    if (!q.where) return Status::InvalidArgument("join query needs WHERE");
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(q.where, &conjuncts);
+    const std::string& la = q.from[0].alias;
+    const std::string& ra = q.from[1].alias;
+    std::vector<ExprPtr> l_parts, r_parts, rest;
+    for (const ExprPtr& c : conjuncts) {
+      // Join predicate: col(l) = col(r).
+      if (!info.found && c->kind() == ExprKind::kCmp &&
+          c->cmp_op() == CmpOp::kEq &&
+          c->children()[0]->kind() == ExprKind::kColumn &&
+          c->children()[1]->kind() == ExprKind::kColumn) {
+        std::string p0 = ColumnPrefix(c->children()[0]->column_name());
+        std::string p1 = ColumnPrefix(c->children()[1]->column_name());
+        if ((p0 == la && p1 == ra) || (p0 == ra && p1 == la)) {
+          const std::string& c0 = c->children()[0]->column_name();
+          const std::string& c1 = c->children()[1]->column_name();
+          info.l_col = StripPrefix(p0 == la ? c0 : c1);
+          info.r_col = StripPrefix(p0 == la ? c1 : c0);
+          info.found = true;
+          continue;
+        }
+      }
+      // Side filter: all columns reference exactly one alias.
+      std::vector<std::string> cols;
+      c->CollectColumns(&cols);
+      bool all_l = !cols.empty(), all_r = !cols.empty();
+      for (const std::string& col : cols) {
+        std::string p = ColumnPrefix(col);
+        all_l &= (p == la);
+        all_r &= (p == ra);
+      }
+      ExprPtr bare = RewriteColumns(c, StripPrefix);
+      if (all_l) {
+        l_parts.push_back(bare);
+      } else if (all_r) {
+        r_parts.push_back(bare);
+      } else {
+        rest.push_back(bare);
+      }
+    }
+    if (!info.found)
+      return Status::NotSupported("two-table query needs an equi-join predicate");
+    info.l_filter = JoinConjuncts(l_parts);
+    info.r_filter = JoinConjuncts(r_parts);
+    info.residual = JoinConjuncts(rest);
+    return info;
+  }
+
+  /// Build a scan->selection chain; returns the id of the chain's tail.
+  uint32_t ScanChain(OpGraph* g, const std::string& table, const ExprPtr& filter) {
+    OpSpec& scan = g->AddOp(OpKind::kScan);
+    scan.Set("ns", table);
+    uint32_t tail = scan.id;
+    if (filter) {
+      OpSpec& sel = g->AddOp(OpKind::kSelection);
+      sel.SetExpr("pred", filter);
+      g->Connect(tail, sel.id, 0);
+      tail = sel.id;
+    }
+    return tail;
+  }
+
+  /// Append projection (if needed) and a result op behind `tail`.
+  void Finish(OpGraph* g, uint32_t tail, bool project) {
+    if (project) {
+      bool star = false;
+      std::vector<std::string> cols;
+      for (const SelectItem& item : q.items) {
+        star |= item.star;
+        if (!item.star && !item.is_agg) cols.push_back(StripPrefix(item.col));
+      }
+      if (!star && !cols.empty()) {
+        OpSpec& proj = g->AddOp(OpKind::kProjection);
+        proj.SetStrings("cols", cols);
+        g->Connect(tail, proj.id, 0);
+        tail = proj.id;
+      }
+    }
+    OpSpec& res = g->AddOp(OpKind::kResult);
+    g->Connect(tail, res.id, 0);
+  }
+
+  /// Stage results through a single collection owner for ORDER BY / LIMIT.
+  /// `tail` produces finished rows in graph `g`; this publishes them to a
+  /// constant key and adds a collector graph with topk/limit + result.
+  void CollectStage(OpGraph* g, uint32_t tail, int32_t stage) {
+    std::string ns = Ns("collect");
+    OpSpec& put = g->AddOp(OpKind::kPut);
+    put.Set("ns", ns);
+    put.Set("key", "");  // constant key: one collection owner
+    g->Connect(tail, put.id, 0);
+
+    OpGraph& cg = plan.AddGraph();
+    cg.dissem = DissemKind::kEquality;
+    cg.dissem_ns = ns;
+    cg.dissem_key = Tuple().PartitionKey({});
+    cg.flush_stage = stage;
+    OpSpec& nd = cg.AddOp(OpKind::kNewData);
+    nd.Set("ns", ns);
+    uint32_t ctail = nd.id;  // later AddOps invalidate the nd reference
+    if (!q.order_col.empty()) {
+      OpSpec& topk = cg.AddOp(OpKind::kTopK);
+      topk.SetInt("k", q.limit > 0 ? q.limit : 10);
+      topk.Set("col", q.order_col);
+      topk.SetInt("desc", q.order_desc ? 1 : 0);
+      if (!q.group_by.empty()) topk.SetStrings("dedup", q.group_by);
+      cg.Connect(ctail, topk.id, 0);
+      ctail = topk.id;
+    } else if (q.limit > 0) {
+      OpSpec& lim = cg.AddOp(OpKind::kLimit);
+      lim.SetInt("k", q.limit);
+      cg.Connect(ctail, lim.id, 0);
+      ctail = lim.id;
+    }
+    OpSpec& res = cg.AddOp(OpKind::kResult);
+    cg.Connect(ctail, res.id, 0);
+  }
+
+  bool NeedsCollect() const { return !q.order_col.empty() || q.limit > 0; }
+
+  Result<QueryPlan> CompileSingleTable() {
+    const FromTable& ft = q.from[0];
+    bool has_agg = false;
+    for (const SelectItem& item : q.items) has_agg |= item.is_agg;
+
+    if (!has_agg) {
+      OpGraph& g = plan.AddGraph();
+      auto hint = options.tables.find(ft.table);
+      if (hint != options.tables.end())
+        TryEqualityDissem(q.where, ft.table, hint->second, &g);
+      uint32_t tail = ScanChain(&g, ft.table, q.where);
+      if (NeedsCollect()) {
+        // Project before shipping so the collector sees final rows.
+        bool star = false;
+        std::vector<std::string> cols;
+        for (const SelectItem& item : q.items) {
+          star |= item.star;
+          if (!item.star) cols.push_back(StripPrefix(item.col));
+        }
+        if (!star && !cols.empty()) {
+          OpSpec& proj = g.AddOp(OpKind::kProjection);
+          proj.SetStrings("cols", cols);
+          g.Connect(tail, proj.id, 0);
+          tail = proj.id;
+        }
+        CollectStage(&g, tail, 1);
+      } else {
+        Finish(&g, tail, /*project=*/true);
+      }
+      return std::move(plan);
+    }
+
+    // Aggregation query.
+    std::vector<AggSpec> aggs;
+    for (const SelectItem& item : q.items) {
+      if (!item.is_agg) continue;
+      aggs.push_back(AggSpec{item.func, item.col, item.alias});
+    }
+    std::string aggs_text = FormatAggSpecs(aggs);
+    std::string keys_text;
+    for (size_t i = 0; i < q.group_by.size(); ++i) {
+      if (i) keys_text.push_back(',');
+      keys_text += q.group_by[i];
+    }
+
+    if (options.agg_strategy == "hier") {
+      OpGraph& g = plan.AddGraph();
+      uint32_t tail = ScanChain(&g, ft.table, q.where);
+      OpSpec& agg = g.AddOp(OpKind::kHierAgg);
+      agg.Set("keys", keys_text);
+      agg.Set("aggs", aggs_text);
+      g.Connect(tail, agg.id, 0);
+      uint32_t atail = agg.id;
+      if (!q.order_col.empty()) {
+        OpSpec& topk = g.AddOp(OpKind::kTopK);
+        topk.SetInt("k", q.limit > 0 ? q.limit : 10);
+        topk.Set("col", q.order_col);
+        topk.SetInt("desc", q.order_desc ? 1 : 0);
+        if (!q.group_by.empty()) topk.SetStrings("dedup", q.group_by);
+        g.Connect(atail, topk.id, 0);
+        atail = topk.id;
+      } else if (q.limit > 0) {
+        OpSpec& lim = g.AddOp(OpKind::kLimit);
+        lim.SetInt("k", q.limit);
+        g.Connect(atail, lim.id, 0);
+        atail = lim.id;
+      }
+      OpSpec& res = g.AddOp(OpKind::kResult);
+      g.Connect(atail, res.id, 0);
+      return std::move(plan);
+    }
+
+    // Flat strategy: partial -> rehash by group key -> final.
+    std::string agg_ns = Ns("agg");
+    OpGraph& g1 = plan.AddGraph();
+    {
+      auto hint = options.tables.find(ft.table);
+      if (hint != options.tables.end())
+        TryEqualityDissem(q.where, ft.table, hint->second, &g1);
+      uint32_t tail = ScanChain(&g1, ft.table, q.where);
+      OpSpec& part = g1.AddOp(OpKind::kGroupBy);
+      part.Set("keys", keys_text);
+      part.Set("aggs", aggs_text);
+      part.Set("mode", "partial");
+      uint32_t part_id = part.id;  // AddOp below invalidates the reference
+      g1.Connect(tail, part_id, 0);
+      OpSpec& put = g1.AddOp(OpKind::kPut);
+      put.Set("ns", agg_ns);
+      put.Set("key", keys_text);
+      g1.Connect(part_id, put.id, 0);
+    }
+
+    OpGraph& g2 = plan.AddGraph();
+    g2.flush_stage = 1;
+    {
+      OpSpec& nd = g2.AddOp(OpKind::kNewData);
+      nd.Set("ns", agg_ns);
+      uint32_t nd_id = nd.id;  // AddOp below invalidates the reference
+      OpSpec& fin = g2.AddOp(OpKind::kGroupBy);
+      fin.Set("keys", keys_text);
+      fin.Set("aggs", aggs_text);
+      fin.Set("mode", "final");
+      uint32_t fin_id = fin.id;
+      g2.Connect(nd_id, fin_id, 0);
+      if (NeedsCollect()) {
+        CollectStage(&g2, fin_id, 2);
+      } else {
+        OpSpec& res = g2.AddOp(OpKind::kResult);
+        g2.Connect(fin_id, res.id, 0);
+      }
+    }
+    return std::move(plan);
+  }
+
+  Result<QueryPlan> CompileJoin() {
+    PIER_ASSIGN_OR_RETURN(JoinInfo j, AnalyzeJoin());
+    const FromTable& lt = q.from[0];
+    const FromTable& rt = q.from[1];
+
+    // Naive physical choice: Fetch Matches when the inner (right) table's
+    // primary index is exactly the join attribute; otherwise rehash + SHJ.
+    auto rhint = options.tables.find(rt.table);
+    bool fm = rhint != options.tables.end() &&
+              rhint->second.partition_attrs.size() == 1 &&
+              rhint->second.partition_attrs[0] == j.r_col;
+
+    if (fm) {
+      OpGraph& g = plan.AddGraph();
+      auto lhint = options.tables.find(lt.table);
+      if (lhint != options.tables.end())
+        TryEqualityDissem(j.l_filter, lt.table, lhint->second, &g);
+      uint32_t tail = ScanChain(&g, lt.table, j.l_filter);
+      OpSpec& fmj = g.AddOp(OpKind::kFetchMatches);
+      fmj.Set("table", rt.table);
+      fmj.SetExpr("key_expr", Expr::Column(j.l_col));
+      std::vector<ExprPtr> resid;
+      if (j.r_filter) resid.push_back(j.r_filter);
+      if (j.residual) resid.push_back(j.residual);
+      if (!resid.empty()) fmj.SetExpr("pred", JoinConjuncts(resid));
+      g.Connect(tail, fmj.id, 0);
+      if (NeedsCollect()) {
+        CollectStage(&g, fmj.id, 1);
+      } else {
+        Finish(&g, fmj.id, /*project=*/true);
+      }
+      return std::move(plan);
+    }
+
+    // Rehash both inputs into one namespace partitioned by join key.
+    std::string jns = Ns("join");
+    auto rehash_side = [&](const FromTable& ft, const ExprPtr& filter,
+                           const std::string& key_col) {
+      OpGraph& g = plan.AddGraph();
+      auto hint = options.tables.find(ft.table);
+      if (hint != options.tables.end())
+        TryEqualityDissem(filter, ft.table, hint->second, &g);
+      uint32_t tail = ScanChain(&g, ft.table, filter);
+      OpSpec& put = g.AddOp(OpKind::kPut);
+      put.Set("ns", jns);
+      put.Set("key", key_col);
+      g.Connect(tail, put.id, 0);
+    };
+    rehash_side(lt, j.l_filter, j.l_col);
+    rehash_side(rt, j.r_filter, j.r_col);
+
+    OpGraph& g3 = plan.AddGraph();
+    g3.flush_stage = 1;
+    OpSpec& nd = g3.AddOp(OpKind::kNewData);
+    nd.Set("ns", jns);
+    uint32_t nd_id = nd.id;  // AddOp below invalidates the reference
+    OpSpec& shj = g3.AddOp(OpKind::kSymHashJoin);
+    shj.Set("l_key", j.l_col);
+    shj.Set("r_key", j.r_col);
+    shj.Set("l_table", lt.table);
+    shj.Set("r_table", rt.table);
+    if (j.residual) shj.SetExpr("pred", j.residual);
+    uint32_t shj_id = shj.id;
+    g3.Connect(nd_id, shj_id, 0);
+    if (NeedsCollect()) {
+      CollectStage(&g3, shj_id, 2);
+    } else {
+      Finish(&g3, shj_id, /*project=*/true);
+    }
+    return std::move(plan);
+  }
+
+  Result<QueryPlan> Compile() {
+    plan.timeout = q.timeout > 0 ? q.timeout : options.default_timeout;
+    plan.continuous = q.continuous;
+    if (q.window > 0) plan.window = q.window;
+
+    // Normalize WHERE column names: strip prefixes for single-table queries
+    // (join analysis needs them and strips later).
+    if (q.where && q.from.size() == 1) {
+      q.where = RewriteColumns(q.where, [this](const std::string& name) {
+        std::string p = ColumnPrefix(name);
+        if (p == q.from[0].alias || p == q.from[0].table) return StripPrefix(name);
+        return name;
+      });
+    }
+
+    if (q.from.size() == 1) return CompileSingleTable();
+    return CompileJoin();
+  }
+};
+
+}  // namespace
+
+Result<QueryPlan> CompileSql(const std::string& sql, const SqlOptions& options) {
+  PIER_ASSIGN_OR_RETURN(ParsedSql parsed, Parse(sql));
+  Compiler c{options, std::move(parsed), QueryPlan{}, ""};
+  c.plan.query_id = NextQueryId(sql);
+  c.qns = "q" + std::to_string(c.plan.query_id);
+  PIER_ASSIGN_OR_RETURN(QueryPlan plan, c.Compile());
+  PIER_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+}  // namespace pier

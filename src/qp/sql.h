@@ -1,0 +1,58 @@
+// The naive SQL-like front end (§3.3.2 footnote 5, §4.2).
+//
+// PIER has no system catalog, so the application "bakes in" the metadata the
+// compiler needs (§4.2.1): for each table, the attributes it was partitioned
+// on when published (its primary index). The optimizer is deliberately naive,
+// as in the paper: selections are pushed into the scan graphs, equality
+// predicates on a partition key turn broadcast dissemination into a targeted
+// one, a two-table equi-join picks Fetch Matches when the inner's primary
+// index matches the join attribute (rehash symmetric-hash otherwise), and
+// aggregates run either as two-phase partial/final rehash or over the
+// hierarchical aggregation tree.
+//
+// Grammar (keywords case-insensitive):
+//
+//   SELECT item [, item]*
+//   FROM table [alias] [, table [alias]]
+//   [WHERE expr]
+//   [GROUP BY col [, col]*]
+//   [ORDER BY col [ASC|DESC]]
+//   [LIMIT n]
+//   [TIMEOUT n{ms|s}] [WINDOW n{ms|s}] [CONTINUOUS]
+//
+//   item := * | col | agg '(' col | * ')' [AS alias]
+//   agg  := COUNT | SUM | MIN | MAX | AVG
+
+#ifndef PIER_QP_SQL_H_
+#define PIER_QP_SQL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qp/opgraph.h"
+#include "util/status.h"
+
+namespace pier {
+
+/// Application-provided metadata standing in for the missing catalog.
+struct TableHint {
+  /// Attributes the table is partitioned on in the DHT (primary index).
+  std::vector<std::string> partition_attrs;
+};
+
+struct SqlOptions {
+  std::map<std::string, TableHint> tables;
+  /// "hier": aggregate over the aggregation tree; "flat": two-phase
+  /// partial/final rehash aggregation.
+  std::string agg_strategy = "flat";
+  TimeUs default_timeout = 20 * kSecond;
+};
+
+/// Compile a SQL string into a query plan. The plan's query_id/proxy are
+/// filled in by QueryProcessor::SubmitQuery.
+Result<QueryPlan> CompileSql(const std::string& sql, const SqlOptions& options);
+
+}  // namespace pier
+
+#endif  // PIER_QP_SQL_H_

@@ -1,0 +1,57 @@
+#include "runtime/event_loop.h"
+
+#include <utility>
+
+namespace pier {
+
+uint64_t EventLoop::ScheduleAt(TimeUs when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  uint64_t token = next_seq_++;
+  queue_.push(Entry{when, token, std::move(fn)});
+  return token;
+}
+
+void EventLoop::Cancel(uint64_t token) {
+  if (token != 0 && token < next_seq_) cancelled_.insert(token);
+}
+
+TimeUs EventLoop::NextEventTime() {
+  // Pop cancelled entries lazily so NextEventTime reflects live work.
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().seq);
+    if (it == cancelled_.end()) return queue_.top().when;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+  return -1;
+}
+
+bool EventLoop::RunOne() {
+  if (NextEventTime() < 0) return false;
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  if (e.when > now_) now_ = e.when;
+  ++events_executed_;
+  e.fn();
+  return true;
+}
+
+size_t EventLoop::RunUntil(TimeUs t) {
+  size_t n = 0;
+  while (true) {
+    TimeUs next = NextEventTime();
+    if (next < 0 || next > t) break;
+    RunOne();
+    ++n;
+  }
+  if (t > now_) now_ = t;
+  return n;
+}
+
+size_t EventLoop::RunUntilIdle(uint64_t max_events) {
+  size_t n = 0;
+  while (n < max_events && RunOne()) ++n;
+  return n;
+}
+
+}  // namespace pier

@@ -1,0 +1,80 @@
+// The Main Scheduler (§3.1.2): a single-threaded priority queue of events.
+//
+// Both runtime environments are built on this loop. In simulation the loop's
+// clock is virtual and jumps from event to event; in the Physical Runtime the
+// loop is driven by the wall clock and an I/O thread posts network events
+// into it. Ties in event time are broken by insertion sequence, which is what
+// makes simulations deterministic.
+
+#ifndef PIER_RUNTIME_EVENT_LOOP_H_
+#define PIER_RUNTIME_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/vri.h"
+
+namespace pier {
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Schedule `fn` at absolute time `when` (clamped to >= now). Returns a
+  /// cancellation token.
+  uint64_t ScheduleAt(TimeUs when, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` from now.
+  uint64_t ScheduleAfter(TimeUs delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Best-effort cancel; a no-op if the event already ran.
+  void Cancel(uint64_t token);
+
+  TimeUs now() const { return now_; }
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Time of the earliest pending event, or -1 if none.
+  TimeUs NextEventTime();
+
+  /// Run the earliest event, advancing the clock to it. False if none pending.
+  bool RunOne();
+
+  /// Run all events with time <= t, then advance the clock to exactly t.
+  /// Returns the number of events executed.
+  size_t RunUntil(TimeUs t);
+
+  /// Run events until the queue drains or `max_events` executed.
+  size_t RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+ private:
+  struct Entry {
+    TimeUs when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+  TimeUs now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_RUNTIME_EVENT_LOOP_H_

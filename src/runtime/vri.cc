@@ -1,0 +1,20 @@
+#include "runtime/vri.h"
+
+#include <cstdio>
+
+namespace pier {
+
+std::string NetAddress::ToString() const {
+  char buf[32];
+  // Virtual-node style (small host values) prints as node index; IPv4 style
+  // prints dotted quad.
+  if (host < (1u << 24)) {
+    std::snprintf(buf, sizeof(buf), "n%u:%u", host, port);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (host >> 24) & 0xff,
+                  (host >> 16) & 0xff, (host >> 8) & 0xff, host & 0xff, port);
+  }
+  return buf;
+}
+
+}  // namespace pier

@@ -1,0 +1,89 @@
+#include "util/bloom.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace pier {
+
+namespace {
+constexpr size_t kMinBits = 64;
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_items, double fp_rate) {
+  if (expected_items < 1) expected_items = 1;
+  if (fp_rate <= 0) fp_rate = 1e-4;
+  if (fp_rate >= 1) fp_rate = 0.5;
+  const double ln2 = std::log(2.0);
+  double bits = -static_cast<double>(expected_items) * std::log(fp_rate) / (ln2 * ln2);
+  num_bits_ = std::max(kMinBits, static_cast<size_t>(bits) + 1);
+  int k = static_cast<int>(std::lround(bits / expected_items * ln2));
+  num_hashes_ = std::max(1, std::min(16, k));
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+BloomFilter::BloomFilter(size_t num_bits, int num_hashes)
+    : num_bits_(std::max(kMinBits, num_bits)),
+      num_hashes_(std::max(1, std::min(16, num_hashes))) {
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  // Kirsch-Mitzenmacher double hashing.
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::Merge(const BloomFilter& other) {
+  if (other.num_bits_ != num_bits_ || other.num_hashes_ != num_hashes_) {
+    return Status::InvalidArgument("bloom filter geometry mismatch");
+  }
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return Status::Ok();
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(16 + bits_.size() * 8);
+  auto put64 = [&out](uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  put64(num_bits_);
+  put64(static_cast<uint64_t>(num_hashes_));
+  for (uint64_t w : bits_) put64(w);
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(std::string_view data) {
+  auto get64 = [&data](size_t off) -> uint64_t {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data[off + i])) << (8 * i);
+    return v;
+  };
+  if (data.size() < 16) return Status::Corruption("bloom: short header");
+  uint64_t num_bits = get64(0);
+  int num_hashes = static_cast<int>(get64(8));
+  BloomFilter f(num_bits, num_hashes);
+  size_t words = (f.num_bits_ + 63) / 64;
+  if (data.size() != 16 + words * 8) return Status::Corruption("bloom: size mismatch");
+  for (size_t i = 0; i < words; ++i) f.bits_[i] = get64(16 + i * 8);
+  return f;
+}
+
+}  // namespace pier

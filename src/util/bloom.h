@@ -1,0 +1,50 @@
+// Serializable Bloom filter.
+//
+// PIER uses Bloom joins (§2.1.1, §3.3.4) as a bandwidth-reducing rewrite: a
+// Bloom filter summarizing one join input is shipped to the other input's
+// partitions, which forward only probably-matching tuples. The filter must
+// therefore serialize compactly and hash identically on every node.
+
+#ifndef PIER_UTIL_BLOOM_H_
+#define PIER_UTIL_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pier {
+
+class BloomFilter {
+ public:
+  /// A filter sized for `expected_items` with roughly `fp_rate` false
+  /// positives. Both are clamped to sane minimums.
+  BloomFilter(size_t expected_items, double fp_rate);
+
+  /// An empty filter with explicit geometry (used by Deserialize).
+  BloomFilter(size_t num_bits, int num_hashes);
+
+  void Add(std::string_view key);
+  bool MayContain(std::string_view key) const;
+
+  /// Union with another filter of identical geometry.
+  Status Merge(const BloomFilter& other);
+
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t ApproximateSizeBytes() const { return bits_.size() * 8 + 16; }
+
+  std::string Serialize() const;
+  static Result<BloomFilter> Deserialize(std::string_view data);
+
+ private:
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_BLOOM_H_

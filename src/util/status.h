@@ -1,0 +1,146 @@
+// Status / Result error handling for pier-cpp.
+//
+// PIER runs as a long-lived network service; per the project conventions we do
+// not use exceptions. Fallible routines return `Status`, and value-producing
+// fallible routines return `Result<T>` (a Status or a value).
+
+#ifndef PIER_UTIL_STATUS_H_
+#define PIER_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pier {
+
+/// Coarse error taxonomy. Codes are stable and serializable.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kTimedOut = 4,
+  kUnavailable = 5,     // transient: retry may succeed (e.g. route failure)
+  kCorruption = 6,      // malformed wire data
+  kNotSupported = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+};
+
+/// Human-readable name for a status code ("Ok", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// The outcome of a fallible operation: a code plus an optional message.
+///
+/// `Status::Ok()` is cheap (no allocation). Error statuses carry a message
+/// intended for logs and test failure output, not for programmatic dispatch.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "NotFound: no such namespace".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing the value of an error
+/// Result is a programming bug (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define PIER_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::pier::Status _s = (expr);             \
+    if (!_s.ok()) return _s;                \
+  } while (0)
+
+/// Evaluate `rexpr` (a Result<T>), propagate error, else bind the value.
+#define PIER_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto PIER_CONCAT_(_res_, __LINE__) = (rexpr); \
+  if (!PIER_CONCAT_(_res_, __LINE__).ok())      \
+    return PIER_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PIER_CONCAT_(_res_, __LINE__)).value()
+
+#define PIER_CONCAT_INNER_(a, b) a##b
+#define PIER_CONCAT_(a, b) PIER_CONCAT_INNER_(a, b)
+
+}  // namespace pier
+
+#endif  // PIER_UTIL_STATUS_H_

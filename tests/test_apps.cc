@@ -1,0 +1,154 @@
+// Application-level tests: the Gnutella baseline, the PIER filesharing
+// search, and the netmon top-K query against ground truth.
+
+#include <gtest/gtest.h>
+
+#include "apps/filesharing.h"
+#include "apps/gnutella.h"
+#include "apps/netmon.h"
+#include "apps/workloads.h"
+
+namespace pier {
+namespace {
+
+TEST(Workloads, CorpusReplicationFollowsPopularity) {
+  CorpusOptions copts;
+  copts.num_files = 500;
+  copts.seed = 3;
+  FilesharingCorpus corpus(copts, 100);
+  ASSERT_EQ(corpus.files().size(), 500u);
+  // Popular files (low rank) must have strictly more replicas than the tail.
+  EXPECT_GT(corpus.files()[0].hosts.size(), corpus.files()[499].hosts.size());
+  EXPECT_EQ(corpus.files()[499].hosts.size(), 1u);
+  // Every file exists somewhere and mentions the configured keyword count.
+  for (const CorpusFile& f : corpus.files()) {
+    EXPECT_GE(f.hosts.size(), 1u);
+    EXPECT_EQ(f.keywords.size(), 3u);
+  }
+}
+
+TEST(Workloads, RareQueriesTargetThinlyReplicatedFiles) {
+  CorpusOptions copts;
+  copts.num_files = 1000;
+  copts.seed = 5;
+  FilesharingCorpus corpus(copts, 50);
+  Rng rng(99);
+  auto rare = corpus.MakeQueries(50, 1, /*rare_only=*/true, 5, &rng);
+  ASSERT_EQ(rare.size(), 50u);
+  for (const auto& q : rare) {
+    EXPECT_TRUE(q.rare);
+    EXPECT_LE(corpus.KeywordFrequency(q.keywords[0]), 5u);
+  }
+}
+
+TEST(Workloads, FirewallGroundTruthIsSkewed) {
+  FirewallOptions fopts;
+  fopts.events_per_node = 50;
+  FirewallWorkload wl(fopts);
+  auto top = wl.GroundTruthTopK(100, 10);
+  ASSERT_EQ(top.size(), 10u);
+  // Zipf(1.1): the single top source must dominate the 10th by a wide margin.
+  EXPECT_GE(top[0].second, 3 * top[9].second);
+  // Determinism: same seed, same logs.
+  auto again = wl.GroundTruthTopK(100, 10);
+  EXPECT_EQ(top, again);
+}
+
+TEST(Gnutella, FloodFindsWidelyReplicatedFile) {
+  GnutellaSim::Options opts;
+  opts.sim.seed = 17;
+  GnutellaSim net(60, opts);
+  // Place a file with 12 replicas.
+  for (uint32_t h = 0; h < 60; h += 5) net.node(h)->AddLocalFile(42, {7, 8, 9});
+  TimeUs lat = net.RunQuery(1, {7, 8}, /*ttl=*/4, 10 * kSecond);
+  EXPECT_GE(lat, 0) << "popular file should be found";
+  EXPECT_LT(lat, 2 * kSecond);
+}
+
+TEST(Gnutella, TtlBoundsTheFloodHorizon) {
+  GnutellaSim::Options opts;
+  opts.sim.seed = 19;
+  opts.degree = 4;
+  GnutellaSim net(200, opts);
+  // A unique file at one far-away node: TTL 2 flood almost surely misses it,
+  // the same query with a large TTL finds it.
+  net.node(150)->AddLocalFile(1, {500});
+  TimeUs miss = net.RunQuery(0, {500}, /*ttl=*/2, 5 * kSecond);
+  EXPECT_LT(miss, 0) << "rare item should be missed with a tiny TTL";
+  TimeUs hit = net.RunQuery(0, {500}, /*ttl=*/12, 20 * kSecond);
+  EXPECT_GE(hit, 0) << "large TTL should reach the holder";
+}
+
+TEST(Filesharing, PierFindsRareFileViaKeywordIndex) {
+  SimPier::Options popts;
+  popts.sim.seed = 29;
+  popts.settle_time = 8 * kSecond;
+  SimPier net(30, popts);
+
+  CorpusOptions copts;
+  copts.num_files = 300;
+  copts.vocab_size = 400;
+  copts.seed = 31;
+  FilesharingCorpus corpus(copts, 30);
+  FilesharingApp app(&net);
+  app.PublishCorpus(corpus);
+
+  Rng rng(41);
+  auto queries = corpus.MakeQueries(5, 1, /*rare_only=*/true, 3, &rng);
+  ASSERT_FALSE(queries.empty());
+  int found = 0;
+  for (const auto& q : queries) {
+    auto r = app.Search(2, q.keywords, 8 * kSecond, 10 * kSecond);
+    found += r.found;
+    if (r.found) {
+      EXPECT_GT(r.first_result_latency, 0);
+    }
+  }
+  EXPECT_EQ(found, static_cast<int>(queries.size()))
+      << "the DHT index finds rare items regardless of replication";
+}
+
+TEST(Netmon, TopKMatchesGroundTruthFlat) {
+  SimPier::Options popts;
+  popts.sim.seed = 37;
+  SimPier net(24, popts);
+  FirewallOptions fopts;
+  fopts.events_per_node = 30;
+  fopts.seed = 43;
+  FirewallWorkload wl(fopts);
+  NetmonApp app(&net);
+  app.LoadLogs(wl);
+
+  auto truth = wl.GroundTruthTopK(24, 5);
+  auto got = app.TopKSources(3, 5, 16 * kSecond, "flat");
+  ASSERT_EQ(got.rows.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got.rows[i].first, truth[i].first) << "rank " << i;
+    EXPECT_EQ(got.rows[i].second, static_cast<int64_t>(truth[i].second))
+        << "rank " << i;
+  }
+}
+
+TEST(Netmon, TopKMatchesGroundTruthHier) {
+  SimPier::Options popts;
+  popts.sim.seed = 47;
+  SimPier net(24, popts);
+  FirewallOptions fopts;
+  fopts.events_per_node = 30;
+  fopts.seed = 43;
+  FirewallWorkload wl(fopts);
+  NetmonApp app(&net);
+  app.LoadLogs(wl);
+
+  auto truth = wl.GroundTruthTopK(24, 5);
+  auto got = app.TopKSources(5, 5, 16 * kSecond, "hier");
+  ASSERT_EQ(got.rows.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got.rows[i].first, truth[i].first) << "rank " << i;
+    EXPECT_EQ(got.rows[i].second, static_cast<int64_t>(truth[i].second))
+        << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pier

@@ -1,0 +1,306 @@
+// Unit and property tests for the data layer (Value, Tuple) and the
+// expression language (evaluation, parsing, wire round trips, best-effort
+// semantics).
+
+#include <gtest/gtest.h>
+
+#include "data/tuple.h"
+#include "data/value.h"
+#include "qp/expr.h"
+#include "util/random.h"
+
+namespace pier {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(Value, TypeTagsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(*Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(*Value::Int64(-7).AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(*Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(*Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(*Value::Bytes(std::string("\x00\x01", 2)).AsBytes(),
+            std::string_view("\x00\x01", 2));
+  // Wrong-type access is an error, not UB.
+  EXPECT_FALSE(Value::Int64(1).AsBool().ok());
+  EXPECT_FALSE(Value::String("x").AsInt64().ok());
+  // Numeric widening only.
+  EXPECT_DOUBLE_EQ(*Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_FALSE(Value::String("3").AsDouble().ok());
+}
+
+TEST(Value, CompareWithinAndAcrossNumericTypes) {
+  EXPECT_EQ(*Value::Compare(Value::Int64(1), Value::Int64(2)), -1);
+  EXPECT_EQ(*Value::Compare(Value::Int64(2), Value::Int64(2)), 0);
+  EXPECT_EQ(*Value::Compare(Value::Double(2.5), Value::Int64(2)), 1);
+  EXPECT_EQ(*Value::Compare(Value::Int64(3), Value::Double(3.0)), 0);
+  EXPECT_EQ(*Value::Compare(Value::String("a"), Value::String("b")), -1);
+  // Cross-family comparison is a type error (best-effort discard upstream).
+  EXPECT_FALSE(Value::Compare(Value::Int64(1), Value::String("1")).ok());
+  EXPECT_FALSE(Value::Compare(Value::Bool(true), Value::Int64(1)).ok());
+  // Strings and bytes are distinct types.
+  EXPECT_FALSE(Value::Compare(Value::String("x"), Value::Bytes("x")).ok());
+}
+
+TEST(Value, EqualNumericsHashAndCanonicalizeEqually) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Double(42.0).Hash());
+  EXPECT_EQ(Value::Int64(42).CanonicalString(),
+            Value::Double(42.0).CanonicalString());
+  EXPECT_NE(Value::Int64(42).CanonicalString(),
+            Value::String("42").CanonicalString());
+  EXPECT_NE(Value::Double(42.5).CanonicalString(),
+            Value::Int64(42).CanonicalString());
+}
+
+TEST(Value, WireRoundTripAllTypes) {
+  std::vector<Value> values = {
+      Value::Null(),          Value::Bool(false),     Value::Bool(true),
+      Value::Int64(0),        Value::Int64(-1234567), Value::Int64(INT64_MAX),
+      Value::Double(0.0),     Value::Double(-3.75),   Value::String(""),
+      Value::String("hello"), Value::Bytes(std::string("\x00\xff", 2)),
+  };
+  for (const Value& v : values) {
+    WireWriter w;
+    v.EncodeTo(&w);
+    WireReader r(w.data());
+    Result<Value> back = Value::DecodeFrom(&r);
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(*back, v) << v.ToString();
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Value, DecodeRejectsGarbage) {
+  WireReader r1(std::string_view("\xee", 1));  // bad tag
+  EXPECT_FALSE(Value::DecodeFrom(&r1).ok());
+  WireReader r2(std::string_view("\x02\x01", 2));  // truncated int64
+  EXPECT_FALSE(Value::DecodeFrom(&r2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tuple
+// ---------------------------------------------------------------------------
+
+TEST(Tuple, SelfDescribingAccess) {
+  Tuple t("fw", {{"src", Value::String("1.2.3.4")}, {"port", Value::Int64(80)}});
+  EXPECT_EQ(t.table(), "fw");
+  ASSERT_TRUE(t.Has("src"));
+  EXPECT_FALSE(t.Has("dst"));
+  EXPECT_EQ(t.Get("dst"), nullptr);
+  EXPECT_FALSE(t.GetChecked("dst").ok());
+  EXPECT_EQ(*t.GetChecked("port")->AsInt64(), 80);
+}
+
+TEST(Tuple, SetOverwritesFirstOrAppends) {
+  Tuple t("t");
+  t.Set("a", Value::Int64(1));
+  t.Set("a", Value::Int64(2));
+  EXPECT_EQ(t.num_columns(), 1u);
+  EXPECT_EQ(*t.Get("a")->AsInt64(), 2);
+}
+
+TEST(Tuple, ProjectSkipsMissingColumns) {
+  Tuple t("t", {{"a", Value::Int64(1)}, {"b", Value::Int64(2)}});
+  Tuple p = t.Project({"b", "nope", "a"});
+  ASSERT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name, "b");
+  EXPECT_EQ(p.column(1).name, "a");
+}
+
+TEST(Tuple, PartitionKeyIsStablePerValueAndAttrSet) {
+  Tuple t1("t", {{"k", Value::Int64(5)}, {"x", Value::String("a")}});
+  Tuple t2("other", {{"x", Value::String("b")}, {"k", Value::Int64(5)}});
+  EXPECT_EQ(t1.PartitionKey({"k"}), t2.PartitionKey({"k"}));
+  EXPECT_NE(t1.PartitionKey({"k"}), t1.PartitionKey({"x"}));
+  // Missing attributes still produce a well-defined key.
+  EXPECT_EQ(t1.PartitionKey({"zz"}), Tuple("e").PartitionKey({"zz"}));
+}
+
+TEST(Tuple, WireRoundTripAndTrailingByteRejection) {
+  Tuple t("tbl", {{"a", Value::Int64(1)},
+                  {"b", Value::String("two")},
+                  {"c", Value::Double(3.0)},
+                  {"d", Value::Null()}});
+  std::string wire = t.Encode();
+  Result<Tuple> back = Tuple::Decode(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+  EXPECT_FALSE(Tuple::Decode(wire + "x").ok()) << "trailing bytes";
+  EXPECT_FALSE(Tuple::Decode(wire.substr(0, wire.size() - 2)).ok())
+      << "truncation";
+}
+
+/// Property sweep: random tuples round-trip bit-exactly.
+class TupleRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TupleRoundTrip, RandomTuple) {
+  Rng rng(GetParam());
+  Tuple t("tbl" + std::to_string(rng.Uniform(10)));
+  int cols = static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < cols; ++i) {
+    Value v;
+    switch (rng.Uniform(5)) {
+      case 0: v = Value::Null(); break;
+      case 1: v = Value::Bool(rng.Bernoulli(0.5)); break;
+      case 2: v = Value::Int64(static_cast<int64_t>(rng.Next())); break;
+      case 3: v = Value::Double(rng.NextDouble() * 1e6); break;
+      default: {
+        std::string s;
+        for (uint64_t j = rng.Uniform(20); j > 0; --j)
+          s.push_back(static_cast<char>(rng.Uniform(256)));
+        v = Value::String(std::move(s));
+      }
+    }
+    t.Append("c" + std::to_string(i), std::move(v));
+  }
+  Result<Tuple> back = Tuple::Decode(t.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+  EXPECT_EQ(back->Hash(), t.Hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TupleRoundTrip, ::testing::Range<uint64_t>(1, 26));
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Tuple Row() {
+  return Tuple("r", {{"a", Value::Int64(10)},
+                     {"b", Value::Int64(3)},
+                     {"s", Value::String("Hello World")},
+                     {"f", Value::Double(2.5)}});
+}
+
+TEST(Expr, ParseAndEvalComparisons) {
+  struct Case {
+    const char* text;
+    bool want;
+  };
+  for (const Case& c : {Case{"a = 10", true}, {"a != 10", false},
+                        {"a > 9", true}, {"a >= 11", false}, {"b < 4", true},
+                        {"b <= 2", false}, {"a <> 3", true}}) {
+    auto e = ParseExpr(c.text);
+    ASSERT_TRUE(e.ok()) << c.text;
+    auto got = (*e)->EvalPredicate(Row());
+    ASSERT_TRUE(got.ok()) << c.text;
+    EXPECT_EQ(*got, c.want) << c.text;
+  }
+}
+
+TEST(Expr, ParseAndEvalBooleanLogic) {
+  auto e = ParseExpr("a = 10 and (b = 3 or b = 4) and not (a < 5)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(*(*e)->EvalPredicate(Row()));
+}
+
+TEST(Expr, ArithmeticPrecedenceAndTypes) {
+  auto e = ParseExpr("a + b * 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*(*e)->Eval(Row())->AsInt64(), 16) << "mul binds tighter";
+  auto e2 = ParseExpr("(a + b) * 2");
+  EXPECT_EQ(*(*e2)->Eval(Row())->AsInt64(), 26);
+  auto e3 = ParseExpr("a / b");
+  EXPECT_EQ(*(*e3)->Eval(Row())->AsInt64(), 3) << "integer division";
+  auto e4 = ParseExpr("a % b");
+  EXPECT_EQ(*(*e4)->Eval(Row())->AsInt64(), 1);
+  auto e5 = ParseExpr("f * 2");
+  EXPECT_DOUBLE_EQ(*(*e5)->Eval(Row())->AsDouble(), 5.0);
+  auto e6 = ParseExpr("-b");
+  EXPECT_EQ(*(*e6)->Eval(Row())->AsInt64(), -3);
+}
+
+TEST(Expr, DivisionByZeroIsAnErrorNotUB) {
+  auto e = ParseExpr("a / (b - 3)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE((*e)->Eval(Row()).ok());
+}
+
+TEST(Expr, StringFunctions) {
+  EXPECT_EQ(*(*ParseExpr("length(s)"))->Eval(Row())->AsInt64(), 11);
+  EXPECT_EQ(*(*ParseExpr("lower(s)"))->Eval(Row())->AsString(), "hello world");
+  EXPECT_TRUE(*(*ParseExpr("contains(s, 'World')"))->EvalPredicate(Row()));
+  EXPECT_TRUE(*(*ParseExpr("startswith(s, 'Hel')"))->EvalPredicate(Row()));
+  EXPECT_FALSE(*(*ParseExpr("contains(s, 'xyz')"))->EvalPredicate(Row()));
+}
+
+TEST(Expr, BestEffortErrors) {
+  // Missing column.
+  EXPECT_FALSE((*ParseExpr("nope = 1"))->EvalPredicate(Row()).ok());
+  // Type mismatch in comparison.
+  EXPECT_FALSE((*ParseExpr("s > 3"))->EvalPredicate(Row()).ok());
+  // Non-boolean used as predicate.
+  EXPECT_FALSE((*ParseExpr("a + 1"))->EvalPredicate(Row()).ok());
+}
+
+TEST(Expr, StringLiteralsWithEscapes) {
+  auto e = ParseExpr("s = 'it''s'");
+  ASSERT_TRUE(e.ok());
+  Tuple t("r", {{"s", Value::String("it's")}});
+  EXPECT_TRUE(*(*e)->EvalPredicate(t));
+}
+
+TEST(Expr, ParseErrors) {
+  EXPECT_FALSE(ParseExpr("").ok());
+  EXPECT_FALSE(ParseExpr("a = ").ok());
+  EXPECT_FALSE(ParseExpr("(a = 1").ok());
+  EXPECT_FALSE(ParseExpr("a = 'unterminated").ok());
+  EXPECT_FALSE(ParseExpr("a = 1 extra").ok());
+}
+
+TEST(Expr, WireRoundTripPreservesSemantics) {
+  const char* exprs[] = {
+      "a = 10 and b < 5",
+      "contains(s, 'World') or f >= 2.5",
+      "not (a + b * 2 = 16)",
+      "length(lower(s)) % 4 = 3",
+  };
+  for (const char* text : exprs) {
+    auto e = ParseExpr(text);
+    ASSERT_TRUE(e.ok()) << text;
+    auto back = Expr::Decode((*e)->Encode());
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ((*back)->ToString(), (*e)->ToString()) << text;
+    auto v1 = (*e)->EvalPredicate(Row());
+    auto v2 = (*back)->EvalPredicate(Row());
+    ASSERT_EQ(v1.ok(), v2.ok());
+    if (v1.ok()) {
+      EXPECT_EQ(*v1, *v2);
+    }
+  }
+}
+
+TEST(Expr, ExtractEqualityConstant) {
+  auto e = ParseExpr("b > 1 and k = 7 and s = 'x'");
+  ASSERT_TRUE(e.ok());
+  Value v;
+  EXPECT_TRUE((*e)->ExtractEqualityConstant("k", &v));
+  EXPECT_EQ(*v.AsInt64(), 7);
+  EXPECT_TRUE((*e)->ExtractEqualityConstant("s", &v));
+  EXPECT_EQ(*v.AsString(), "x");
+  EXPECT_FALSE((*e)->ExtractEqualityConstant("b", &v)) << "> is not equality";
+  // Under OR nothing is certain:
+  auto e2 = ParseExpr("k = 7 or k = 8");
+  EXPECT_FALSE((*e2)->ExtractEqualityConstant("k", &v));
+}
+
+TEST(Expr, ExtractRangeTightensBounds) {
+  auto e = ParseExpr("t >= 10 and t < 20 and x = 1");
+  ASSERT_TRUE(e.ok());
+  int64_t lo = INT64_MIN, hi = INT64_MAX;
+  EXPECT_TRUE((*e)->ExtractRange("t", &lo, &hi));
+  EXPECT_EQ(lo, 10);
+  EXPECT_EQ(hi, 19);
+  // Reversed operand order normalizes.
+  auto e2 = ParseExpr("5 <= t and 30 > t");
+  lo = INT64_MIN, hi = INT64_MAX;
+  EXPECT_TRUE((*e2)->ExtractRange("t", &lo, &hi));
+  EXPECT_EQ(lo, 5);
+  EXPECT_EQ(hi, 29);
+}
+
+}  // namespace
+}  // namespace pier

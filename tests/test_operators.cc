@@ -1,0 +1,323 @@
+// Operator-level tests: local opgraphs on a one-node network, driven through
+// the executor with injected tuples. These exercise each operator's contract
+// (including the best-effort malformed-tuple policy) without the cost of a
+// full multi-node simulation.
+
+#include <gtest/gtest.h>
+
+#include "qp/sim_pier.h"
+#include "qp/sql.h"
+
+namespace pier {
+namespace {
+
+/// A one-node rig: builds a local graph source[inject] -> <middle> -> result
+/// and collects emitted tuples.
+class LocalGraph {
+ public:
+  explicit LocalGraph(uint64_t seed = 99) {
+    SimPier::Options opts;
+    opts.sim.seed = seed;
+    opts.settle_time = 1 * kSecond;
+    net_ = std::make_unique<SimPier>(1, opts);
+  }
+
+  /// Builds source -> ops... -> result. Returns ids of the middle ops.
+  std::vector<uint32_t> Build(std::vector<OpSpec> middle,
+                              TimeUs timeout = 60 * kSecond) {
+    plan_.query_id = 50000 + seed_counter_++;
+    plan_.timeout = timeout;
+    OpGraph& g = plan_.AddGraph();
+    g.dissem = DissemKind::kLocal;
+    OpSpec& src = g.AddOp(OpKind::kSource);
+    src.SetInt("inject", 1);
+    src_id_ = src.id;
+    uint32_t prev = src_id_;
+    std::vector<uint32_t> ids;
+    for (OpSpec& spec : middle) {
+      OpSpec& op = g.AddOp(spec.kind);
+      op.params = spec.params;
+      uint32_t id = op.id;
+      ids.push_back(id);
+      g.Connect(prev, id, 0);
+      prev = id;
+    }
+    OpSpec& res = g.AddOp(OpKind::kResult);
+    g.Connect(prev, res.id, 0);
+    graph_id_ = g.id;
+
+    auto qid = net_->qp(0)->SubmitQuery(
+        plan_, [this](const Tuple& t) { out.push_back(t); });
+    EXPECT_TRUE(qid.ok()) << qid.status().ToString();
+    net_->RunFor(100 * kMillisecond);
+    return ids;
+  }
+
+  void Inject(const Tuple& t) {
+    net_->qp(0)->executor()->InjectTuple(plan_.query_id, graph_id_, src_id_, t);
+  }
+
+  void Run(TimeUs t = 500 * kMillisecond) { net_->RunFor(t); }
+
+  void Flush() { net_->qp(0)->executor()->FlushQuery(plan_.query_id); }
+
+  Operator* Op(uint32_t id) {
+    return net_->qp(0)->executor()->FindOp(plan_.query_id, graph_id_, id);
+  }
+
+  std::vector<Tuple> out;
+
+ private:
+  std::unique_ptr<SimPier> net_;
+  QueryPlan plan_;
+  uint32_t src_id_ = 0;
+  uint32_t graph_id_ = 0;
+  uint64_t seed_counter_ = 0;
+};
+
+Tuple Row(int64_t a, int64_t b) {
+  Tuple t("t");
+  t.Append("a", Value::Int64(a));
+  t.Append("b", Value::Int64(b));
+  return t;
+}
+
+TEST(Operators, SelectionDiscardsMalformedTuplesSilently) {
+  LocalGraph g;
+  OpSpec sel(0, OpKind::kSelection);
+  sel.SetExpr("pred", *ParseExpr("a > 5"));
+  g.Build({sel});
+  g.Inject(Row(10, 0));                       // passes
+  g.Inject(Row(3, 0));                        // fails predicate
+  g.Inject(Tuple("t", {{"x", Value::Int64(9)}}));  // no column a: discarded
+  Tuple wrong_type("t");
+  wrong_type.Append("a", Value::String("ten"));     // type error: discarded
+  g.Inject(wrong_type);
+  g.Run();
+  ASSERT_EQ(g.out.size(), 1u);
+  EXPECT_EQ(*g.out[0].Get("a")->AsInt64(), 10);
+}
+
+TEST(Operators, ProjectionComputedColumns) {
+  LocalGraph g;
+  OpSpec proj(0, OpKind::kProjection);
+  proj.SetStrings("cols", {"a"});
+  proj.Set("out0", "twice");
+  proj.SetExpr("expr0", *ParseExpr("a * 2"));
+  g.Build({proj});
+  g.Inject(Row(21, 1));
+  g.Run();
+  ASSERT_EQ(g.out.size(), 1u);
+  EXPECT_EQ(*g.out[0].Get("twice")->AsInt64(), 42);
+  EXPECT_FALSE(g.out[0].Has("b"));
+}
+
+TEST(Operators, DupElimByContentAndBySubset) {
+  LocalGraph g;
+  g.Build({OpSpec(0, OpKind::kDupElim)});
+  g.Inject(Row(1, 1));
+  g.Inject(Row(1, 1));  // exact duplicate
+  g.Inject(Row(1, 2));  // differs in b
+  g.Run();
+  EXPECT_EQ(g.out.size(), 2u);
+
+  LocalGraph g2;
+  OpSpec de(0, OpKind::kDupElim);
+  de.SetStrings("cols", {"a"});
+  g2.Build({de});
+  g2.Inject(Row(1, 1));
+  g2.Inject(Row(1, 2));  // same a: duplicate under the subset
+  g2.Inject(Row(2, 1));
+  g2.Run();
+  EXPECT_EQ(g2.out.size(), 2u);
+}
+
+TEST(Operators, QueueYieldsButPreservesOrderAndCount) {
+  LocalGraph g;
+  OpSpec q(0, OpKind::kQueue);
+  auto ids = g.Build({q});
+  for (int i = 0; i < 600; ++i) g.Inject(Row(i, 0));
+  EXPECT_LT(g.out.size(), 600u) << "queue must defer past the batch limit";
+  g.Run();
+  ASSERT_EQ(g.out.size(), 600u);
+  for (int i = 0; i < 600; ++i)
+    EXPECT_EQ(*g.out[i].Get("a")->AsInt64(), i) << "FIFO order";
+}
+
+TEST(Operators, LimitStopsTheQueryLocally) {
+  LocalGraph g;
+  OpSpec lim(0, OpKind::kLimit);
+  lim.SetInt("k", 3);
+  g.Build({lim});
+  for (int i = 0; i < 10; ++i) g.Inject(Row(i, 0));
+  g.Run();
+  EXPECT_EQ(g.out.size(), 3u);
+}
+
+TEST(Operators, GroupByLocalEmitsOnFlushAndTumbles) {
+  LocalGraph g;
+  OpSpec agg(0, OpKind::kGroupBy);
+  agg.SetStrings("keys", {"a"});
+  agg.Set("aggs", "count::n,sum:b:total");
+  auto ids = g.Build({agg});
+  g.Inject(Row(1, 10));
+  g.Inject(Row(1, 20));
+  g.Inject(Row(2, 5));
+  g.Run();
+  EXPECT_TRUE(g.out.empty()) << "blocking operator: nothing before flush";
+  g.Flush();
+  g.Run();
+  ASSERT_EQ(g.out.size(), 2u);
+  for (const Tuple& t : g.out) {
+    if (*t.Get("a")->AsInt64() == 1) {
+      EXPECT_EQ(*t.Get("n")->AsInt64(), 2);
+      EXPECT_EQ(*t.Get("total")->AsInt64(), 30);
+    } else {
+      EXPECT_EQ(*t.Get("n")->AsInt64(), 1);
+    }
+  }
+  // Tumbling: a second flush with no new input emits nothing.
+  size_t before = g.out.size();
+  g.Flush();
+  g.Run();
+  EXPECT_EQ(g.out.size(), before);
+}
+
+TEST(Operators, TopKDedupReplacesRefinedGroups) {
+  LocalGraph g;
+  OpSpec topk(0, OpKind::kTopK);
+  topk.SetInt("k", 2);
+  topk.Set("col", "b");
+  topk.SetInt("desc", 1);
+  topk.SetStrings("dedup", {"a"});
+  g.Build({topk});
+  g.Inject(Row(1, 10));
+  g.Inject(Row(2, 20));
+  g.Inject(Row(3, 5));
+  g.Flush();
+  g.Run();
+  ASSERT_EQ(g.out.size(), 2u);
+  EXPECT_EQ(*g.out[0].Get("a")->AsInt64(), 2);
+  EXPECT_EQ(*g.out[1].Get("a")->AsInt64(), 1);
+  // A refined value for group 3 overtakes; re-flush emits the new ranking.
+  g.Inject(Row(3, 99));
+  g.Flush();
+  g.Run();
+  ASSERT_EQ(g.out.size(), 4u);
+  EXPECT_EQ(*g.out[2].Get("a")->AsInt64(), 3);
+  // Unchanged state: no re-emission.
+  g.Flush();
+  g.Run();
+  EXPECT_EQ(g.out.size(), 4u);
+}
+
+TEST(Operators, UnionRenamesTable) {
+  LocalGraph g;
+  OpSpec u(0, OpKind::kUnion);
+  u.Set("table", "merged");
+  g.Build({u});
+  g.Inject(Row(1, 1));
+  g.Run();
+  ASSERT_EQ(g.out.size(), 1u);
+  EXPECT_EQ(g.out[0].table(), "merged");
+}
+
+TEST(Operators, EddyPassesConjunctionRegardlessOfPolicy) {
+  for (const char* policy : {"fixed", "adaptive"}) {
+    LocalGraph g;
+    OpSpec eddy(0, OpKind::kEddy);
+    eddy.SetInt("n", 2);
+    eddy.SetExpr("mexpr0", *ParseExpr("a > 0"));
+    eddy.SetExpr("mexpr1", *ParseExpr("b < 100"));
+    eddy.Set("policy", policy);
+    auto ids = g.Build({eddy});
+    g.Inject(Row(1, 50));    // passes both
+    g.Inject(Row(-1, 50));   // fails first
+    g.Inject(Row(1, 200));   // fails second
+    g.Run();
+    EXPECT_EQ(g.out.size(), 1u) << policy;
+    Operator* op = g.Op(ids[0]);
+    ASSERT_NE(op, nullptr);
+    EXPECT_GT(op->Metric("evaluations"), 0) << policy;
+    EXPECT_EQ(op->Metric("no_such_metric"), -1);
+  }
+}
+
+TEST(Operators, MaterializerMakesTupleScanableLocally) {
+  SimPier::Options opts;
+  opts.sim.seed = 3;
+  opts.settle_time = 1 * kSecond;
+  SimPier net(1, opts);
+
+  QueryPlan plan;
+  plan.query_id = 60001;
+  plan.timeout = 30 * kSecond;
+  OpGraph& g = plan.AddGraph();
+  g.dissem = DissemKind::kLocal;
+  OpSpec& src = g.AddOp(OpKind::kSource);
+  src.SetInt("inject", 1);
+  uint32_t src_id = src.id;
+  OpSpec& mat = g.AddOp(OpKind::kMaterializer);
+  mat.Set("ns", "mat_table");
+  mat.SetStrings("key", {"a"});
+  mat.SetInt("drop_on_close", 0);
+  g.Connect(src_id, mat.id, 0);
+
+  net.qp(0)->SubmitQuery(plan, [](const Tuple&) {});
+  net.RunFor(100 * kMillisecond);
+  net.qp(0)->executor()->InjectTuple(plan.query_id, g.id, src_id, Row(7, 8));
+  net.RunFor(100 * kMillisecond);
+  EXPECT_EQ(net.dht(0)->objects()->NamespaceObjects("mat_table"), 1u);
+}
+
+TEST(Operators, UnknownOpKindIsRejectedNotFatal) {
+  OpSpec bogus(1, static_cast<OpKind>(200));
+  auto op = MakeOperator(bogus);
+  EXPECT_FALSE(op.ok());
+}
+
+TEST(Operators, BadParamsRejectedAtBuild) {
+  // A graph whose operator fails Init must be rejected by Build, and the
+  // node must keep running (the executor logs and skips it).
+  SimPier::Options opts;
+  opts.sim.seed = 4;
+  opts.settle_time = 1 * kSecond;
+  SimPier net(1, opts);
+  QueryPlan plan;
+  plan.query_id = 60002;
+  plan.timeout = 5 * kSecond;
+  OpGraph& g = plan.AddGraph();
+  g.dissem = DissemKind::kLocal;
+  OpSpec& scan = g.AddOp(OpKind::kScan);  // missing ns param
+  (void)scan;
+  auto qid = net.qp(0)->SubmitQuery(plan, [](const Tuple&) {});
+  EXPECT_TRUE(qid.ok()) << "submission survives";
+  net.RunFor(kSecond);
+  EXPECT_EQ(net.qp(0)->executor()->FindOp(plan.query_id, g.id, 1), nullptr)
+      << "bad graph was not instantiated";
+}
+
+TEST(Operators, MalformedStoredObjectsAreSkippedByScan) {
+  // Garbage bytes published into a table namespace must not break queries
+  // over that table (§3.3.4 best-effort).
+  SimPier::Options opts;
+  opts.sim.seed = 5;
+  opts.settle_time = 6 * kSecond;
+  SimPier net(4, opts);
+  Tuple good("junkish");
+  good.Append("v", Value::Int64(1));
+  net.qp(0)->Publish("junkish", {"v"}, good);
+  net.dht(1)->Put("junkish", "somekey", "sfx", "\xde\xad\xbe\xef garbage",
+                  60 * kSecond);
+  net.RunFor(2 * kSecond);
+
+  SqlOptions sql;
+  auto plan = CompileSql("SELECT * FROM junkish TIMEOUT 5s", sql);
+  int rows = 0;
+  net.qp(2)->SubmitQuery(*plan, [&](const Tuple&) { rows++; });
+  net.RunFor(8 * kSecond);
+  EXPECT_EQ(rows, 1) << "the good tuple arrives, the garbage is dropped";
+}
+
+}  // namespace
+}  // namespace pier

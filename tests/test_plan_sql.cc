@@ -1,0 +1,372 @@
+// Tests for the plan layer: opgraph validation and wire round trips, the SQL
+// compiler's plan shapes, UFL parsing, and aggregate-state algebra.
+
+#include <gtest/gtest.h>
+
+#include "qp/agg_state.h"
+#include "qp/opgraph.h"
+#include "qp/sql.h"
+#include "qp/ufl.h"
+#include "util/random.h"
+
+namespace pier {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OpGraph / QueryPlan
+// ---------------------------------------------------------------------------
+
+TEST(OpGraph, ValidateCatchesStructuralErrors) {
+  OpGraph g;
+  g.id = 1;
+  OpSpec& scan = g.AddOp(OpKind::kScan);
+  scan.Set("ns", "t");
+  uint32_t scan_id = scan.id;
+  OpSpec& res = g.AddOp(OpKind::kResult);
+  g.Connect(scan_id, res.id);
+  EXPECT_TRUE(g.Validate().ok());
+
+  OpGraph bad = g;
+  bad.Connect(99, 1);
+  EXPECT_FALSE(bad.Validate().ok()) << "unknown endpoint";
+
+  OpGraph loop = g;
+  loop.Connect(scan_id, scan_id);
+  EXPECT_FALSE(loop.Validate().ok()) << "self loop";
+
+  OpGraph feed = g;
+  feed.Connect(res.id, scan_id);
+  EXPECT_FALSE(feed.Validate().ok()) << "access method with inputs";
+}
+
+TEST(OpGraph, JoinArityChecked) {
+  OpGraph g;
+  g.id = 1;
+  OpSpec& a = g.AddOp(OpKind::kSource);
+  uint32_t a_id = a.id;
+  OpSpec& j = g.AddOp(OpKind::kSymHashJoin);
+  j.Set("l_key", "x");
+  j.Set("r_key", "y");
+  uint32_t j_id = j.id;
+  g.Connect(a_id, j_id, 0);
+  EXPECT_FALSE(g.Validate().ok()) << "one input is not enough";
+  OpSpec& b = g.AddOp(OpKind::kSource);
+  g.Connect(b.id, j_id, 1);
+  EXPECT_TRUE(g.Validate().ok());
+  // Mixed-stream mode accepts a single input.
+  OpGraph m;
+  m.id = 2;
+  OpSpec& src = m.AddOp(OpKind::kSource);
+  uint32_t src_id = src.id;
+  OpSpec& mj = m.AddOp(OpKind::kSymHashJoin);
+  mj.Set("l_key", "x");
+  mj.Set("r_key", "y");
+  mj.Set("l_table", "l");
+  mj.Set("r_table", "r");
+  m.Connect(src_id, mj.id, 0);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(QueryPlan, WireRoundTrip) {
+  QueryPlan plan;
+  plan.query_id = 777;
+  plan.timeout = 12 * kSecond;
+  plan.continuous = true;
+  plan.window = 3 * kSecond;
+  OpGraph& g = plan.AddGraph();
+  g.dissem = DissemKind::kEquality;
+  g.dissem_ns = "t";
+  g.dissem_key = "I5|";
+  g.flush_stage = 2;
+  OpSpec& scan = g.AddOp(OpKind::kScan);
+  scan.Set("ns", "t");
+  OpSpec& sel = g.AddOp(OpKind::kSelection);
+  sel.SetExpr("pred", *ParseExpr("v > 3"));
+  uint32_t sel_id = sel.id;
+  OpSpec& res = g.AddOp(OpKind::kResult);
+  g.Connect(1, sel_id, 0);
+  g.Connect(sel_id, res.id, 0);
+
+  Result<QueryPlan> back = QueryPlan::Decode(plan.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->query_id, 777u);
+  EXPECT_TRUE(back->continuous);
+  EXPECT_EQ(back->window, 3 * kSecond);
+  ASSERT_EQ(back->graphs.size(), 1u);
+  const OpGraph& bg = back->graphs[0];
+  EXPECT_EQ(bg.dissem, DissemKind::kEquality);
+  EXPECT_EQ(bg.dissem_key, "I5|");
+  EXPECT_EQ(bg.flush_stage, 2);
+  ASSERT_EQ(bg.ops.size(), 3u);
+  EXPECT_EQ(bg.edges.size(), 2u);
+  Result<ExprPtr> pred = bg.FindOp(sel_id)->GetExpr("pred");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ((*pred)->ToString(), "(v > 3)");
+}
+
+TEST(QueryPlan, DecodeRejectsCorruption) {
+  QueryPlan plan;
+  plan.query_id = 1;
+  plan.AddGraph().AddOp(OpKind::kScan).Set("ns", "t");
+  std::string wire = plan.Encode();
+  EXPECT_FALSE(QueryPlan::Decode(wire + "zz").ok());
+  EXPECT_FALSE(QueryPlan::Decode(wire.substr(0, wire.size() / 2)).ok());
+  EXPECT_FALSE(QueryPlan::Decode("").ok());
+}
+
+// ---------------------------------------------------------------------------
+// SQL compiler plan shapes
+// ---------------------------------------------------------------------------
+
+SqlOptions Hints() {
+  SqlOptions sql;
+  sql.tables["t"].partition_attrs = {"k"};
+  sql.tables["s"].partition_attrs = {"y"};
+  return sql;
+}
+
+int CountOps(const OpGraph& g, OpKind kind) {
+  int n = 0;
+  for (const OpSpec& op : g.ops) n += op.kind == kind;
+  return n;
+}
+
+TEST(Sql, SimpleSelectIsOneBroadcastGraph) {
+  auto plan = CompileSql("SELECT a, b FROM t WHERE a > 3 TIMEOUT 5s", Hints());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 1u);
+  EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kBroadcast);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kScan), 1);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kSelection), 1);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kProjection), 1);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kResult), 1);
+  EXPECT_EQ(plan->timeout, 5 * kSecond);
+}
+
+TEST(Sql, EqualityOnPartitionKeyTargetsDissemination) {
+  auto plan = CompileSql("SELECT * FROM t WHERE k = 9", Hints());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kEquality);
+  EXPECT_EQ(plan->graphs[0].dissem_ns, "t");
+  // Equality on a non-partition column broadcasts.
+  auto plan2 = CompileSql("SELECT * FROM t WHERE a = 9", Hints());
+  EXPECT_EQ(plan2->graphs[0].dissem, DissemKind::kBroadcast);
+}
+
+TEST(Sql, SelectStarSkipsProjection) {
+  auto plan = CompileSql("SELECT * FROM t", Hints());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kProjection), 0);
+}
+
+TEST(Sql, FlatAggregationIsTwoStageRehash) {
+  auto plan = CompileSql(
+      "SELECT k, count(*) AS c, sum(v) AS sv FROM t GROUP BY k", Hints());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 2u);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kGroupBy), 1);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kPut), 1);
+  EXPECT_EQ(CountOps(plan->graphs[1], OpKind::kGroupBy), 1);
+  EXPECT_EQ(plan->graphs[0].FindOp(2)->GetString("mode"), "partial");
+  EXPECT_EQ(plan->graphs[1].flush_stage, 1) << "finals flush after partials";
+}
+
+TEST(Sql, HierAggregationIsSingleGraph) {
+  SqlOptions sql = Hints();
+  sql.agg_strategy = "hier";
+  auto plan =
+      CompileSql("SELECT k, count(*) AS c FROM t GROUP BY k", sql);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->graphs.size(), 1u);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kHierAgg), 1);
+}
+
+TEST(Sql, OrderByLimitAddsCollectorStage) {
+  auto plan = CompileSql(
+      "SELECT k, count(*) AS c FROM t GROUP BY k ORDER BY c DESC LIMIT 4",
+      Hints());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->graphs.size(), 3u) << "partial, final+put, collector";
+  const OpGraph& collector = plan->graphs[2];
+  EXPECT_EQ(collector.dissem, DissemKind::kEquality);
+  EXPECT_EQ(CountOps(collector, OpKind::kTopK), 1);
+  for (const OpSpec& op : collector.ops) {
+    if (op.kind == OpKind::kTopK) {
+      EXPECT_EQ(op.GetInt("k", 0), 4);
+      EXPECT_EQ(op.GetStrings("dedup"), std::vector<std::string>{"k"});
+    }
+  }
+}
+
+TEST(Sql, JoinPicksFetchMatchesWhenInnerIndexed) {
+  auto plan = CompileSql(
+      "SELECT * FROM t a, s b WHERE a.k = b.y AND a.v > 1", Hints());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 1u);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kFetchMatches), 1);
+  EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kSelection), 1)
+      << "outer filter pushed down";
+}
+
+TEST(Sql, JoinFallsBackToRehashOtherwise) {
+  auto plan = CompileSql(
+      "SELECT * FROM t a, s b WHERE a.v = b.w", Hints());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 3u);
+  EXPECT_EQ(CountOps(plan->graphs[2], OpKind::kSymHashJoin), 1);
+}
+
+TEST(Sql, RejectsMalformedQueries) {
+  EXPECT_FALSE(CompileSql("FROM t", Hints()).ok());
+  EXPECT_FALSE(CompileSql("SELECT FROM t", Hints()).ok());
+  EXPECT_FALSE(CompileSql("SELECT * FROM", Hints()).ok());
+  EXPECT_FALSE(CompileSql("SELECT * FROM a, b, c", Hints()).ok());
+  EXPECT_FALSE(CompileSql("SELECT * FROM a, b WHERE a.x > b.y", Hints()).ok())
+      << "no equi-join predicate";
+  EXPECT_FALSE(CompileSql("SELECT med(v) FROM t", Hints()).ok())
+      << "unknown aggregate";
+  EXPECT_FALSE(CompileSql("SELECT * FROM t LIMIT 0", Hints()).ok());
+  EXPECT_FALSE(CompileSql("SELECT * FROM t TIMEOUT -5s", Hints()).ok());
+}
+
+TEST(Sql, DistinctQueriesGetDistinctIds) {
+  auto a = CompileSql("SELECT * FROM t", Hints());
+  auto b = CompileSql("SELECT * FROM t", Hints());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->query_id, b->query_id);
+}
+
+// ---------------------------------------------------------------------------
+// UFL
+// ---------------------------------------------------------------------------
+
+TEST(Ufl, ParsesFullProgram) {
+  auto plan = ParseUfl(R"(
+    # a two-stage aggregation, by hand
+    query { timeout = 9s; window = 2s; continuous; }
+    graph g1 broadcast {
+      src: scan     [ns=events, watch=1];
+      sel: selection[pred="sev >= 3"];
+      agg: groupby  [keys=src, aggs="count::cnt", mode=partial];
+      out: put      [ns=stage1, key=src];
+      src -> sel -> agg -> out;
+    }
+    graph g2 stage(1) {
+      in:  newdata [ns=stage1];
+      fin: groupby [keys=src, aggs="count::cnt", mode=final];
+      res: result;
+      in -> fin -> res;
+    }
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->timeout, 9 * kSecond);
+  EXPECT_TRUE(plan->continuous);
+  ASSERT_EQ(plan->graphs.size(), 2u);
+  EXPECT_EQ(plan->graphs[0].ops.size(), 4u);
+  EXPECT_EQ(plan->graphs[0].edges.size(), 3u);
+  EXPECT_EQ(plan->graphs[1].flush_stage, 1);
+  Result<ExprPtr> pred = plan->graphs[0].FindOp(2)->GetExpr("pred");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ((*pred)->ToString(), "(sev >= 3)");
+}
+
+TEST(Ufl, JoinPortsAndDissemination) {
+  auto plan = ParseUfl(R"(
+    query { timeout = 5s; }
+    graph g equality(t, "I5|") {
+      a: scan [ns=l];
+      b: scan [ns=r];
+      j: shjoin [l_key=x, r_key=y];
+      o: result;
+      a -> j:0;
+      b -> j:1;
+      j -> o;
+    }
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kEquality);
+  EXPECT_EQ(plan->graphs[0].dissem_key, "I5|");
+  bool saw_port1 = false;
+  for (const GraphEdge& e : plan->graphs[0].edges) saw_port1 |= e.port == 1;
+  EXPECT_TRUE(saw_port1);
+}
+
+TEST(Ufl, ReportsErrorsWithLineNumbers) {
+  auto bad = ParseUfl("graph g broadcast { x: bogus_operator; }");
+  ASSERT_FALSE(bad.ok());
+  auto bad2 = ParseUfl("graph g broadcast { a: scan [ns=t]; a -> b; }");
+  ASSERT_FALSE(bad2.ok());
+  EXPECT_NE(bad2.status().message().find("unknown label"), std::string::npos);
+  EXPECT_FALSE(ParseUfl("").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate state algebra
+// ---------------------------------------------------------------------------
+
+TEST(AggState, ParseSpecs) {
+  auto specs = ParseAggSpecs("count::cnt,sum:bytes:total,avg:lat:mean");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 3u);
+  EXPECT_EQ((*specs)[0].func, AggFunc::kCount);
+  EXPECT_TRUE((*specs)[0].col.empty());
+  EXPECT_EQ((*specs)[1].col, "bytes");
+  EXPECT_EQ(FormatAggSpecs(*specs), "count::cnt,sum:bytes:total,avg:lat:mean");
+  EXPECT_FALSE(ParseAggSpecs("sum::x").ok()) << "sum needs a column";
+  EXPECT_FALSE(ParseAggSpecs("count:").ok()) << "missing alias";
+  EXPECT_FALSE(ParseAggSpecs("median:x:m").ok()) << "holistic not supported";
+}
+
+TEST(AggState, MergeIsEquivalentToSingleStream) {
+  // Property: folding a stream in two halves and merging equals folding all.
+  AggSpec spec{AggFunc::kSum, "v", "s"};
+  Rng rng(88);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int64_t> values;
+    for (int i = 0; i < 20; ++i)
+      values.push_back(static_cast<int64_t>(rng.Uniform(1000)) - 500);
+    AggState all, left, right;
+    for (size_t i = 0; i < values.size(); ++i) {
+      Tuple t("t", {{"v", Value::Int64(values[i])}});
+      all.Update(spec, t);
+      (i < values.size() / 2 ? left : right).Update(spec, t);
+    }
+    left.Merge(right);
+    for (AggFunc f : {AggFunc::kCount, AggFunc::kSum, AggFunc::kMin,
+                      AggFunc::kMax, AggFunc::kAvg}) {
+      EXPECT_TRUE(left.Finalize(f).LooseEquals(all.Finalize(f)))
+          << AggFuncName(f) << " trial " << trial;
+    }
+  }
+}
+
+TEST(AggState, PartialColumnsRoundTrip) {
+  AggSpec spec{AggFunc::kAvg, "v", "m"};
+  AggState s;
+  for (int v : {1, 2, 3, 10}) {
+    Tuple t("t", {{"v", Value::Int64(v)}});
+    s.Update(spec, t);
+  }
+  Tuple carrier("p");
+  s.ToPartialColumns("m", &carrier);
+  AggState back;
+  ASSERT_TRUE(back.FromPartialColumns(carrier, "m"));
+  EXPECT_EQ(back.count(), 4);
+  EXPECT_TRUE(back.Finalize(AggFunc::kAvg).LooseEquals(Value::Double(4.0)));
+  EXPECT_TRUE(back.Finalize(AggFunc::kMax).LooseEquals(Value::Int64(10)));
+  AggState missing;
+  EXPECT_FALSE(missing.FromPartialColumns(Tuple("x"), "m"));
+}
+
+TEST(AggState, SkipsMissingAndNullColumns) {
+  AggSpec spec{AggFunc::kSum, "v", "s"};
+  AggState s;
+  s.Update(spec, Tuple("t", {{"other", Value::Int64(5)}}));
+  s.Update(spec, Tuple("t", {{"v", Value::Null()}}));
+  s.Update(spec, Tuple("t", {{"v", Value::Int64(3)}}));
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_TRUE(s.Finalize(AggFunc::kSum).LooseEquals(Value::Int64(3)));
+}
+
+}  // namespace
+}  // namespace pier

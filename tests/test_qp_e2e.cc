@@ -1,0 +1,301 @@
+// End-to-end query processing over a simulated PIER network: publish base
+// tuples, submit SQL, receive answers at the proxy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "qp/sim_pier.h"
+#include "qp/sql.h"
+
+namespace pier {
+namespace {
+
+SimPier::Options PierOptions(uint64_t seed = 7) {
+  SimPier::Options opts;
+  opts.sim.seed = seed;
+  opts.seed_routing = true;
+  opts.settle_time = 8 * kSecond;
+  return opts;
+}
+
+/// Publish `n` rows of a simple table t(k, v, s) spread across the nodes:
+/// k = row index, v = k * 10, s = "row<k>".
+void PublishRows(SimPier* net, int n, const std::string& table = "t") {
+  for (int i = 0; i < n; ++i) {
+    Tuple t(table);
+    t.Append("k", Value::Int64(i));
+    t.Append("v", Value::Int64(i * 10));
+    t.Append("s", Value::String("row" + std::to_string(i)));
+    net->qp(i % net->size())->Publish(table, {"k"}, t);
+  }
+}
+
+TEST(QpE2E, SelectWhereStreamsMatchingRows) {
+  SimPier net(10, PierOptions());
+  PublishRows(&net, 20);
+  net.RunFor(3 * kSecond);
+
+  SqlOptions sql;
+  sql.tables["t"].partition_attrs = {"k"};
+  auto plan = CompileSql("SELECT k, v FROM t WHERE v >= 150 TIMEOUT 10s", sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::vector<int64_t> ks;
+  bool done = false;
+  auto qid = net.qp(3)->SubmitQuery(*plan, [&](const Tuple& t) {
+    ASSERT_TRUE(t.Has("k"));
+    ASSERT_TRUE(t.Has("v"));
+    EXPECT_FALSE(t.Has("s")) << "projection should drop s";
+    ks.push_back(t.Get("k")->int64_unchecked());
+  }, [&]() { done = true; });
+  ASSERT_TRUE(qid.ok());
+
+  net.RunFor(15 * kSecond);
+  EXPECT_TRUE(done);
+  std::sort(ks.begin(), ks.end());
+  // v >= 150 -> k in {15..19}.
+  EXPECT_EQ(ks, (std::vector<int64_t>{15, 16, 17, 18, 19}));
+}
+
+TEST(QpE2E, EqualityPredicateUsesTargetedDissemination) {
+  SimPier net(12, PierOptions(11));
+  PublishRows(&net, 24);
+  net.RunFor(3 * kSecond);
+
+  SqlOptions sql;
+  sql.tables["t"].partition_attrs = {"k"};
+  auto plan = CompileSql("SELECT * FROM t WHERE k = 7 TIMEOUT 8s", sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 1u);
+  EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kEquality);
+
+  int rows = 0;
+  auto qid = net.qp(0)->SubmitQuery(*plan, [&](const Tuple& t) {
+    EXPECT_EQ(t.Get("k")->int64_unchecked(), 7);
+    EXPECT_EQ(t.Get("v")->int64_unchecked(), 70);
+    rows++;
+  });
+  ASSERT_TRUE(qid.ok());
+  net.RunFor(12 * kSecond);
+  EXPECT_EQ(rows, 1);
+}
+
+TEST(QpE2E, FlatAggregationCountsPerGroup) {
+  SimPier net(10, PierOptions(23));
+  // 30 events across 3 sources with known counts: src0 x 15, src1 x 10, src2 x 5.
+  int counts[3] = {15, 10, 5};
+  int row = 0;
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < counts[s]; ++i, ++row) {
+      Tuple t("ev");
+      t.Append("src", Value::String("src" + std::to_string(s)));
+      t.Append("bytes", Value::Int64(100 + i));
+      net.qp(row % net.size())->Publish("ev", {"src"}, t);
+    }
+  }
+  net.RunFor(3 * kSecond);
+
+  SqlOptions sql;
+  auto plan = CompileSql(
+      "SELECT src, count(*) AS cnt, sum(bytes) AS total FROM ev "
+      "GROUP BY src TIMEOUT 12s", sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::map<std::string, int64_t> got;
+  std::map<std::string, int64_t> sums;
+  net.qp(2)->SubmitQuery(*plan, [&](const Tuple& t) {
+    ASSERT_TRUE(t.Has("src"));
+    got[std::string(*t.Get("src")->AsString())] =
+        t.Get("cnt")->int64_unchecked();
+    sums[std::string(*t.Get("src")->AsString())] =
+        t.Get("total")->int64_unchecked();
+  });
+  net.RunFor(16 * kSecond);
+
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got["src0"], 15);
+  EXPECT_EQ(got["src1"], 10);
+  EXPECT_EQ(got["src2"], 5);
+  // sum over i of (100+i) for i in [0, n).
+  EXPECT_EQ(sums["src2"], 100 * 5 + 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(QpE2E, HierarchicalAggregationMatchesFlat) {
+  SimPier net(16, PierOptions(31));
+  for (int i = 0; i < 48; ++i) {
+    Tuple t("ev");
+    t.Append("src", Value::String("s" + std::to_string(i % 4)));
+    net.qp(i % net.size())->Publish("ev", {"src"}, t);
+  }
+  net.RunFor(3 * kSecond);
+
+  SqlOptions sql;
+  sql.agg_strategy = "hier";
+  auto plan =
+      CompileSql("SELECT src, count(*) AS cnt FROM ev GROUP BY src TIMEOUT 14s",
+                 sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 1u) << "hier strategy is single-graph";
+
+  std::map<std::string, int64_t> got;
+  net.qp(5)->SubmitQuery(*plan, [&](const Tuple& t) {
+    got[std::string(*t.Get("src")->AsString())] =
+        t.Get("cnt")->int64_unchecked();
+  });
+  net.RunFor(18 * kSecond);
+
+  ASSERT_EQ(got.size(), 4u);
+  for (int s = 0; s < 4; ++s)
+    EXPECT_EQ(got["s" + std::to_string(s)], 12) << "group s" << s;
+}
+
+TEST(QpE2E, TopKOrdersGroupsGlobally) {
+  SimPier net(10, PierOptions(41));
+  int counts[5] = {25, 16, 9, 4, 1};
+  int row = 0;
+  for (int s = 0; s < 5; ++s) {
+    for (int i = 0; i < counts[s]; ++i, ++row) {
+      Tuple t("ev");
+      t.Append("src", Value::String("src" + std::to_string(s)));
+      net.qp(row % net.size())->Publish("ev", {"src"}, t);
+    }
+  }
+  net.RunFor(3 * kSecond);
+
+  SqlOptions sql;
+  auto plan = CompileSql(
+      "SELECT src, count(*) AS cnt FROM ev GROUP BY src "
+      "ORDER BY cnt DESC LIMIT 3 TIMEOUT 16s", sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::vector<std::pair<std::string, int64_t>> got;
+  net.qp(1)->SubmitQuery(*plan, [&](const Tuple& t) {
+    got.emplace_back(std::string(*t.Get("src")->AsString()),
+                     t.Get("cnt")->int64_unchecked());
+  });
+  net.RunFor(20 * kSecond);
+
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<std::string, int64_t>{"src0", 25}));
+  EXPECT_EQ(got[1], (std::pair<std::string, int64_t>{"src1", 16}));
+  EXPECT_EQ(got[2], (std::pair<std::string, int64_t>{"src2", 9}));
+}
+
+TEST(QpE2E, RehashSymmetricHashJoin) {
+  SimPier net(10, PierOptions(53));
+  // r(a, x): 8 rows; s(b, y): join attr x = y matches for 0..3.
+  for (int i = 0; i < 8; ++i) {
+    Tuple t("r");
+    t.Append("a", Value::Int64(i));
+    t.Append("x", Value::Int64(i));
+    net.qp(i % net.size())->Publish("r", {"a"}, t);
+  }
+  for (int i = 0; i < 4; ++i) {
+    Tuple t("s");
+    t.Append("b", Value::Int64(100 + i));
+    t.Append("y", Value::Int64(i));
+    net.qp((i + 3) % net.size())->Publish("s", {"b"}, t);
+  }
+  net.RunFor(3 * kSecond);
+
+  SqlOptions sql;
+  sql.tables["r"].partition_attrs = {"a"};
+  sql.tables["s"].partition_attrs = {"b"};  // not the join attr: rehash SHJ
+  auto plan = CompileSql(
+      "SELECT * FROM r r1, s s1 WHERE r1.x = s1.y TIMEOUT 14s", sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 3u) << "rehash plan: two puts + one join";
+
+  std::vector<std::pair<int64_t, int64_t>> matches;  // (a, b)
+  net.qp(4)->SubmitQuery(*plan, [&](const Tuple& t) {
+    ASSERT_TRUE(t.Has("a"));
+    ASSERT_TRUE(t.Has("b"));
+    matches.emplace_back(t.Get("a")->int64_unchecked(),
+                         t.Get("b")->int64_unchecked());
+  });
+  net.RunFor(18 * kSecond);
+
+  std::sort(matches.begin(), matches.end());
+  ASSERT_EQ(matches.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(matches[i].first, i);
+    EXPECT_EQ(matches[i].second, 100 + i);
+  }
+}
+
+TEST(QpE2E, FetchMatchesJoinViaPrimaryIndex) {
+  SimPier net(10, PierOptions(67));
+  for (int i = 0; i < 6; ++i) {
+    Tuple t("orders");
+    t.Append("oid", Value::Int64(i));
+    t.Append("cust", Value::Int64(i % 3));
+    net.qp(i % net.size())->Publish("orders", {"oid"}, t);
+  }
+  for (int i = 0; i < 3; ++i) {
+    Tuple t("cust");
+    t.Append("cid", Value::Int64(i));
+    t.Append("name", Value::String("c" + std::to_string(i)));
+    net.qp((i + 5) % net.size())->Publish("cust", {"cid"}, t);
+  }
+  net.RunFor(3 * kSecond);
+
+  SqlOptions sql;
+  sql.tables["orders"].partition_attrs = {"oid"};
+  sql.tables["cust"].partition_attrs = {"cid"};  // == join attr -> FM join
+  auto plan = CompileSql(
+      "SELECT * FROM orders o, cust c WHERE o.cust = c.cid TIMEOUT 12s", sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphs.size(), 1u) << "FM join plan is a single graph";
+  bool has_fm = false;
+  for (const OpSpec& op : plan->graphs[0].ops)
+    has_fm |= op.kind == OpKind::kFetchMatches;
+  EXPECT_TRUE(has_fm);
+
+  int rows = 0;
+  net.qp(2)->SubmitQuery(*plan, [&](const Tuple& t) {
+    ASSERT_TRUE(t.Has("name"));
+    ASSERT_TRUE(t.Has("oid"));
+    rows++;
+  });
+  net.RunFor(16 * kSecond);
+  EXPECT_EQ(rows, 6);
+}
+
+TEST(QpE2E, ContinuousQuerySeesLatePublishes) {
+  SimPier net(8, PierOptions(71));
+  net.RunFor(1 * kSecond);
+
+  SqlOptions sql;
+  auto plan = CompileSql(
+      "SELECT src, count(*) AS cnt FROM ev GROUP BY src "
+      "TIMEOUT 20s WINDOW 3s CONTINUOUS", sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->continuous);
+
+  std::vector<int64_t> observed;
+  net.qp(0)->SubmitQuery(*plan, [&](const Tuple& t) {
+    if (*t.Get("src")->AsString() == "live")
+      observed.push_back(t.Get("cnt")->int64_unchecked());
+  });
+  net.RunFor(2 * kSecond);
+
+  // Publish while the query is live; each window should fold new arrivals.
+  for (int i = 0; i < 6; ++i) {
+    Tuple t("ev");
+    t.Append("src", Value::String("live"));
+    net.qp(i % net.size())->Publish("ev", {"src"}, t);
+    net.RunFor(1 * kSecond);
+  }
+  net.RunFor(10 * kSecond);
+
+  ASSERT_FALSE(observed.empty());
+  // Tumbling windows: the total of the per-window counts is the 6 events.
+  int64_t total = 0;
+  for (int64_t c : observed) total += c;
+  EXPECT_EQ(total, 6);
+}
+
+}  // namespace
+}  // namespace pier

@@ -1,0 +1,380 @@
+// Unit and property tests for the runtime substrate (event loop, simulated
+// network, UdpCC) and the utility layer (wire codec, Bloom filter, RNG/Zipf,
+// hashing).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/event_loop.h"
+#include "runtime/sim_runtime.h"
+#include "runtime/udpcc.h"
+#include "util/bloom.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/wire.h"
+
+namespace pier {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, FiresInTimeOrderWithStableTies) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(20, [&] { order.push_back(3); });
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(10, [&] { order.push_back(2); });  // same time: FIFO by seq
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 20);
+}
+
+TEST(EventLoop, CancelIsBestEffort) {
+  EventLoop loop;
+  int fired = 0;
+  uint64_t a = loop.ScheduleAt(5, [&] { fired++; });
+  loop.ScheduleAt(6, [&] { fired++; });
+  loop.Cancel(a);
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  loop.Cancel(a);  // double-cancel: no-op
+  loop.Cancel(12345678);  // unknown token: no-op
+}
+
+TEST(EventLoop, RunUntilAdvancesClockExactly) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(100, [&] { fired++; });
+  loop.ScheduleAt(300, [&] { fired++; });
+  EXPECT_EQ(loop.RunUntil(200), 1u);
+  EXPECT_EQ(loop.now(), 200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, HandlersMayScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) loop.ScheduleAfter(1, chain);
+  };
+  loop.ScheduleAfter(1, chain);
+  loop.RunUntilIdle();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.now(), 10);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(50, [] {});
+  loop.RunUntilIdle();
+  bool fired = false;
+  loop.ScheduleAt(10, [&] { fired = true; });  // in the past
+  loop.RunUntilIdle();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now(), 50) << "clock must never run backwards";
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+TEST(Wire, VarintBoundaries) {
+  for (uint64_t v : std::vector<uint64_t>{0, 1, 127, 128, 16383, 16384,
+                                          UINT64_MAX}) {
+    WireWriter w;
+    w.PutVarint(v);
+    WireReader r(w.data());
+    uint64_t back;
+    ASSERT_TRUE(r.GetVarint(&back).ok()) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Wire, TruncationYieldsCorruptionNotUB) {
+  WireWriter w;
+  w.PutU64(42);
+  w.PutBytes("payload");
+  std::string full = std::move(w).data();
+  for (size_t len = 0; len < full.size(); ++len) {
+    WireReader r(std::string_view(full).substr(0, len));
+    uint64_t x;
+    std::string_view s;
+    Status st = r.GetU64(&x);
+    if (st.ok()) st = r.GetBytes(&s);
+    EXPECT_FALSE(st.ok()) << "prefix of length " << len << " must not parse";
+  }
+}
+
+TEST(Wire, MixedRoundTripProperty) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    WireWriter w;
+    std::vector<uint64_t> u64s;
+    std::vector<std::string> blobs;
+    int n = 1 + static_cast<int>(rng.Uniform(10));
+    for (int i = 0; i < n; ++i) {
+      uint64_t v = rng.Next();
+      u64s.push_back(v);
+      w.PutU64(v);
+      std::string b;
+      for (uint64_t j = rng.Uniform(32); j > 0; --j)
+        b.push_back(static_cast<char>(rng.Uniform(256)));
+      blobs.push_back(b);
+      w.PutBytes(b);
+    }
+    WireReader r(w.data());
+    for (int i = 0; i < n; ++i) {
+      uint64_t v;
+      std::string b;
+      ASSERT_TRUE(r.GetU64(&v).ok());
+      ASSERT_TRUE(r.GetBytes(&b).ok());
+      EXPECT_EQ(v, u64s[i]);
+      EXPECT_EQ(b, blobs[i]);
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(Bloom, NoFalseNegativesAndBoundedFalsePositives) {
+  BloomFilter f(1000, 0.01);
+  for (int i = 0; i < 1000; ++i) f.Add("member" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(f.MayContain("member" + std::to_string(i)));
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) fp += f.MayContain("other" + std::to_string(i));
+  EXPECT_LT(fp, 300) << "~1% target, allow 3x slack";
+}
+
+TEST(Bloom, SerializeRoundTripAndMerge) {
+  BloomFilter a(4096, 3), b(4096, 3);
+  a.Add("only-a");
+  b.Add("only-b");
+  Result<BloomFilter> back = BloomFilter::Deserialize(a.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->MayContain("only-a"));
+  ASSERT_TRUE(back->Merge(b).ok());
+  EXPECT_TRUE(back->MayContain("only-a"));
+  EXPECT_TRUE(back->MayContain("only-b"));
+  BloomFilter other_geometry(8192, 3);
+  EXPECT_FALSE(back->Merge(other_geometry).ok());
+  EXPECT_FALSE(BloomFilter::Deserialize("garbage").ok());
+}
+
+// ---------------------------------------------------------------------------
+// RNG / Zipf / hashing
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeedAndForkIndependent) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+  Rng parent(9);
+  Rng fork = parent.Fork();
+  differs = false;
+  for (int i = 0; i < 100; ++i) differs |= parent.Next() != fork.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Zipf, HeadDominatesAndPmfSumsToOne) {
+  ZipfGenerator zipf(1000, 1.1);
+  Rng rng(11);
+  std::map<uint64_t, int> counts;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Sample(&rng)]++;
+  EXPECT_GT(counts[0], counts[50] * 5) << "rank 0 must dominate rank 50";
+  EXPECT_GT(counts[0], kSamples / 20) << "head gets a large share";
+  double mass = 0;
+  for (uint64_t r = 0; r < 1000; ++r) mass += zipf.Pmf(r);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Hash, StableAndSensitive) {
+  // Values are part of the wire protocol: keys must hash identically on
+  // every node, so the function must be deterministic across processes.
+  EXPECT_EQ(Fnv1a64("chained-naming"), Fnv1a64("chained-naming"));
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_NE(HashNamespaceKey("ns", "key"), HashNamespaceKey("nsk", "ey"))
+      << "namespace/key boundary must matter";
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+// ---------------------------------------------------------------------------
+// Simulation harness + UdpCC
+// ---------------------------------------------------------------------------
+
+struct Capture : UdpHandler {
+  std::vector<std::pair<NetAddress, std::string>> got;
+  void HandleUdp(const NetAddress& src, std::string_view p) override {
+    got.emplace_back(src, std::string(p));
+  }
+};
+
+TEST(SimHarness, UdpDeliversWithTopologyLatency) {
+  SimOptions opts;
+  opts.seed = 5;
+  SimHarness sim(opts);
+  sim.AddNodes(2);
+  Capture rx;
+  ASSERT_TRUE(sim.vri(1)->UdpListen(9, &rx).ok());
+  ASSERT_TRUE(sim.vri(0)->UdpSend(9, sim.AddressOf(1, 9), "ping").ok());
+  TimeUs before = sim.loop()->now();
+  sim.loop()->RunUntilIdle();
+  ASSERT_EQ(rx.got.size(), 1u);
+  EXPECT_EQ(rx.got[0].second, "ping");
+  EXPECT_GT(sim.loop()->now(), before) << "delivery takes nonzero latency";
+}
+
+TEST(SimHarness, FailedNodeReceivesNothingAndSendsNothing) {
+  SimOptions opts;
+  opts.seed = 6;
+  SimHarness sim(opts);
+  sim.AddNodes(3);
+  Capture rx;
+  ASSERT_TRUE(sim.vri(2)->UdpListen(9, &rx).ok());
+  sim.FailNode(2);
+  sim.vri(0)->UdpSend(9, sim.AddressOf(2, 9), "into the void");
+  sim.loop()->RunUntilIdle();
+  EXPECT_TRUE(rx.got.empty());
+  EXPECT_FALSE(sim.IsAlive(2));
+  EXPECT_EQ(sim.num_alive(), 2u);
+}
+
+TEST(SimHarness, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    SimOptions opts;
+    opts.seed = seed;
+    SimHarness sim(opts);
+    sim.AddNodes(4);
+    Capture rx;
+    sim.vri(3)->UdpListen(9, &rx);
+    for (int i = 0; i < 10; ++i) {
+      sim.vri(i % 3)->UdpSend(9, sim.AddressOf(3, 9), std::to_string(i));
+    }
+    sim.loop()->RunUntilIdle();
+    std::string log;
+    for (auto& [src, p] : rx.got) log += std::to_string(src.host) + ":" + p + ";";
+    return log + "@" + std::to_string(sim.loop()->now());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SimHarness, TcpFramedRoundTrip) {
+  SimOptions opts;
+  opts.seed = 8;
+  SimHarness sim(opts);
+  sim.AddNodes(2);
+
+  struct Server : TcpHandler {
+    Vri* vri = nullptr;
+    std::vector<std::string> got;
+    void HandleTcpNew(uint64_t, const NetAddress&) override {}
+    void HandleTcpData(uint64_t conn, std::string_view d) override {
+      got.emplace_back(d);
+      vri->TcpWrite(conn, "ack:" + std::string(d));
+    }
+    void HandleTcpError(uint64_t) override {}
+  } server;
+  server.vri = sim.vri(1);
+
+  struct Client : TcpHandler {
+    std::vector<std::string> got;
+    bool connected = false;
+    void HandleTcpNew(uint64_t, const NetAddress&) override { connected = true; }
+    void HandleTcpData(uint64_t, std::string_view d) override {
+      got.emplace_back(d);
+    }
+    void HandleTcpError(uint64_t) override {}
+  } client;
+
+  ASSERT_TRUE(sim.vri(1)->TcpListen(7000, &server).ok());
+  Result<uint64_t> conn = sim.vri(0)->TcpConnect(sim.AddressOf(1, 7000), &client);
+  ASSERT_TRUE(conn.ok());
+  sim.loop()->RunUntilIdle();
+  ASSERT_TRUE(client.connected);
+  sim.vri(0)->TcpWrite(*conn, "query");
+  sim.vri(0)->TcpWrite(*conn, "plan");
+  sim.loop()->RunUntilIdle();
+  ASSERT_EQ(server.got, (std::vector<std::string>{"query", "plan"}));
+  ASSERT_EQ(client.got, (std::vector<std::string>{"ack:query", "ack:plan"}));
+}
+
+TEST(UdpCc, ReliableDeliveryAndDuplicateSuppression) {
+  SimOptions opts;
+  opts.seed = 9;
+  SimHarness sim(opts);
+  sim.AddNodes(2);
+  UdpCc a(sim.vri(0), 5000);
+  UdpCc b(sim.vri(1), 5000);
+  std::vector<std::string> received;
+  b.set_message_handler([&](const NetAddress&, std::string_view p) {
+    received.emplace_back(p);
+  });
+  int delivered = 0;
+  for (int i = 0; i < 20; ++i) {
+    a.Send(sim.AddressOf(1, 5000), "m" + std::to_string(i),
+           [&](const Status& s) { delivered += s.ok(); });
+  }
+  sim.RunFor(5 * kSecond);
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(received.size(), 20u);
+  EXPECT_EQ(b.stats().duplicates_dropped, 0u);
+}
+
+TEST(UdpCc, SenderNotifiedWhenPeerIsDead) {
+  SimOptions opts;
+  opts.seed = 10;
+  SimHarness sim(opts);
+  sim.AddNodes(2);
+  UdpCc a(sim.vri(0), 5000);
+  sim.FailNode(1);
+  Status failure = Status::Ok();
+  bool called = false;
+  a.Send(sim.AddressOf(1, 5000), "doomed", [&](const Status& s) {
+    failure = s;
+    called = true;
+  });
+  sim.RunFor(60 * kSecond);  // retries, then gives up
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(failure.ok()) << "reliable-or-notify contract (§3.1.3)";
+  EXPECT_GT(a.stats().retransmits, 0u);
+}
+
+TEST(SimHarness, ClockSkewBoundsHold) {
+  SimOptions opts;
+  opts.seed = 12;
+  opts.max_clock_skew = 50 * kMillisecond;
+  SimHarness sim(opts);
+  sim.AddNodes(8);
+  sim.loop()->RunUntil(kSecond);
+  for (uint32_t i = 0; i < 8; ++i) {
+    TimeUs diff = sim.vri(i)->Now() - sim.loop()->now();
+    EXPECT_LE(diff, 50 * kMillisecond) << "node " << i;
+    EXPECT_GE(diff, -50 * kMillisecond) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pier
