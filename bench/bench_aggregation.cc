@@ -18,7 +18,6 @@
 #include "apps/netmon.h"
 #include "apps/workloads.h"
 #include "bench/bench_common.h"
-#include "qp/sql.h"
 
 namespace pier {
 namespace {
@@ -57,6 +56,12 @@ Cost Measure(uint32_t n, const std::string& strategy, uint64_t seed) {
 
   net.harness()->ResetStats();
   std::map<std::string, int64_t> got;
+  auto on_tuple = [&](const Tuple& t) {
+    const Value* s = t.Get("src");
+    const Value* c = t.Get("cnt");
+    if (s && c && c->type() == ValueType::kInt64)
+      got[std::string(*s->AsString())] = c->int64_unchecked();
+  };
 
   if (strategy == "central") {
     // scan -> put(const key)  +  newdata -> groupby(local) -> result.
@@ -89,25 +94,14 @@ Cost Measure(uint32_t n, const std::string& strategy, uint64_t seed) {
     OpSpec& res = g2.AddOp(OpKind::kResult);
     g2.Connect(agg_id, res.id, 0);
 
-    net.qp(0)->SubmitQuery(plan, [&](const Tuple& t) {
-      const Value* s = t.Get("src");
-      const Value* c = t.Get("cnt");
-      if (s && c && c->type() == ValueType::kInt64)
-        got[std::string(*s->AsString())] = c->int64_unchecked();
-    });
+    auto q = net.client(0)->Query(std::move(plan));
+    bench::Check(q, "central query").OnTuple(on_tuple);
   } else {
-    SqlOptions sql;
-    sql.agg_strategy = strategy;
-    auto plan = CompileSql(
-        "SELECT src, count(*) AS cnt FROM fw GROUP BY src TIMEOUT " +
-            std::to_string(kQueryTime / kMillisecond) + "ms",
-        sql);
-    net.qp(0)->SubmitQuery(*plan, [&](const Tuple& t) {
-      const Value* s = t.Get("src");
-      const Value* c = t.Get("cnt");
-      if (s && c && c->type() == ValueType::kInt64)
-        got[std::string(*s->AsString())] = c->int64_unchecked();
-    });
+    auto q = net.client(0)->Query(
+        Sql("SELECT src, count(*) AS cnt FROM fw GROUP BY src TIMEOUT " +
+            std::to_string(kQueryTime / kMillisecond) + "ms")
+            .WithAggStrategy(strategy));
+    bench::Check(q, "aggregation query").OnTuple(on_tuple);
   }
   net.RunFor(kQueryTime + 2 * kSecond);
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,17 @@ namespace bench {
 
 inline void Title(const std::string& s) {
   std::printf("\n=== %s ===\n", s.c_str());
+}
+
+/// Unwrap a Result or die: a bench that silently measures a query that never
+/// ran would print fabricated zeros, so failures must be loud.
+template <typename T>
+T& Check(Result<T>& r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *r;
 }
 
 inline void Note(const std::string& s) { std::printf("%s\n", s.c_str()); }

@@ -55,7 +55,10 @@ std::pair<int64_t, uint64_t> RunPolicy(const std::string& policy,
   g.Connect(eddy_id, res.id, 0);
 
   uint64_t survivors = 0;
-  net.qp(0)->SubmitQuery(plan, [&](const Tuple&) { survivors++; });
+  uint64_t query_id = plan.query_id;
+  uint32_t graph_id = g.id;
+  auto q = net.client(0)->Query(std::move(plan));
+  bench::Check(q, "eddy query").OnTuple([&](const Tuple&) { survivors++; });
   net.RunFor(1 * kSecond);
 
   Rng rng(seed + 9);
@@ -70,7 +73,7 @@ std::pair<int64_t, uint64_t> RunPolicy(const std::string& policy,
       t.Append("c0", Value::Int64(phase == 1 ? low : high));
       t.Append("c1", Value::Int64(tight));
       t.Append("c2", Value::Int64(phase == 1 ? high : low));
-      net.qp(0)->executor()->InjectTuple(plan.query_id, g.id, src_id, t);
+      net.qp(0)->executor()->InjectTuple(query_id, graph_id, src_id, t);
       if (i % 512 == 511) net.RunFor(100 * kMillisecond);
     }
     net.RunFor(1 * kSecond);
@@ -78,7 +81,7 @@ std::pair<int64_t, uint64_t> RunPolicy(const std::string& policy,
   inject(1);
   inject(2);
 
-  Operator* op = net.qp(0)->executor()->FindOp(plan.query_id, g.id, eddy_id);
+  Operator* op = net.qp(0)->executor()->FindOp(query_id, graph_id, eddy_id);
   int64_t evals = op ? op->Metric("evaluations") : -1;
   return {evals, survivors};
 }

@@ -25,17 +25,19 @@ constexpr int kKeys = 40;
 /// Key/node draws follow one fixed rng sequence so GroundTruth() below can
 /// replay it.
 void LoadTables(SimPier* net, uint64_t seed) {
+  net->catalog()->Register(TableSpec("l").LocalOnly());
+  net->catalog()->Register(TableSpec("r").LocalOnly());
   Rng rng(seed);
   ZipfGenerator zipf(kKeys, kSkew);
   for (int i = 0; i < kRowsPerSide; ++i) {
     Tuple l("l");
     l.Append("k", Value::Int64(static_cast<int64_t>(zipf.Sample(&rng))));
     l.Append("a", Value::Int64(i));
-    net->qp(rng.Uniform(kNodes))->StoreLocal("l", l);
+    net->client(rng.Uniform(kNodes))->Publish("l", l);
     Tuple r("r");
     r.Append("k", Value::Int64(static_cast<int64_t>(zipf.Sample(&rng))));
     r.Append("b", Value::Int64(i));
-    net->qp(rng.Uniform(kNodes))->StoreLocal("r", r);
+    net->client(rng.Uniform(kNodes))->Publish("r", r);
   }
 }
 
@@ -55,7 +57,8 @@ Outcome RunJoin(bool hierarchical, uint64_t seed) {
 
   QueryPlan plan;
   plan.query_id = 424200 + hierarchical;
-  plan.timeout = 16 * kSecond;
+  const TimeUs kTimeout = 16 * kSecond;
+  plan.timeout = kTimeout;
 
   uint32_t join_op_id = 0;
   if (hierarchical) {
@@ -103,15 +106,17 @@ Outcome RunJoin(bool hierarchical, uint64_t seed) {
 
   net.harness()->ResetStats();
   Outcome out;
-  net.qp(0)->SubmitQuery(plan, [&](const Tuple&) { out.results++; });
+  uint64_t query_id = plan.query_id;
+  auto q = net.client(0)->Query(std::move(plan));
+  bench::Check(q, "join query").OnTuple([&](const Tuple&) { out.results++; });
   // Sample operator metrics just before the timeout tears the query down.
-  net.RunFor(plan.timeout - kSecond);
+  net.RunFor(kTimeout - kSecond);
   if (hierarchical) {
     out.early = 0;
     out.owner = 0;
     for (uint32_t i = 0; i < kNodes; ++i) {
       Operator* op =
-          net.qp(i)->executor()->FindOp(plan.query_id, 1, join_op_id);
+          net.qp(i)->executor()->FindOp(query_id, 1, join_op_id);
       if (op == nullptr) continue;
       out.early += std::max<int64_t>(0, op->Metric("early_results"));
       out.owner += std::max<int64_t>(0, op->Metric("owner_results"));

@@ -11,7 +11,6 @@
 
 #include "bench/bench_common.h"
 #include "qp/sim_pier.h"
-#include "qp/sql.h"
 
 namespace pier {
 namespace {
@@ -21,12 +20,15 @@ constexpr int kRows = 600;
 
 void LoadTables(SimPier* net, double sigma, uint64_t seed) {
   Rng rng(seed);
-  // S keys: 0..kRows-1, published on join attr y (the primary index).
+  // S published on join attr y (the primary index); R is in-situ.
+  net->catalog()->Register(TableSpec("s").PartitionBy({"y"}));
+  net->catalog()->Register(TableSpec("r").LocalOnly());
+  // S keys: 0..kRows-1.
   for (int i = 0; i < kRows; ++i) {
     Tuple s("s");
     s.Append("y", Value::Int64(i));
     s.Append("b", Value::Int64(1000 + i));
-    net->qp(rng.Uniform(kNodes))->Publish("s", {"y"}, s);
+    net->client(rng.Uniform(kNodes))->Publish("s", s);
   }
   // R keys: fraction sigma inside S's key range, the rest far outside.
   // R rows carry a fat payload — the regime where Bloom pruning pays: the
@@ -41,7 +43,7 @@ void LoadTables(SimPier* net, double sigma, uint64_t seed) {
     r.Append("x", Value::Int64(x));
     r.Append("a", Value::Int64(i));
     r.Append("blob", Value::Bytes(payload));
-    net->qp(rng.Uniform(kNodes))->StoreLocal("r", r);
+    net->client(rng.Uniform(kNodes))->Publish("r", r);
   }
 }
 
@@ -138,7 +140,8 @@ Outcome RunStrategy(const std::string& strategy, double sigma, uint64_t seed) {
   net.harness()->ResetStats();
   Outcome out;
   TimeUs start = net.loop()->now();
-  net.qp(0)->SubmitQuery(plan, [&](const Tuple&) {
+  auto q = net.client(0)->Query(std::move(plan));
+  bench::Check(q, "join query").OnTuple([&](const Tuple&) {
     out.results++;
     out.last_result = net.loop()->now() - start;
   });

@@ -1,7 +1,7 @@
 // Filesharing search demo (§2.2, [41]): a DHT keyword index finds rare
 // content that flooding cannot.
 //
-//   $ build/examples/filesharing_demo
+//   $ build/filesharing_demo
 //
 // A synthetic corpus (Zipf popularity, replication proportional to
 // popularity) is published into PIER as an inverted index. We then search

@@ -1,18 +1,17 @@
 // Endpoint network monitoring demo (§2.2, Figure 2): the "top 10 sources of
 // firewall events" applet, as a continuous query over in-situ logs.
 //
-//   $ build/examples/netmon_demo
+//   $ build/netmon_demo
 //
-// 60 simulated nodes each hold their own firewall log; the log never leaves
-// the node. A continuous aggregation query recomputes the global top-5
-// offenders every window as new events keep arriving.
+// 60 simulated nodes each hold their own firewall log; the catalog declares
+// fw as local-only, so client.Publish never ships a log entry off its node.
+// A continuous aggregation query recomputes the global top-5 offenders every
+// window as new events keep arriving.
 
 #include <cstdio>
-#include <map>
 
 #include "apps/workloads.h"
 #include "qp/sim_pier.h"
-#include "qp/sql.h"
 
 using namespace pier;
 
@@ -23,30 +22,33 @@ int main() {
   SimPier net(60, options);
   std::printf("booted %zu monitoring nodes\n", net.size());
 
+  // fw is in-situ data (§2.1.2): declared local-only once, published through
+  // the same client call as any other table.
+  net.catalog()->Register(TableSpec("fw").LocalOnly());
+
   FirewallOptions fopts;
   fopts.num_sources = 200;
   fopts.events_per_node = 15;
   FirewallWorkload workload(fopts);
   for (uint32_t i = 0; i < net.size(); ++i) {
     for (const Tuple& t : workload.EventsForNode(i)) {
-      net.qp(i)->StoreLocal("fw", t);  // in-situ: never published
+      net.client(i)->Publish("fw", t);
     }
   }
 
   // The Figure 2 query, continuous: hierarchical aggregation funnels partial
   // counts up the aggregation tree; the root ranks them.
-  SqlOptions sql;
-  sql.agg_strategy = "hier";
-  auto plan = CompileSql(
-      "SELECT src, count(*) AS cnt FROM fw GROUP BY src "
-      "ORDER BY cnt DESC LIMIT 5 TIMEOUT 40s WINDOW 8s CONTINUOUS", sql);
-  if (!plan.ok()) {
-    std::printf("compile error: %s\n", plan.status().ToString().c_str());
+  auto q = net.client(9)->Query(
+      Sql("SELECT src, count(*) AS cnt FROM fw GROUP BY src "
+          "ORDER BY cnt DESC LIMIT 5 TIMEOUT 40s WINDOW 8s CONTINUOUS")
+          .WithAggStrategy("hier"));
+  if (!q.ok()) {
+    std::printf("query error: %s\n", q.status().ToString().c_str());
     return 1;
   }
 
   int rank = 0;
-  net.qp(9)->SubmitQuery(*plan, [&](const Tuple& t) {
+  q->OnTuple([&](const Tuple& t) {
     if (rank % 5 == 0) {
       std::printf("\n-- top sources at t=%.1fs --\n",
                   static_cast<double>(net.loop()->now()) / kSecond);
@@ -67,10 +69,12 @@ int main() {
       t.Append("dst_port", Value::Int64(22));
       t.Append("proto", Value::String("tcp"));
       t.Append("ts", Value::Int64(burst));
-      net.qp(i)->StoreLocal("fw", t);
+      net.client(i)->Publish("fw", t);
     }
   }
   net.RunFor(15 * kSecond);
-  std::printf("\n(the injected attacker 66.6.6.6 climbs the ranking)\n");
+  std::printf("\n(the injected attacker 66.6.6.6 climbs the ranking; query "
+              "delivered %llu rows)\n",
+              static_cast<unsigned long long>(q->stats().tuples));
   return 0;
 }

@@ -1,7 +1,7 @@
-// Quickstart: boot a simulated PIER network, publish a table into the DHT,
-// and run SQL against it.
+// Quickstart: boot a simulated PIER network, declare a table in the client
+// catalog, publish tuples, and run SQL through the PierClient façade.
 //
-//   $ build/examples/quickstart
+//   $ build/quickstart
 //
 // Everything happens in virtual time inside one process — the same node code
 // would run unmodified on the Physical Runtime (the paper's "native
@@ -10,7 +10,6 @@
 #include <cstdio>
 
 #include "qp/sim_pier.h"
-#include "qp/sql.h"
 
 using namespace pier;
 
@@ -25,9 +24,17 @@ int main() {
   SimPier net(20, options);
   std::printf("booted %zu PIER nodes\n", net.size());
 
-  // 2. Publish a little table of service deployments, partitioned by the
-  //    "service" column (its primary index, §3.3.3). Tuples are
-  //    self-describing: no schema is declared anywhere.
+  // 2. Declare the table ONCE in the shared client catalog. PIER's core has
+  //    no system catalog (§4.2.1) — this is client-side metadata that both
+  //    publishing and SQL compilation read, so the partitioning attributes
+  //    can never drift between the two.
+  net.catalog()->Register(TableSpec("deploy").PartitionBy({"service"}));
+
+  // 3. Publish a little table of service deployments. The catalog routes
+  //    each tuple to its primary index (partitioned by "service", §3.3.3);
+  //    had the spec declared secondary or range indexes, the same Publish
+  //    would fan out to those too. Tuples are still self-describing — no
+  //    schema is declared anywhere.
   const char* services[] = {"web", "web", "cache", "db", "web", "cache"};
   for (int i = 0; i < 6; ++i) {
     Tuple t("deploy");
@@ -35,49 +42,47 @@ int main() {
     t.Append("instance", Value::Int64(i));
     t.Append("cpu", Value::Double(0.1 * (i + 1)));
     // Publish from different nodes: data enters wherever it lives.
-    net.qp(i % net.size())->Publish("deploy", {"service"}, t);
+    net.client(i % net.size())->Publish("deploy", t);
   }
   net.RunFor(2 * kSecond);  // let the puts route
 
-  // 3. Compile SQL. PIER has no catalog, so the application supplies the
-  //    partitioning hints the naive optimizer needs (§4.2.1).
-  SqlOptions sql;
-  sql.tables["deploy"].partition_attrs = {"service"};
-
-  // Equality on the partition key -> the opgraph is routed only to the one
-  // node owning that partition (no broadcast).
-  auto plan = CompileSql(
-      "SELECT instance, cpu FROM deploy WHERE service = 'web' TIMEOUT 5s", sql);
-  if (!plan.ok()) {
-    std::printf("compile error: %s\n", plan.status().ToString().c_str());
+  // 4. Submit SQL at any node — that node becomes the query's proxy.
+  //    Equality on the partition key -> the opgraph is routed only to the
+  //    one node owning that partition (no broadcast). Collect() drives the
+  //    simulation until the query's timeout and returns the answers.
+  auto q = net.client(7)->Query(
+      Sql("SELECT instance, cpu FROM deploy WHERE service = 'web' TIMEOUT 5s"));
+  if (!q.ok()) {
+    std::printf("query error: %s\n", q.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nplan:\n%s\n", plan->ToString().c_str());
-
-  // 4. Submit at any node — that node becomes the query's proxy and the
-  //    results stream back to this callback.
-  int rows = 0;
-  bool done = false;
-  net.qp(7)->SubmitQuery(
-      *plan,
-      [&](const Tuple& t) {
-        rows++;
-        std::printf("  answer: %s\n", t.ToString().c_str());
-      },
-      [&]() { done = true; });
-
-  net.RunFor(8 * kSecond);  // run past the query timeout
-  std::printf("%d rows, done=%s\n", rows, done ? "true" : "false");
+  std::vector<Tuple> rows = q->Collect();
+  for (const Tuple& t : rows) std::printf("  answer: %s\n", t.ToString().c_str());
+  std::printf("%zu rows, done=%s, first answer after %.1f ms\n", rows.size(),
+              q->done() ? "true" : "false",
+              static_cast<double>(q->stats().first_tuple_latency) /
+                  kMillisecond);
 
   // 5. An aggregate over the whole network, disseminated by broadcast and
-  //    collected with the two-phase (partial/final) strategy.
-  auto agg = CompileSql(
-      "SELECT service, count(*) AS n, avg(cpu) AS load FROM deploy "
-      "GROUP BY service TIMEOUT 10s", sql);
+  //    collected with the two-phase (partial/final) strategy — this time
+  //    streaming results through OnTuple instead of collecting.
+  auto agg = net.client(3)->Query(
+      Sql("SELECT service, count(*) AS n, avg(cpu) AS load FROM deploy "
+          "GROUP BY service TIMEOUT 10s"));
+  if (!agg.ok()) {
+    std::printf("query error: %s\n", agg.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\naggregate:\n");
-  net.qp(3)->SubmitQuery(*agg, [&](const Tuple& t) {
+  agg->OnTuple([](const Tuple& t) {
     std::printf("  %s\n", t.ToString().c_str());
   });
-  net.RunFor(12 * kSecond);
+  agg->Wait();
+
+  // 6. The catalog also catches mistakes the old interface let time out
+  //    silently: querying a table nobody ever declared fails at submission.
+  auto bad = net.client(0)->Query(Sql("SELECT * FROM nosuch TIMEOUT 5s"));
+  std::printf("\nquerying an undeclared table: %s\n",
+              bad.status().ToString().c_str());
   return 0;
 }

@@ -2,20 +2,29 @@
 
 #include <map>
 
-#include "qp/sql.h"
+#include "util/logging.h"
 
 namespace pier {
 
 void FilesharingApp::PublishCorpus(const FilesharingCorpus& corpus,
                                    TimeUs lifetime) {
+  // One declaration of fidx's index metadata, instead of restating {"kw"}
+  // at every publish and compile site. The lifetime stays a per-publish
+  // argument so repeated corpora can use different ones against the same
+  // (idempotently re-registered) spec.
+  Status reg = net_->catalog()->Register(TableSpec("fidx").PartitionBy({"kw"}));
+  if (!reg.ok()) {
+    PIER_LOG(kWarn) << "fidx registration failed: " << reg.ToString();
+    return;
+  }
   size_t n = net_->size();
   for (const CorpusFile& f : corpus.files()) {
     for (uint32_t host : f.hosts) {
       if (host >= n) continue;
       for (uint32_t kw : f.keywords) {
-        net_->qp(host)->Publish("fidx", {"kw"},
-                                FilesharingCorpus::IndexTuple(kw, f.file_id, host),
-                                lifetime);
+        net_->client(host)->Publish(
+            "fidx", FilesharingCorpus::IndexTuple(kw, f.file_id, host),
+            lifetime);
       }
     }
   }
@@ -29,42 +38,42 @@ FilesharingApp::SearchResult FilesharingApp::Search(
   SearchResult result;
   if (keywords.empty()) return result;
 
-  SqlOptions sql;
-  sql.tables["fidx"].partition_attrs = {"kw"};
-
   TimeUs start = net_->loop()->now();
   size_t need = keywords.size();
   // file_id -> set of satisfied keyword slots (bitmask; queries are small).
   auto satisfied = std::make_shared<std::map<int64_t, uint64_t>>();
-  auto hosts_seen = std::make_shared<std::map<int64_t, int>>();
+  // Kept so every query can be cancelled before Search returns: the
+  // callbacks capture stack state, and with max_wait < query_timeout the
+  // queries would otherwise outlive it.
+  std::vector<QueryHandle> handles;
 
   for (size_t i = 0; i < keywords.size(); ++i) {
     std::string kw = FilesharingCorpus::KeywordName(keywords[i]);
-    auto plan = CompileSql("SELECT file_id, host FROM fidx WHERE kw = '" + kw +
-                               "' TIMEOUT " +
-                               std::to_string(query_timeout / kMillisecond) +
-                               "ms",
-                           sql);
-    if (!plan.ok()) continue;
+    auto handle = net_->client(origin)->Query(
+        Sql("SELECT file_id, host FROM fidx WHERE kw = '" + kw +
+            "' TIMEOUT " + std::to_string(query_timeout / kMillisecond) +
+            "ms"));
+    if (!handle.ok()) continue;
     uint64_t bit = 1ULL << i;
-    net_->qp(origin)->SubmitQuery(
-        *plan, [this, satisfied, hosts_seen, bit, need, start, &result](
-                   const Tuple& t) {
-          const Value* fid = t.Get("file_id");
-          if (fid == nullptr || fid->type() != ValueType::kInt64) return;
-          uint64_t& mask = (*satisfied)[fid->int64_unchecked()];
-          mask |= bit;
-          if (__builtin_popcountll(mask) == static_cast<int>(need)) {
-            // Conjunction satisfied: one concrete (file, host) answer.
-            result.results++;
-            if (!result.found) {
-              result.found = true;
-              result.first_result_latency = net_->loop()->now() - start;
-            }
-          }
-        });
+    handle->OnTuple([this, satisfied, bit, need, start, &result](
+                        const Tuple& t) {
+      const Value* fid = t.Get("file_id");
+      if (fid == nullptr || fid->type() != ValueType::kInt64) return;
+      uint64_t& mask = (*satisfied)[fid->int64_unchecked()];
+      mask |= bit;
+      if (__builtin_popcountll(mask) == static_cast<int>(need)) {
+        // Conjunction satisfied: one concrete (file, host) answer.
+        result.results++;
+        if (!result.found) {
+          result.found = true;
+          result.first_result_latency = net_->loop()->now() - start;
+        }
+      }
+    });
+    handles.push_back(*handle);
   }
   net_->RunFor(max_wait);
+  for (QueryHandle& h : handles) h.Cancel();
   return result;
 }
 

@@ -1,13 +1,21 @@
 #include "apps/netmon.h"
 
-#include "qp/sql.h"
+#include "util/logging.h"
 
 namespace pier {
 
 void NetmonApp::LoadLogs(const FirewallWorkload& workload, TimeUs lifetime) {
+  // fw is an in-situ table (§2.1.2): declared local-only, so Publish stores
+  // each event on its own node and never ships it into the network. The
+  // lifetime rides on each Publish so repeated loads can differ.
+  Status reg = net_->catalog()->Register(TableSpec("fw").LocalOnly());
+  if (!reg.ok()) {
+    PIER_LOG(kWarn) << "fw registration failed: " << reg.ToString();
+    return;
+  }
   for (uint32_t i = 0; i < net_->size(); ++i) {
     for (const Tuple& t : workload.EventsForNode(i)) {
-      net_->qp(i)->StoreLocal("fw", t, lifetime);
+      net_->client(i)->Publish("fw", t, lifetime);
     }
   }
 }
@@ -16,18 +24,16 @@ NetmonApp::TopKResult NetmonApp::TopKSources(uint32_t origin, int k,
                                              TimeUs query_timeout,
                                              const std::string& strategy) {
   TopKResult out;
-  SqlOptions sql;
-  sql.agg_strategy = strategy;
-  auto plan = CompileSql(
-      "SELECT src, count(*) AS cnt FROM fw GROUP BY src ORDER BY cnt DESC "
-      "LIMIT " + std::to_string(k) + " TIMEOUT " +
-          std::to_string(query_timeout / kMillisecond) + "ms",
-      sql);
-  if (!plan.ok()) return out;
+  auto handle = net_->client(origin)->Query(
+      Sql("SELECT src, count(*) AS cnt FROM fw GROUP BY src ORDER BY cnt DESC "
+          "LIMIT " + std::to_string(k) + " TIMEOUT " +
+          std::to_string(query_timeout / kMillisecond) + "ms")
+          .WithAggStrategy(strategy));
+  if (!handle.ok()) return out;
 
   TimeUs start = net_->loop()->now();
   std::vector<std::pair<std::string, int64_t>> received;
-  net_->qp(origin)->SubmitQuery(*plan, [&](const Tuple& t) {
+  handle->OnTuple([&](const Tuple& t) {
     const Value* src = t.Get("src");
     const Value* cnt = t.Get("cnt");
     if (src == nullptr || cnt == nullptr) return;

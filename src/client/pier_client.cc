@@ -1,0 +1,277 @@
+#include "client/pier_client.h"
+
+#include <algorithm>
+
+#include "qp/ufl.h"
+
+namespace pier {
+
+// ---------------------------------------------------------------------------
+// QueryHandle
+// ---------------------------------------------------------------------------
+
+struct QueryHandle::State {
+  /// Cap on answers buffered for Collect(): a continuous query whose handle
+  /// was dropped (the qp callbacks keep this State alive until done) must
+  /// not accumulate tuples without bound.
+  static constexpr size_t kMaxBuffered = 64 * 1024;
+
+  QueryProcessor* qp = nullptr;
+  PierClient::RunFn run;
+  uint64_t id = 0;
+  TimeUs timeout = 0;
+  TimeUs done_slack = 0;
+  Stats stats;
+  std::function<void(const Tuple&)> on_tuple;
+  std::function<void()> on_done;
+  /// Answers arriving before OnTuple is registered (or forever, for Collect
+  /// users) accumulate here; a streaming callback drains and disables it.
+  bool buffering = true;
+  std::vector<Tuple> buffer;
+};
+
+uint64_t QueryHandle::id() const { return state_ ? state_->id : 0; }
+
+TimeUs QueryHandle::timeout() const { return state_ ? state_->timeout : 0; }
+
+QueryHandle& QueryHandle::OnTuple(std::function<void(const Tuple&)> fn) {
+  if (!state_) return *this;
+  state_->on_tuple = std::move(fn);
+  state_->buffering = false;
+  std::vector<Tuple> pending;
+  pending.swap(state_->buffer);
+  for (const Tuple& t : pending) state_->on_tuple(t);
+  return *this;
+}
+
+QueryHandle& QueryHandle::OnDone(std::function<void()> fn) {
+  if (!state_) return *this;
+  if (state_->stats.done) {
+    fn();
+    return *this;
+  }
+  state_->on_done = std::move(fn);
+  return *this;
+}
+
+void QueryHandle::Cancel() {
+  if (!state_ || state_->stats.done) return;
+  state_->qp->CancelQuery(state_->id);
+  state_->stats.cancelled = true;
+  state_->stats.done = true;
+  // Cancellation completes the query from the client's point of view, so
+  // the completion callback fires exactly as it would at the timeout (the
+  // query processor's own done timer was just cancelled with the query).
+  std::function<void()> done = std::move(state_->on_done);
+  state_->on_done = nullptr;
+  if (done) done();
+}
+
+bool QueryHandle::done() const { return state_ && state_->stats.done; }
+
+const QueryHandle::Stats& QueryHandle::stats() const {
+  static const Stats kEmpty;
+  return state_ ? state_->stats : kEmpty;
+}
+
+Status QueryHandle::Wait(TimeUs max_wait) {
+  if (!state_) return Status::InvalidArgument("empty query handle");
+  if (state_->stats.done) return Status::Ok();
+  if (!state_->run)
+    return Status::NotSupported("client has no run driver to wait with");
+  // Queries end at timeout + done slack; leave a little headroom past that.
+  TimeUs deadline = max_wait > 0
+                        ? max_wait
+                        : state_->timeout + state_->done_slack + kSecond;
+  const TimeUs kStep = 500 * kMillisecond;
+  for (TimeUs waited = 0; waited < deadline && !state_->stats.done;
+       waited += kStep) {
+    state_->run(std::min(kStep, deadline - waited));
+  }
+  return state_->stats.done ? Status::Ok()
+                            : Status::TimedOut("query still running");
+}
+
+std::vector<Tuple> QueryHandle::Collect(TimeUs max_wait) {
+  if (!state_) return {};
+  Wait(max_wait);
+  std::vector<Tuple> out;
+  out.swap(state_->buffer);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PierClient
+// ---------------------------------------------------------------------------
+
+PierClient::PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run)
+    : qp_(qp), catalog_(catalog), run_(std::move(run)) {
+  // Give SubmitQuery the metadata check PIER itself cannot do: a plan that
+  // scans a table the application never declared fails loudly at the proxy
+  // instead of timing out with zero answers.
+  resolver_token_ = qp_->set_table_resolver(
+      [catalog](const std::string& table, QueryProcessor::TableRole role) {
+        return role == QueryProcessor::TableRole::kRangeIndex
+                   ? catalog->KnowsRangeTable(table)
+                   : catalog->KnowsRelation(table);
+      });
+}
+
+PierClient::~PierClient() {
+  // The resolver captures catalog_ raw; never leave it dangling on a query
+  // processor that outlives this client. The token makes this a no-op if a
+  // newer client has since installed its own resolver, and that newer
+  // client's eventual teardown reverts the qp to the paper's accept-all
+  // contract rather than reviving a possibly-dead older catalog.
+  qp_->ClearTableResolver(resolver_token_);
+}
+
+Status PierClient::Publish(const std::string& table, const Tuple& t,
+                           TimeUs lifetime) {
+  const TableSpec* spec = catalog_->Find(table);
+  if (spec == nullptr)
+    return Status::NotFound("table '" + table + "' is not in the catalog");
+  if (lifetime <= 0) lifetime = spec->default_lifetime;
+
+  if (spec->local_only) {
+    qp_->StoreLocal(table, t, lifetime);
+    return Status::Ok();
+  }
+
+  // The catalog knows what the indexes need; reject tuples the fan-out
+  // would silently mis-key or drop. (Secondary indexes stay sparse: a tuple
+  // without the indexed attribute is legitimately just not indexed.)
+  for (const std::string& attr : spec->partition_attrs) {
+    if (!t.Has(attr)) {
+      return Status::InvalidArgument(
+          "tuple for '" + table + "' lacks partition attribute '" + attr +
+          "': it would be stored under a key no equality lookup computes");
+    }
+  }
+  for (const RangeIndexSpec& idx : spec->range_indexes) {
+    const Value* v = t.Get(idx.attr);
+    if (v == nullptr)
+      return Status::InvalidArgument("tuple for '" + table +
+                                     "' lacks range-index attribute '" +
+                                     idx.attr + "'");
+    Result<int64_t> key = v->AsInt64();
+    if (!key.ok() || *key < 0)
+      return Status::InvalidArgument(
+          "range-index attribute '" + idx.attr +
+          "' must be a non-negative integer, got " + v->ToString());
+  }
+
+  qp_->Publish(table, spec->partition_attrs, t, lifetime);
+  for (const SecondaryIndexSpec& idx : spec->secondary_indexes) {
+    qp_->PublishSecondary(idx.table, idx.attr, table, spec->partition_attrs, t,
+                          lifetime);
+  }
+  for (const RangeIndexSpec& idx : spec->range_indexes) {
+    qp_->PublishRange(idx.table, idx.attr, t, idx.key_bits, lifetime);
+  }
+  return Status::Ok();
+}
+
+Result<QueryPlan> PierClient::Compile(const Sql& sql) const {
+  SqlOptions options;
+  options.tables = catalog_->TableHints();
+  options.agg_strategy = sql.agg_strategy;
+  options.default_timeout = sql.default_timeout;
+  return CompileSql(sql.text, options);
+}
+
+Result<QueryPlan> PierClient::Compile(const Ufl& ufl) const {
+  return ParseUfl(ufl.text);
+}
+
+Result<QueryHandle> PierClient::Query(const Sql& sql) {
+  PIER_ASSIGN_OR_RETURN(QueryPlan plan, Compile(sql));
+  return Submit(std::move(plan));
+}
+
+Result<QueryHandle> PierClient::Query(const Ufl& ufl) {
+  PIER_ASSIGN_OR_RETURN(QueryPlan plan, Compile(ufl));
+  return Submit(std::move(plan));
+}
+
+Result<QueryHandle> PierClient::Query(QueryPlan plan) {
+  return Submit(std::move(plan));
+}
+
+Result<QueryHandle> PierClient::QueryByIndex(const std::string& table,
+                                             const std::string& attr,
+                                             const Value& v, TimeUs timeout) {
+  const TableSpec* spec = catalog_->Find(table);
+  if (spec == nullptr)
+    return Status::NotFound("table '" + table + "' is not in the catalog");
+  const SecondaryIndexSpec* idx = spec->FindSecondaryIndex(attr);
+  if (idx == nullptr)
+    return Status::NotFound("table '" + table +
+                            "' has no secondary index on '" + attr + "'");
+
+  // scan(index) -> selection(attr = v) -> fetch base by locator -> result.
+  // The graph travels only to the index partition's owner (§3.3.3).
+  QueryPlan plan;
+  plan.timeout = timeout;
+  OpGraph& g = plan.AddGraph();
+  g.dissem = DissemKind::kEquality;
+  g.dissem_ns = idx->table;
+  Tuple probe(idx->table);
+  probe.Append(attr, v);
+  g.dissem_key = probe.PartitionKey({attr});
+
+  OpSpec& scan = g.AddOp(OpKind::kScan);
+  scan.Set("ns", idx->table);
+  uint32_t tail = scan.id;
+  OpSpec& sel = g.AddOp(OpKind::kSelection);
+  sel.SetExpr("pred",
+              Expr::Cmp(CmpOp::kEq, Expr::Column(attr), Expr::Const(v)));
+  g.Connect(tail, sel.id, 0);
+  tail = sel.id;
+  OpSpec& fetch = g.AddOp(OpKind::kFetchMatches);
+  fetch.Set("table", table);
+  fetch.SetExpr("key_expr", Expr::Column("base_key"));
+  fetch.SetInt("raw_key", 1);  // the locator IS the partition key string
+  g.Connect(tail, fetch.id, 0);
+  tail = fetch.id;
+  OpSpec& res = g.AddOp(OpKind::kResult);
+  g.Connect(tail, res.id, 0);
+
+  return Submit(std::move(plan));
+}
+
+Result<QueryHandle> PierClient::Submit(QueryPlan plan) {
+  auto state = std::make_shared<QueryHandle::State>();
+  state->qp = qp_;
+  state->run = run_;
+  state->timeout = plan.timeout;
+  state->done_slack = qp_->options().done_slack;
+  state->stats.submitted_at = qp_->vri()->Now();
+
+  PIER_ASSIGN_OR_RETURN(
+      uint64_t qid,
+      qp_->SubmitQuery(
+          std::move(plan),
+          [state](const Tuple& t) {
+            state->stats.tuples++;
+            TimeUs latency =
+                state->qp->vri()->Now() - state->stats.submitted_at;
+            if (state->stats.first_tuple_latency < 0)
+              state->stats.first_tuple_latency = latency;
+            state->stats.last_tuple_latency = latency;
+            if (state->on_tuple) {
+              state->on_tuple(t);
+            } else if (state->buffering &&
+                       state->buffer.size() < QueryHandle::State::kMaxBuffered) {
+              state->buffer.push_back(t);
+            }
+          },
+          [state]() {
+            state->stats.done = true;
+            if (state->on_done) state->on_done();
+          }));
+  state->id = qid;
+  return QueryHandle(std::move(state));
+}
+
+}  // namespace pier

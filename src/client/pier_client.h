@@ -1,0 +1,173 @@
+// PierClient: the one entry point applications use to talk to PIER
+// (§3.3.2–§3.3.3, restructured as a narrow façade).
+//
+// The paper's client interface is two verbs — publish tuples, submit a query
+// at any node (which becomes the query's proxy) — but the reproduction had
+// grown five: three Publish* variants that each restated index metadata, and
+// two front ends (CompileSql / ParseUfl) whose output was hand-carried into
+// SubmitQuery with raw callbacks. PierClient folds them back into two:
+//
+//   client.Publish(table, tuple)        // catalog-driven index fan-out
+//   client.Query(Sql("SELECT ..."))     // or Ufl("graph ..."), or a native
+//   client.Query(std::move(plan))       // QueryPlan — all return QueryHandle
+//
+// A QueryHandle owns the streaming result channel: OnTuple/OnDone
+// registration, Cancel(), per-query Stats, and a blocking Collect() for
+// tests and examples (it drives the simulation's virtual clock).
+
+#ifndef PIER_CLIENT_PIER_CLIENT_H_
+#define PIER_CLIENT_PIER_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/catalog.h"
+#include "qp/query_processor.h"
+
+namespace pier {
+
+/// A SQL query plus the per-query compiler knobs (everything table-shaped
+/// comes from the catalog instead).
+struct Sql {
+  std::string text;
+  /// "flat" two-phase rehash or "hier" aggregation-tree (§3.3.4).
+  std::string agg_strategy = "flat";
+  TimeUs default_timeout = 20 * kSecond;
+
+  explicit Sql(std::string query) : text(std::move(query)) {}
+  Sql& WithAggStrategy(std::string strategy) {
+    agg_strategy = std::move(strategy);
+    return *this;
+  }
+  Sql& WithDefaultTimeout(TimeUs t) {
+    default_timeout = t;
+    return *this;
+  }
+};
+
+/// A UFL dataflow program (the text equivalent of the paper's Lighthouse).
+struct Ufl {
+  std::string text;
+  explicit Ufl(std::string program) : text(std::move(program)) {}
+};
+
+/// A live query owned by the client. Cheap to copy (shared state); the
+/// underlying query keeps running until its timeout, Cancel(), or process
+/// exit — dropping every handle does NOT cancel it (soft state drains on its
+/// own, §3.3.2).
+class QueryHandle {
+ public:
+  struct Stats {
+    uint64_t tuples = 0;             // answers delivered to this handle
+    TimeUs submitted_at = 0;
+    TimeUs first_tuple_latency = -1;  // -1 until the first answer arrives
+    TimeUs last_tuple_latency = -1;
+    bool done = false;               // timeout fired or Cancel()ed
+    bool cancelled = false;
+  };
+
+  QueryHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const;
+  TimeUs timeout() const;
+
+  /// Register the streaming callbacks. Answers that arrived before
+  /// registration were buffered and are replayed synchronously. Returns
+  /// *this so registration chains off Query().
+  QueryHandle& OnTuple(std::function<void(const Tuple&)> fn);
+  QueryHandle& OnDone(std::function<void()> fn);
+
+  /// Stop delivery and tear down local execution (remote opgraphs drain via
+  /// their own timeouts; there is no recall protocol). Completes the handle:
+  /// a registered OnDone callback fires once, synchronously.
+  void Cancel();
+
+  bool done() const;
+  const Stats& stats() const;
+
+  /// Drive the environment until the query completes (or `max_wait` elapses;
+  /// 0 waits through the query timeout plus slack). Requires a run driver —
+  /// clients made by SimPier have one.
+  Status Wait(TimeUs max_wait = 0);
+
+  /// Blocking convenience for tests and examples: Wait(), then return the
+  /// buffered answers (the first ~64k — register OnTuple for unbounded
+  /// streams). Only meaningful if OnTuple was never registered (the buffer
+  /// is disabled once a streaming callback takes over).
+  std::vector<Tuple> Collect(TimeUs max_wait = 0);
+
+ private:
+  friend class PierClient;
+  struct State;
+  explicit QueryHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// The per-node client façade: a QueryProcessor (this node is the proxy for
+/// queries submitted here) plus the application's shared Catalog.
+class PierClient {
+ public:
+  /// Advances the execution environment by a time span — the simulation's
+  /// RunFor. Optional; without it Wait/Collect cannot block.
+  using RunFn = std::function<void(TimeUs)>;
+
+  /// The client installs its catalog as `qp`'s table resolver for its own
+  /// lifetime (cleared again on destruction). `qp` and `catalog` must
+  /// outlive the client; one catalog is typically shared by many clients.
+  PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run = nullptr);
+  ~PierClient();
+
+  PierClient(const PierClient&) = delete;
+  PierClient& operator=(const PierClient&) = delete;
+
+  Catalog* catalog() { return catalog_; }
+  QueryProcessor* qp() { return qp_; }
+
+  // --- Publishing ------------------------------------------------------------
+
+  /// Publish one application tuple. The catalog's TableSpec drives the
+  /// fan-out: local-only tables go to this node's soft-state store; DHT
+  /// tables go to the primary index, every declared secondary index, and
+  /// every declared PHT range index. lifetime 0 uses the spec's default.
+  Status Publish(const std::string& table, const Tuple& t, TimeUs lifetime = 0);
+
+  // --- Queries ---------------------------------------------------------------
+
+  Result<QueryHandle> Query(const Sql& sql);
+  Result<QueryHandle> Query(const Ufl& ufl);
+  /// Native plans: query_id (if 0) and proxy are filled in on submission.
+  Result<QueryHandle> Query(QueryPlan plan);
+
+  /// Compile SQL against the catalog (or parse UFL) without submitting —
+  /// plan inspection for tests and EXPLAIN-style tooling. The returned plan
+  /// can be submitted with Query(std::move(plan)).
+  Result<QueryPlan> Compile(const Sql& sql) const;
+  Result<QueryPlan> Compile(const Ufl& ufl) const;
+
+  /// Point lookup through a declared secondary index (§3.3.3): stream the
+  /// BASE tuples whose `attr` equals `v`. The opgraph travels to the index
+  /// partition's owner, which fetches each matching base tuple by its
+  /// primary key (a Fetch Matches over the locator column).
+  Result<QueryHandle> QueryByIndex(const std::string& table,
+                                   const std::string& attr, const Value& v,
+                                   TimeUs timeout = 10 * kSecond);
+
+ private:
+  Result<QueryHandle> Submit(QueryPlan plan);
+
+  QueryProcessor* qp_;
+  Catalog* catalog_;
+  RunFn run_;
+  /// Installation token for the resolver this client put on qp_; destruction
+  /// clears the resolver only if it is still this client's.
+  uint64_t resolver_token_ = 0;
+};
+
+}  // namespace pier
+
+#endif  // PIER_CLIENT_PIER_CLIENT_H_

@@ -26,10 +26,12 @@ void Pht::LabelRange(const std::string& label, uint64_t* lo, uint64_t* hi) const
   *hi = (*lo) | (rest >= 64 ? ~0ULL : ((1ULL << rest) - 1));
 }
 
-std::string Pht::EncodeItem(uint64_t key, std::string_view value) const {
+std::string Pht::EncodeItem(uint64_t key, std::string_view value,
+                            TimeUs lifetime) const {
   WireWriter w;
   w.PutU64(key);
   w.PutBytes(value);
+  w.PutU64(static_cast<uint64_t>(lifetime));
   return std::move(w).data();
 }
 
@@ -40,6 +42,8 @@ Result<PhtItem> Pht::DecodeItem(std::string_view wire) {
   PIER_RETURN_IF_ERROR(r.GetU64(&item.key));
   PIER_RETURN_IF_ERROR(r.GetBytes(&value));
   item.value = std::string(value);
+  uint64_t lifetime = 0;
+  if (r.GetU64(&lifetime).ok()) item.lifetime = static_cast<TimeUs>(lifetime);
   return item;
 }
 
@@ -116,7 +120,9 @@ void Pht::FindLeaf(uint64_t key,
   (*step)();
 }
 
-void Pht::Insert(uint64_t key, std::string value, DoneCallback done) {
+void Pht::Insert(uint64_t key, std::string value, DoneCallback done,
+                 TimeUs lifetime) {
+  if (lifetime <= 0) lifetime = options_.lifetime;
   // The suffix is minted exactly once per logical item; every re-insertion
   // (split redistribution, interior-rescue) reuses it, so copies of the same
   // item replace each other at whatever label they land on.
@@ -126,33 +132,36 @@ void Pht::Insert(uint64_t key, std::string value, DoneCallback done) {
   sfx.PutU32(dht_->local_address().host);
   std::string suffix = std::move(sfx).data();
   FindLeaf(key, [this, key, value = std::move(value), suffix = std::move(suffix),
-                 done = std::move(done)](const Result<std::string>& leaf) mutable {
+                 done = std::move(done), lifetime](
+                    const Result<std::string>& leaf) mutable {
     if (!leaf.ok()) {
       if (done) done(leaf.status());
       return;
     }
     InsertAtLeaf(leaf.value(), key, std::move(value), std::move(suffix),
-                 std::move(done));
+                 std::move(done), lifetime);
   });
 }
 
 void Pht::InsertAtLeaf(const std::string& label, uint64_t key, std::string value,
-                       std::string suffix, DoneCallback done) {
+                       std::string suffix, DoneCallback done, TimeUs lifetime) {
   // Write the item, ensure the leaf's meta marker exists, then check for
-  // overflow.
-  dht_->Put(options_.table, label, suffix, EncodeItem(key, value),
-            options_.lifetime,
-            [this, label, key, value, suffix,
-             done = std::move(done)](const Status& s) mutable {
+  // overflow. The structural marker must not expire before the item.
+  TimeUs marker_lifetime = std::max(options_.lifetime, lifetime);
+  dht_->Put(options_.table, label, suffix, EncodeItem(key, value, lifetime),
+            lifetime,
+            [this, label, key, value, suffix, done = std::move(done),
+             lifetime, marker_lifetime](const Status& s) mutable {
               if (!s.ok()) {
                 if (done) done(s);
                 return;
               }
               dht_->Put(options_.table, label, kMetaLeaf, "L",
-                        options_.lifetime, nullptr);
+                        marker_lifetime, nullptr);
               // Overflow check.
               Probe(label, [this, label, key, value = std::move(value),
-                            suffix = std::move(suffix), done = std::move(done)](
+                            suffix = std::move(suffix), done = std::move(done),
+                            lifetime](
                                NodeKind kind, std::vector<DhtItem> items) mutable {
                 if (kind == NodeKind::kInterior) {
                   // The leaf split under us; our copy sits on an interior node
@@ -160,14 +169,15 @@ void Pht::InsertAtLeaf(const std::string& label, uint64_t key, std::string value
                   // with the same suffix — idempotent against the splitter's
                   // own redistribution of the copy it may have seen.
                   FindLeaf(key, [this, key, value = std::move(value),
-                                 suffix = std::move(suffix), done = std::move(done)](
+                                 suffix = std::move(suffix), done = std::move(done),
+                                 lifetime](
                                     const Result<std::string>& leaf) mutable {
                     if (!leaf.ok()) {
                       if (done) done(leaf.status());
                       return;
                     }
                     InsertAtLeaf(leaf.value(), key, std::move(value),
-                                 std::move(suffix), std::move(done));
+                                 std::move(suffix), std::move(done), lifetime);
                   });
                   return;
                 }
@@ -227,13 +237,17 @@ void Pht::SplitLeaf(const std::string& label, std::vector<DhtItem> items,
   *remaining = static_cast<int>(data.size());
   for (auto& d : data) {
     // Re-insert one level deeper (handles recursive splits), keeping the
-    // item's original suffix.
+    // item's original suffix and its publisher-requested lease (a split
+    // renews the lease for that original duration — soft-state republish).
+    TimeUs item_lifetime =
+        d.item.lifetime > 0 ? d.item.lifetime : options_.lifetime;
     InsertAtLeaf(Label(d.item.key, static_cast<int>(label.size()) + 1),
                  d.item.key, std::move(d.item.value), std::move(d.suffix),
                  [remaining, finish](const Status& s) {
                    (void)s;
                    if (--*remaining == 0) finish(Status::Ok());
-                 });
+                 },
+                 item_lifetime);
   }
 }
 

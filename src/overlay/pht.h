@@ -25,6 +25,10 @@ namespace pier {
 struct PhtItem {
   uint64_t key = 0;
   std::string value;
+  /// The publisher's requested lifetime (0: the PHT default). Carried in the
+  /// stored encoding so a leaf split re-inserts the item with its original
+  /// lease instead of resetting it to the default.
+  TimeUs lifetime = 0;
 };
 
 class Pht {
@@ -44,7 +48,11 @@ class Pht {
       std::function<void(const Status&, std::vector<PhtItem> items)>;
 
   /// Insert (key, value); splits the target leaf if it overflows.
-  void Insert(uint64_t key, std::string value, DoneCallback done);
+  /// `lifetime` overrides Options::lifetime for this item (0 uses it); the
+  /// override rides the whole async insert, so concurrent inserts with
+  /// different lifetimes on one shared instance do not interfere.
+  void Insert(uint64_t key, std::string value, DoneCallback done,
+              TimeUs lifetime = 0);
 
   /// All items with exactly `key`.
   void LookupKey(uint64_t key, ItemsCallback cb);
@@ -84,7 +92,7 @@ class Pht {
   /// through splits and races so that re-insertions replace (the object
   /// manager overwrites same-suffix puts) instead of duplicating.
   void InsertAtLeaf(const std::string& label, uint64_t key, std::string value,
-                    std::string suffix, DoneCallback done);
+                    std::string suffix, DoneCallback done, TimeUs lifetime);
   void SplitLeaf(const std::string& label, std::vector<DhtItem> items,
                  DoneCallback done);
   void CollectRange(const std::string& label, uint64_t lo, uint64_t hi,
@@ -94,7 +102,8 @@ class Pht {
   /// [min, max] key range covered by a trie node label.
   void LabelRange(const std::string& label, uint64_t* lo, uint64_t* hi) const;
 
-  std::string EncodeItem(uint64_t key, std::string_view value) const;
+  std::string EncodeItem(uint64_t key, std::string_view value,
+                         TimeUs lifetime) const;
   static Result<PhtItem> DecodeItem(std::string_view wire);
 
   Dht* dht_;

@@ -105,9 +105,12 @@ class SymHashJoinOp : public Operator {
   std::string ns_[2];
 };
 
-/// fmjoin[table=?, key_expr=<expr over outer>, pred=?, table_out=?, qualify=0|1]
+/// fmjoin[table=?, key_expr=<expr over outer>, pred=?, table_out=?,
+/// qualify=0|1, raw_key=0|1]
 /// The inner relation must be published into the DHT with its join attribute
 /// as partitioning key; `key` computes the outer tuple's lookup value.
+/// raw_key=1 means key_expr yields an already-formatted partition-key string
+/// (a secondary index's base-tuple locator, §3.3.3) to use verbatim.
 class FetchMatchesOp : public Operator {
  public:
   using Operator::Operator;
@@ -120,6 +123,7 @@ class FetchMatchesOp : public Operator {
     PIER_ASSIGN_OR_RETURN(key_expr_, spec_.GetExpr("key_expr"));
     out_table_ = spec_.GetString("table_out", "join");
     qualify_ = spec_.GetInt("qualify", 0) != 0;
+    raw_key_ = spec_.GetInt("raw_key", 0) != 0;
     if (spec_.Has("pred")) {
       PIER_ASSIGN_OR_RETURN(residual_, spec_.GetExpr("pred"));
     }
@@ -131,8 +135,16 @@ class FetchMatchesOp : public Operator {
     stats_.consumed++;
     Result<Value> key = key_expr_->Eval(t);
     if (!key.ok()) return;
-    // Must match Tuple::PartitionKey's single-attribute format.
-    std::string k = key->CanonicalString() + "|";
+    std::string k;
+    if (raw_key_) {
+      // The key column already holds a full partition-key string.
+      Result<std::string_view> s = key->AsString();
+      if (!s.ok()) return;
+      k = std::string(*s);
+    } else {
+      // Must match Tuple::PartitionKey's single-attribute format.
+      k = key->CanonicalString() + "|";
+    }
     in_flight_++;
     std::weak_ptr<char> alive = alive_;
     cx_->dht->Get(
@@ -164,6 +176,7 @@ class FetchMatchesOp : public Operator {
   ExprPtr key_expr_;
   ExprPtr residual_;
   bool qualify_ = false;
+  bool raw_key_ = false;
   int in_flight_ = 0;
   std::shared_ptr<char> alive_;
 };

@@ -1,5 +1,7 @@
 #include "qp/query_processor.h"
 
+#include <set>
+
 #include "util/logging.h"
 
 namespace pier {
@@ -77,13 +79,14 @@ Pht* QueryProcessor::PhtFor(const std::string& table, int key_bits) {
 
 void QueryProcessor::PublishRange(const std::string& pht_table,
                                   const std::string& key_attr, const Tuple& t,
-                                  int key_bits) {
+                                  int key_bits, TimeUs lifetime) {
   const Value* v = t.Get(key_attr);
   if (v == nullptr) return;
   Result<int64_t> key = v->AsInt64();
   if (!key.ok() || *key < 0) return;
+  if (lifetime <= 0) lifetime = options_.publish_lifetime;
   PhtFor(pht_table, key_bits)
-      ->Insert(static_cast<uint64_t>(*key), t.Encode(), nullptr);
+      ->Insert(static_cast<uint64_t>(*key), t.Encode(), nullptr, lifetime);
 }
 
 void QueryProcessor::StoreLocal(const std::string& table, const Tuple& t,
@@ -106,6 +109,7 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
   }
   plan.proxy = dht_->local_address();
   PIER_RETURN_IF_ERROR(plan.Validate());
+  PIER_RETURN_IF_ERROR(CheckTablesKnown(plan));
   stats_.queries_submitted++;
 
   ClientQuery client;
@@ -124,6 +128,46 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
 
   Disseminate(plan);
   return qid;
+}
+
+Status QueryProcessor::CheckTablesKnown(const QueryPlan& plan) const {
+  if (!table_resolver_) return Status::Ok();
+  // Namespaces the plan itself produces (rendezvous stages like "q<id>.agg")
+  // are exempt: only externally-sourced tables need published metadata.
+  std::set<std::string> produced;
+  for (const OpGraph& g : plan.graphs) {
+    for (const OpSpec& op : g.ops) {
+      if (op.kind == OpKind::kPut || op.kind == OpKind::kMaterializer ||
+          op.kind == OpKind::kBloomCreate) {
+        produced.insert(op.GetString("ns"));
+      }
+    }
+  }
+  auto check = [&](const std::string& table, TableRole role) -> Status {
+    if (table.empty() || produced.count(table) > 0 ||
+        table_resolver_(table, role)) {
+      return Status::Ok();
+    }
+    return Status::NotFound(
+        "query reads table '" + table + "' as a " +
+        (role == TableRole::kRangeIndex ? "range index" : "relation") +
+        " but no such metadata was ever published for it");
+  };
+  for (const OpGraph& g : plan.graphs) {
+    for (const OpSpec& op : g.ops) {
+      if (op.kind == OpKind::kScan || op.kind == OpKind::kNewData ||
+          op.kind == OpKind::kBloomProbe) {
+        PIER_RETURN_IF_ERROR(check(op.GetString("ns"), TableRole::kRelation));
+      } else if (op.kind == OpKind::kFetchMatches) {
+        PIER_RETURN_IF_ERROR(
+            check(op.GetString("table"), TableRole::kRelation));
+      }
+    }
+    if (g.dissem == DissemKind::kRange) {
+      PIER_RETURN_IF_ERROR(check(g.dissem_ns, TableRole::kRangeIndex));
+    }
+  }
+  return Status::Ok();
 }
 
 void QueryProcessor::CancelQuery(uint64_t query_id) {

@@ -58,8 +58,9 @@ class QueryProcessor {
                         const Tuple& t, TimeUs lifetime = 0);
 
   /// Publish into a PHT range index keyed by integer column `key_attr`.
+  /// lifetime 0 uses the default.
   void PublishRange(const std::string& pht_table, const std::string& key_attr,
-                    const Tuple& t, int key_bits = 32);
+                    const Tuple& t, int key_bits = 32, TimeUs lifetime = 0);
 
   /// Store a tuple in this node's local soft-state table WITHOUT shipping it
   /// anywhere — data "in situ" (§2.1.2): endpoint monitoring sources (packet
@@ -72,8 +73,35 @@ class QueryProcessor {
   using TupleCallback = std::function<void(const Tuple&)>;
   using DoneCallback = std::function<void()>;
 
+  /// How a plan uses a namespace it reads: a scannable relation (scan /
+  /// newdata / fetch-matches target) or a PHT range-dissemination table.
+  /// The two are distinct stores — scanning a PHT namespace can never
+  /// produce tuples, so a resolver must not conflate them.
+  enum class TableRole { kRelation, kRangeIndex };
+
+  /// Answers "does the application have published metadata for this table,
+  /// used in this role?". PIER itself keeps no catalog, so the check is
+  /// injected by the client layer (PierClient wires it to its Catalog).
+  /// Unset means "accept all", the paper's original bake-it-in contract.
+  using TableResolver =
+      std::function<bool(const std::string& table, TableRole role)>;
+  /// Install (or clear) the resolver. Returns an installation token: the
+  /// installer passes it to ClearTableResolver so that tearing down an old
+  /// client cannot disturb a newer one's resolver.
+  uint64_t set_table_resolver(TableResolver resolver) {
+    table_resolver_ = std::move(resolver);
+    return ++table_resolver_epoch_;
+  }
+  /// Clear the resolver iff `token` identifies the current installation.
+  void ClearTableResolver(uint64_t token) {
+    if (token == table_resolver_epoch_) table_resolver_ = nullptr;
+  }
+
   /// Parse-free entry point: submit an already-built plan. Fills in
   /// query_id (if 0) and proxy, validates, disseminates. Returns the id.
+  /// With a table resolver installed, a plan whose access methods read a
+  /// table with no published metadata is rejected with NotFound instead of
+  /// silently succeeding and timing out with zero answers.
   Result<uint64_t> SubmitQuery(QueryPlan plan, TupleCallback on_tuple,
                                DoneCallback on_done = nullptr);
 
@@ -85,7 +113,9 @@ class QueryProcessor {
 
   QueryExecutor* executor() { return executor_.get(); }
   Dht* dht() { return dht_; }
+  Vri* vri() { return vri_; }
   DistributionTree* tree() { return tree_.get(); }
+  const Options& options() const { return options_; }
 
   struct Stats {
     uint64_t queries_submitted = 0;
@@ -107,6 +137,7 @@ class QueryProcessor {
     uint64_t done_timer = 0;
   };
 
+  Status CheckTablesKnown(const QueryPlan& plan) const;
   void Disseminate(const QueryPlan& plan);
   void HandleDisseminationBlob(std::string_view blob);
   void HandleAnswerMsg(const NetAddress& from, std::string_view body);
@@ -125,6 +156,8 @@ class QueryProcessor {
 
   std::map<std::string, std::unique_ptr<Pht>> phts_;
   std::map<uint64_t, ClientQuery> clients_;
+  TableResolver table_resolver_;
+  uint64_t table_resolver_epoch_ = 0;
   uint64_t dissem_sub_ = 0;
   uint64_t next_suffix_ = 1;
   Stats stats_;

@@ -42,6 +42,18 @@ QueryProcessor* SimPier::qp(uint32_t index) {
   return node->qp();
 }
 
+PierClient* SimPier::client(uint32_t index) {
+  auto it = clients_.find(index);
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(index, std::make_unique<PierClient>(
+                                 qp(index), &catalog_,
+                                 [this](TimeUs t) { harness_.RunFor(t); }))
+             .first;
+  }
+  return it->second.get();
+}
+
 void SimPier::SeedAll() {
   std::vector<ChordProtocol::Peer> ring;
   for (uint32_t i = 0; i < harness_.num_nodes(); ++i) {

@@ -3,14 +3,19 @@
 // The query-processing analogue of SimOverlay: boots `n` virtual nodes, each
 // running a Dht and a QueryProcessor, seeds routing (or lets nodes join
 // live), and runs the distribution tree long enough for dissemination to
-// work. Tests, benches and examples submit queries at any node via qp(i).
+// work. Tests, benches and examples publish and query through the client
+// façade at any node via client(i) — every node's PierClient shares one
+// application catalog (catalog()) and drives the harness's virtual clock for
+// blocking waits. qp(i)/dht(i) stay available for operator-level poking.
 
 #ifndef PIER_QP_SIM_PIER_H_
 #define PIER_QP_SIM_PIER_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "client/pier_client.h"
 #include "overlay/sim_overlay.h"
 #include "qp/query_processor.h"
 
@@ -51,6 +56,13 @@ class SimPier {
   QueryProcessor* qp(uint32_t index);
   size_t size() const { return harness_.num_nodes(); }
 
+  /// The application catalog shared by every node's client.
+  Catalog* catalog() { return &catalog_; }
+
+  /// The client façade at node `index` (created on first use). Its Wait /
+  /// Collect calls advance the simulation's virtual time.
+  PierClient* client(uint32_t index);
+
   /// Install globally-consistent routing state on every live node.
   void SeedAll();
 
@@ -59,6 +71,8 @@ class SimPier {
  private:
   Options options_;
   SimHarness harness_;
+  Catalog catalog_;
+  std::map<uint32_t, std::unique_ptr<PierClient>> clients_;
 };
 
 }  // namespace pier

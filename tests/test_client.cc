@@ -1,0 +1,331 @@
+// Tests for the client façade: catalog registration semantics, catalog-driven
+// index fan-out on Publish (primary + secondary + PHT range), the
+// unknown-table submission error, and QueryHandle streaming/collect/cancel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "qp/sim_pier.h"
+
+namespace pier {
+namespace {
+
+SimPier::Options PierOptions(uint64_t seed) {
+  SimPier::Options opts;
+  opts.sim.seed = seed;
+  opts.seed_routing = true;
+  opts.settle_time = 8 * kSecond;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog (no network needed)
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, RegisterIsIdempotentButConflictsAreErrors) {
+  Catalog cat;
+  TableSpec spec =
+      TableSpec("emp").PartitionBy({"id"}).SecondaryIndex("dept");
+  ASSERT_TRUE(cat.Register(spec).ok());
+  EXPECT_TRUE(cat.Register(spec).ok()) << "identical re-registration is a no-op";
+
+  TableSpec conflicting = TableSpec("emp").PartitionBy({"dept"});
+  Status s = cat.Register(conflicting);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+
+  EXPECT_FALSE(cat.Register(TableSpec("")).ok()) << "name required";
+  EXPECT_FALSE(cat.Register(TableSpec("x")).ok())
+      << "non-local tables need partition attrs";
+  EXPECT_TRUE(cat.Register(TableSpec("logs").LocalOnly()).ok());
+  EXPECT_FALSE(
+      cat.Register(TableSpec("trc").LocalOnly().RangeIndex("ts", 10)).ok())
+      << "local-only tuples never reach the DHT: indexes cannot be populated";
+  EXPECT_FALSE(
+      cat.Register(TableSpec("trc").LocalOnly().SecondaryIndex("id")).ok());
+}
+
+TEST(Catalog, KnowsTablesAndTheirIndexTables) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register(TableSpec("emp")
+                               .PartitionBy({"id"})
+                               .SecondaryIndex("dept")
+                               .RangeIndex("age", 8))
+                  .ok());
+  EXPECT_TRUE(cat.Knows("emp"));
+  EXPECT_TRUE(cat.Knows("emp_by_dept")) << "default secondary index name";
+  EXPECT_TRUE(cat.Knows("emp_rng_age")) << "default range index name";
+  EXPECT_FALSE(cat.Knows("mystery"));
+  // Role distinction: secondary-index tables hold ordinary tuples and are
+  // scannable; PHT range tables hold trie nodes and are only valid as
+  // range-dissemination targets.
+  EXPECT_TRUE(cat.KnowsRelation("emp_by_dept"));
+  EXPECT_FALSE(cat.KnowsRelation("emp_rng_age"));
+  EXPECT_TRUE(cat.KnowsRangeTable("emp_rng_age"));
+  EXPECT_FALSE(cat.KnowsRangeTable("emp_by_dept"));
+
+  // The SQL hints are derived: base table plus its secondary index table.
+  auto hints = cat.TableHints();
+  ASSERT_EQ(hints.count("emp"), 1u);
+  EXPECT_EQ(hints["emp"].partition_attrs, std::vector<std::string>{"id"});
+  ASSERT_EQ(hints.count("emp_by_dept"), 1u);
+  EXPECT_EQ(hints["emp_by_dept"].partition_attrs,
+            std::vector<std::string>{"dept"});
+}
+
+// ---------------------------------------------------------------------------
+// Publish fan-out
+// ---------------------------------------------------------------------------
+
+TEST(PierClient, PublishRequiresACatalogEntry) {
+  SimPier net(2, PierOptions(3));
+  Tuple t("ghost");
+  t.Append("k", Value::Int64(1));
+  Status s = net.client(0)->Publish("ghost", t);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(PierClient, SecondaryIndexFanOutAndLookup) {
+  SimPier net(10, PierOptions(5));
+  // One declaration; every Publish fans out to the primary index AND the
+  // dept secondary index (§3.3.3's (index-key, tupleID) entries).
+  ASSERT_TRUE(net.catalog()
+                  ->Register(TableSpec("emp")
+                                 .PartitionBy({"id"})
+                                 .SecondaryIndex("dept"))
+                  .ok());
+  const char* depts[] = {"eng", "eng", "ops", "eng", "sales"};
+  for (int i = 0; i < 5; ++i) {
+    Tuple t("emp");
+    t.Append("id", Value::Int64(i));
+    t.Append("dept", Value::String(depts[i]));
+    t.Append("name", Value::String("emp" + std::to_string(i)));
+    ASSERT_TRUE(net.client(i % net.size())->Publish("emp", t).ok());
+  }
+  net.RunFor(3 * kSecond);
+
+  // Publish once, query through the secondary index: the opgraph goes to the
+  // dept='eng' index partition, which fetches each BASE tuple by its stored
+  // primary-key locator.
+  auto q = net.client(7)->QueryByIndex("emp", "dept", Value::String("eng"),
+                                       8 * kSecond);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<Tuple> rows = q->Collect();
+  ASSERT_EQ(rows.size(), 3u) << "three eng employees";
+  std::set<std::string> names;
+  for (const Tuple& t : rows) {
+    // The full base tuple was fetched, not just the index entry.
+    ASSERT_TRUE(t.Has("name")) << t.ToString();
+    ASSERT_TRUE(t.Has("id")) << t.ToString();
+    EXPECT_EQ(*t.Get("dept")->AsString(), "eng");
+    names.insert(std::string(*t.Get("name")->AsString()));
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"emp0", "emp1", "emp3"}));
+
+  // No index on "name" was declared.
+  auto no_idx = net.client(7)->QueryByIndex("emp", "name",
+                                            Value::String("emp0"));
+  EXPECT_FALSE(no_idx.ok());
+
+  // The index table is also a queryable relation in its own right, with an
+  // equality-targeted plan derived from the catalog hints.
+  auto plan = net.client(2)->Compile(
+      Sql("SELECT * FROM emp_by_dept WHERE dept = 'ops' TIMEOUT 6s"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kEquality);
+  auto entries = net.client(2)->Query(std::move(*plan));
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  std::vector<Tuple> idx_rows = entries->Collect();
+  ASSERT_EQ(idx_rows.size(), 1u);
+  EXPECT_TRUE(idx_rows[0].Has("base_key")) << "locator column";
+  EXPECT_EQ(*idx_rows[0].Get("base_table")->AsString(), "emp");
+}
+
+TEST(PierClient, RangeIndexFanOut) {
+  SimPier net(12, PierOptions(9));
+  ASSERT_TRUE(net.catalog()
+                  ->Register(TableSpec("readings")
+                                 .PartitionBy({"sensor"})
+                                 .RangeIndex("temp", /*key_bits=*/8))
+                  .ok());
+  for (int i = 0; i < 24; ++i) {
+    Tuple t("readings");
+    t.Append("sensor", Value::Int64(i));
+    t.Append("temp", Value::Int64(i * 10));  // 0..230
+    ASSERT_TRUE(net.client(i % net.size())->Publish("readings", t).ok());
+    if (i % 4 == 3) net.RunFor(500 * kMillisecond);  // pace the trie splits
+  }
+  net.RunFor(8 * kSecond);
+
+  // A UFL range query over the PHT the publishes fanned into.
+  auto q = net.client(1)->Query(Ufl(R"(
+    query { timeout = 8s; }
+    graph g range(readings_rng_temp, 100, 150) {
+      src: source [inject=1, pht_key_bits=8];
+      out: result;
+      src -> out;
+    }
+  )"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<Tuple> rows = q->Collect();
+  std::vector<int64_t> temps;
+  for (const Tuple& t : rows) temps.push_back(t.Get("temp")->int64_unchecked());
+  std::sort(temps.begin(), temps.end());
+  EXPECT_EQ(temps, (std::vector<int64_t>{100, 110, 120, 130, 140, 150}));
+
+  // A PHT namespace is not a scannable relation: an ordinary SQL scan over
+  // it could only ever time out with zero rows, so submission rejects it.
+  auto scan = net.client(1)->Query(
+      Sql("SELECT * FROM readings_rng_temp TIMEOUT 5s"));
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PierClient, PublishValidatesTuplesAgainstTheSpec) {
+  SimPier net(4, PierOptions(21));
+  ASSERT_TRUE(net.catalog()
+                  ->Register(TableSpec("m")
+                                 .PartitionBy({"id"})
+                                 .SecondaryIndex("tag")
+                                 .RangeIndex("score", 8))
+                  .ok());
+  Tuple missing_key("m");
+  missing_key.Append("score", Value::Int64(4));
+  EXPECT_FALSE(net.client(0)->Publish("m", missing_key).ok())
+      << "no partition attribute: the tuple would be unfindable";
+
+  Tuple missing_range("m");
+  missing_range.Append("id", Value::Int64(1));
+  EXPECT_FALSE(net.client(0)->Publish("m", missing_range).ok())
+      << "declared range index needs its attribute";
+
+  Tuple bad_range("m");
+  bad_range.Append("id", Value::Int64(1));
+  bad_range.Append("score", Value::String("high"));
+  EXPECT_FALSE(net.client(0)->Publish("m", bad_range).ok());
+
+  // Secondary indexes are sparse: a tuple without the indexed attribute is
+  // fine, it is simply not indexed.
+  Tuple no_tag("m");
+  no_tag.Append("id", Value::Int64(2));
+  no_tag.Append("score", Value::Int64(7));
+  EXPECT_TRUE(net.client(0)->Publish("m", no_tag).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Unknown-table submission errors
+// ---------------------------------------------------------------------------
+
+TEST(PierClient, SubmittingAQueryOverAnUndeclaredTableFails) {
+  SimPier net(4, PierOptions(13));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+
+  // SQL path: the table was never declared, so the proxy rejects the plan
+  // instead of timing out with zero answers.
+  auto q = net.client(0)->Query(Sql("SELECT * FROM mystery TIMEOUT 5s"));
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(q.status().message().find("mystery"), std::string::npos);
+
+  // Native-plan path surfaces the same error.
+  QueryPlan plan;
+  plan.timeout = 5 * kSecond;
+  OpGraph& g = plan.AddGraph();
+  OpSpec& scan = g.AddOp(OpKind::kScan);
+  scan.Set("ns", "mystery");
+  uint32_t scan_id = scan.id;
+  OpSpec& res = g.AddOp(OpKind::kResult);
+  g.Connect(scan_id, res.id, 0);
+  auto q2 = net.client(0)->Query(std::move(plan));
+  ASSERT_FALSE(q2.ok());
+  EXPECT_EQ(q2.status().code(), StatusCode::kNotFound);
+
+  // Declared tables pass, including plan-internal rendezvous namespaces
+  // (a Put in the plan produces them, so they need no catalog entry).
+  auto ok = net.client(0)->Query(
+      Sql("SELECT k, count(*) AS c FROM t GROUP BY k TIMEOUT 5s"));
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+
+  // A QueryProcessor with no client attached keeps the paper's bake-it-in
+  // contract: no resolver, no check (node 1 never built a client).
+  QueryPlan raw;
+  raw.timeout = 2 * kSecond;
+  OpGraph& rg = raw.AddGraph();
+  OpSpec& rscan = rg.AddOp(OpKind::kScan);
+  rscan.Set("ns", "mystery");
+  uint32_t rscan_id = rscan.id;
+  OpSpec& rres = rg.AddOp(OpKind::kResult);
+  rg.Connect(rscan_id, rres.id, 0);
+  auto raw_qid = net.qp(1)->SubmitQuery(std::move(raw), [](const Tuple&) {});
+  EXPECT_TRUE(raw_qid.ok());
+}
+
+// ---------------------------------------------------------------------------
+// QueryHandle semantics
+// ---------------------------------------------------------------------------
+
+TEST(QueryHandleTest, BufferReplaysIntoLateOnTupleRegistration) {
+  SimPier net(6, PierOptions(17));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  for (int i = 0; i < 6; ++i) {
+    Tuple t("t");
+    t.Append("k", Value::Int64(i));
+    ASSERT_TRUE(net.client(i % net.size())->Publish("t", t).ok());
+  }
+  net.RunFor(3 * kSecond);
+
+  auto q = net.client(0)->Query(Sql("SELECT k FROM t TIMEOUT 6s"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // Let answers arrive BEFORE any callback exists; they must buffer.
+  net.RunFor(8 * kSecond);
+  EXPECT_EQ(q->stats().tuples, 6u);
+
+  std::vector<int64_t> ks;
+  bool done = false;
+  q->OnTuple([&](const Tuple& t) {
+    ks.push_back(t.Get("k")->int64_unchecked());
+  });
+  q->OnDone([&]() { done = true; });  // already done: fires immediately
+  EXPECT_EQ(ks.size(), 6u) << "buffered answers replay on registration";
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(q->Collect().empty()) << "buffer was handed to the callback";
+}
+
+TEST(QueryHandleTest, StatsTrackLatencies) {
+  SimPier net(6, PierOptions(19));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  Tuple t("t");
+  t.Append("k", Value::Int64(1));
+  ASSERT_TRUE(net.client(0)->Publish("t", t).ok());
+  net.RunFor(2 * kSecond);
+
+  auto q = net.client(3)->Query(Sql("SELECT k FROM t TIMEOUT 5s"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->timeout(), 5 * kSecond);
+  EXPECT_NE(q->id(), 0u);
+  ASSERT_TRUE(q->Wait().ok());
+  EXPECT_EQ(q->stats().tuples, 1u);
+  EXPECT_GT(q->stats().first_tuple_latency, 0);
+  EXPECT_EQ(q->stats().first_tuple_latency, q->stats().last_tuple_latency);
+  EXPECT_FALSE(q->stats().cancelled);
+}
+
+TEST(QueryHandleTest, EmptyHandleIsInert) {
+  QueryHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(h.id(), 0u);
+  EXPECT_FALSE(h.done());
+  EXPECT_EQ(h.stats().tuples, 0u);
+  h.Cancel();  // no-op, must not crash
+  EXPECT_FALSE(h.Wait().ok());
+  EXPECT_TRUE(h.Collect().empty());
+}
+
+}  // namespace
+}  // namespace pier

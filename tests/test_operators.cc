@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include "qp/sim_pier.h"
-#include "qp/sql.h"
 
 namespace pier {
 namespace {
@@ -304,19 +303,19 @@ TEST(Operators, MalformedStoredObjectsAreSkippedByScan) {
   opts.sim.seed = 5;
   opts.settle_time = 6 * kSecond;
   SimPier net(4, opts);
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("junkish").PartitionBy({"v"})).ok());
   Tuple good("junkish");
   good.Append("v", Value::Int64(1));
-  net.qp(0)->Publish("junkish", {"v"}, good);
+  ASSERT_TRUE(net.client(0)->Publish("junkish", good).ok());
   net.dht(1)->Put("junkish", "somekey", "sfx", "\xde\xad\xbe\xef garbage",
                   60 * kSecond);
   net.RunFor(2 * kSecond);
 
-  SqlOptions sql;
-  auto plan = CompileSql("SELECT * FROM junkish TIMEOUT 5s", sql);
-  int rows = 0;
-  net.qp(2)->SubmitQuery(*plan, [&](const Tuple&) { rows++; });
-  net.RunFor(8 * kSecond);
-  EXPECT_EQ(rows, 1) << "the good tuple arrives, the garbage is dropped";
+  auto q = net.client(2)->Query(Sql("SELECT * FROM junkish TIMEOUT 5s"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->Collect().size(), 1u)
+      << "the good tuple arrives, the garbage is dropped";
 }
 
 }  // namespace

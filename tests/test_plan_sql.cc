@@ -1,12 +1,13 @@
 // Tests for the plan layer: opgraph validation and wire round trips, the SQL
-// compiler's plan shapes, UFL parsing, and aggregate-state algebra.
+// compiler's plan shapes, UFL parsing, and aggregate-state algebra. The two
+// front ends are exercised through PierClient::Compile, so they see exactly
+// the catalog-derived metadata applications see.
 
 #include <gtest/gtest.h>
 
 #include "qp/agg_state.h"
 #include "qp/opgraph.h"
-#include "qp/sql.h"
-#include "qp/ufl.h"
+#include "qp/sim_pier.h"
 #include "util/random.h"
 
 namespace pier {
@@ -115,14 +116,23 @@ TEST(QueryPlan, DecodeRejectsCorruption) {
 }
 
 // ---------------------------------------------------------------------------
-// SQL compiler plan shapes
+// SQL compiler plan shapes (through the client façade)
 // ---------------------------------------------------------------------------
 
-SqlOptions Hints() {
-  SqlOptions sql;
-  sql.tables["t"].partition_attrs = {"k"};
-  sql.tables["s"].partition_attrs = {"y"};
-  return sql;
+/// A one-node network whose catalog declares t (partitioned by k) and
+/// s (partitioned by y) — the former hand-written SqlOptions hints, now
+/// derived. Compile() never submits, so one shared instance is enough.
+PierClient* Client() {
+  static SimPier* net = [] {
+    SimPier::Options opts;
+    opts.sim.seed = 1;
+    opts.settle_time = 1 * kSecond;
+    auto* n = new SimPier(1, opts);
+    n->catalog()->Register(TableSpec("t").PartitionBy({"k"}));
+    n->catalog()->Register(TableSpec("s").PartitionBy({"y"}));
+    return n;
+  }();
+  return net->client(0);
 }
 
 int CountOps(const OpGraph& g, OpKind kind) {
@@ -132,7 +142,8 @@ int CountOps(const OpGraph& g, OpKind kind) {
 }
 
 TEST(Sql, SimpleSelectIsOneBroadcastGraph) {
-  auto plan = CompileSql("SELECT a, b FROM t WHERE a > 3 TIMEOUT 5s", Hints());
+  auto plan =
+      Client()->Compile(Sql("SELECT a, b FROM t WHERE a > 3 TIMEOUT 5s"));
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   ASSERT_EQ(plan->graphs.size(), 1u);
   EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kBroadcast);
@@ -144,24 +155,24 @@ TEST(Sql, SimpleSelectIsOneBroadcastGraph) {
 }
 
 TEST(Sql, EqualityOnPartitionKeyTargetsDissemination) {
-  auto plan = CompileSql("SELECT * FROM t WHERE k = 9", Hints());
+  auto plan = Client()->Compile(Sql("SELECT * FROM t WHERE k = 9"));
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kEquality);
   EXPECT_EQ(plan->graphs[0].dissem_ns, "t");
   // Equality on a non-partition column broadcasts.
-  auto plan2 = CompileSql("SELECT * FROM t WHERE a = 9", Hints());
+  auto plan2 = Client()->Compile(Sql("SELECT * FROM t WHERE a = 9"));
   EXPECT_EQ(plan2->graphs[0].dissem, DissemKind::kBroadcast);
 }
 
 TEST(Sql, SelectStarSkipsProjection) {
-  auto plan = CompileSql("SELECT * FROM t", Hints());
+  auto plan = Client()->Compile(Sql("SELECT * FROM t"));
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kProjection), 0);
 }
 
 TEST(Sql, FlatAggregationIsTwoStageRehash) {
-  auto plan = CompileSql(
-      "SELECT k, count(*) AS c, sum(v) AS sv FROM t GROUP BY k", Hints());
+  auto plan = Client()->Compile(
+      Sql("SELECT k, count(*) AS c, sum(v) AS sv FROM t GROUP BY k"));
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   ASSERT_EQ(plan->graphs.size(), 2u);
   EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kGroupBy), 1);
@@ -172,19 +183,16 @@ TEST(Sql, FlatAggregationIsTwoStageRehash) {
 }
 
 TEST(Sql, HierAggregationIsSingleGraph) {
-  SqlOptions sql = Hints();
-  sql.agg_strategy = "hier";
-  auto plan =
-      CompileSql("SELECT k, count(*) AS c FROM t GROUP BY k", sql);
+  auto plan = Client()->Compile(
+      Sql("SELECT k, count(*) AS c FROM t GROUP BY k").WithAggStrategy("hier"));
   ASSERT_TRUE(plan.ok());
   ASSERT_EQ(plan->graphs.size(), 1u);
   EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kHierAgg), 1);
 }
 
 TEST(Sql, OrderByLimitAddsCollectorStage) {
-  auto plan = CompileSql(
-      "SELECT k, count(*) AS c FROM t GROUP BY k ORDER BY c DESC LIMIT 4",
-      Hints());
+  auto plan = Client()->Compile(Sql(
+      "SELECT k, count(*) AS c FROM t GROUP BY k ORDER BY c DESC LIMIT 4"));
   ASSERT_TRUE(plan.ok());
   ASSERT_EQ(plan->graphs.size(), 3u) << "partial, final+put, collector";
   const OpGraph& collector = plan->graphs[2];
@@ -199,8 +207,8 @@ TEST(Sql, OrderByLimitAddsCollectorStage) {
 }
 
 TEST(Sql, JoinPicksFetchMatchesWhenInnerIndexed) {
-  auto plan = CompileSql(
-      "SELECT * FROM t a, s b WHERE a.k = b.y AND a.v > 1", Hints());
+  auto plan = Client()->Compile(
+      Sql("SELECT * FROM t a, s b WHERE a.k = b.y AND a.v > 1"));
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   ASSERT_EQ(plan->graphs.size(), 1u);
   EXPECT_EQ(CountOps(plan->graphs[0], OpKind::kFetchMatches), 1);
@@ -209,29 +217,60 @@ TEST(Sql, JoinPicksFetchMatchesWhenInnerIndexed) {
 }
 
 TEST(Sql, JoinFallsBackToRehashOtherwise) {
-  auto plan = CompileSql(
-      "SELECT * FROM t a, s b WHERE a.v = b.w", Hints());
+  auto plan =
+      Client()->Compile(Sql("SELECT * FROM t a, s b WHERE a.v = b.w"));
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   ASSERT_EQ(plan->graphs.size(), 3u);
   EXPECT_EQ(CountOps(plan->graphs[2], OpKind::kSymHashJoin), 1);
 }
 
 TEST(Sql, RejectsMalformedQueries) {
-  EXPECT_FALSE(CompileSql("FROM t", Hints()).ok());
-  EXPECT_FALSE(CompileSql("SELECT FROM t", Hints()).ok());
-  EXPECT_FALSE(CompileSql("SELECT * FROM", Hints()).ok());
-  EXPECT_FALSE(CompileSql("SELECT * FROM a, b, c", Hints()).ok());
-  EXPECT_FALSE(CompileSql("SELECT * FROM a, b WHERE a.x > b.y", Hints()).ok())
+  auto bad = [](const std::string& text) {
+    return !Client()->Compile(Sql(text)).ok();
+  };
+  EXPECT_TRUE(bad("FROM t"));
+  EXPECT_TRUE(bad("SELECT FROM t"));
+  EXPECT_TRUE(bad("SELECT * FROM"));
+  EXPECT_TRUE(bad("SELECT * FROM a, b, c"));
+  EXPECT_TRUE(bad("SELECT * FROM a, b WHERE a.x > b.y"))
       << "no equi-join predicate";
-  EXPECT_FALSE(CompileSql("SELECT med(v) FROM t", Hints()).ok())
-      << "unknown aggregate";
-  EXPECT_FALSE(CompileSql("SELECT * FROM t LIMIT 0", Hints()).ok());
-  EXPECT_FALSE(CompileSql("SELECT * FROM t TIMEOUT -5s", Hints()).ok());
+  EXPECT_TRUE(bad("SELECT * FROM t LIMIT 0"));
+}
+
+TEST(Sql, RejectsUnknownAggregates) {
+  EXPECT_FALSE(Client()->Compile(Sql("SELECT med(v) FROM t")).ok());
+  EXPECT_FALSE(Client()->Compile(Sql("SELECT median(v) FROM t GROUP BY k")).ok())
+      << "holistic aggregates are unsupported";
+  auto err = Client()->Compile(Sql("SELECT frob(v) AS f FROM t"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("unknown aggregate"), std::string::npos)
+      << err.status().ToString();
+}
+
+TEST(Sql, RejectsMalformedDurations) {
+  auto bad = [](const std::string& text) {
+    return !Client()->Compile(Sql(text)).ok();
+  };
+  // TIMEOUT: negative, zero, bad suffix, non-numeric.
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT -5s"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 0s"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5x"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT soon"));
+  // WINDOW: same duration grammar.
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW -1s CONTINUOUS"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW 2parsecs CONTINUOUS"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW abc CONTINUOUS"));
+  // Control: the well-formed versions compile.
+  EXPECT_TRUE(Client()->Compile(Sql("SELECT * FROM t TIMEOUT 5s")).ok());
+  EXPECT_TRUE(Client()
+                  ->Compile(Sql("SELECT * FROM t TIMEOUT 5s WINDOW 500ms "
+                                "CONTINUOUS"))
+                  .ok());
 }
 
 TEST(Sql, DistinctQueriesGetDistinctIds) {
-  auto a = CompileSql("SELECT * FROM t", Hints());
-  auto b = CompileSql("SELECT * FROM t", Hints());
+  auto a = Client()->Compile(Sql("SELECT * FROM t"));
+  auto b = Client()->Compile(Sql("SELECT * FROM t"));
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_NE(a->query_id, b->query_id);
 }
@@ -241,7 +280,7 @@ TEST(Sql, DistinctQueriesGetDistinctIds) {
 // ---------------------------------------------------------------------------
 
 TEST(Ufl, ParsesFullProgram) {
-  auto plan = ParseUfl(R"(
+  auto plan = Client()->Compile(Ufl(R"(
     # a two-stage aggregation, by hand
     query { timeout = 9s; window = 2s; continuous; }
     graph g1 broadcast {
@@ -257,7 +296,7 @@ TEST(Ufl, ParsesFullProgram) {
       res: result;
       in -> fin -> res;
     }
-  )");
+  )"));
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->timeout, 9 * kSecond);
   EXPECT_TRUE(plan->continuous);
@@ -271,7 +310,7 @@ TEST(Ufl, ParsesFullProgram) {
 }
 
 TEST(Ufl, JoinPortsAndDissemination) {
-  auto plan = ParseUfl(R"(
+  auto plan = Client()->Compile(Ufl(R"(
     query { timeout = 5s; }
     graph g equality(t, "I5|") {
       a: scan [ns=l];
@@ -282,7 +321,7 @@ TEST(Ufl, JoinPortsAndDissemination) {
       b -> j:1;
       j -> o;
     }
-  )");
+  )"));
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->graphs[0].dissem, DissemKind::kEquality);
   EXPECT_EQ(plan->graphs[0].dissem_key, "I5|");
@@ -292,12 +331,13 @@ TEST(Ufl, JoinPortsAndDissemination) {
 }
 
 TEST(Ufl, ReportsErrorsWithLineNumbers) {
-  auto bad = ParseUfl("graph g broadcast { x: bogus_operator; }");
+  auto bad = Client()->Compile(Ufl("graph g broadcast { x: bogus_operator; }"));
   ASSERT_FALSE(bad.ok());
-  auto bad2 = ParseUfl("graph g broadcast { a: scan [ns=t]; a -> b; }");
+  auto bad2 =
+      Client()->Compile(Ufl("graph g broadcast { a: scan [ns=t]; a -> b; }"));
   ASSERT_FALSE(bad2.ok());
   EXPECT_NE(bad2.status().message().find("unknown label"), std::string::npos);
-  EXPECT_FALSE(ParseUfl("").ok());
+  EXPECT_FALSE(Client()->Compile(Ufl("")).ok());
 }
 
 // ---------------------------------------------------------------------------
