@@ -79,7 +79,19 @@ int main() {
   });
   agg->Wait();
 
-  // 6. The catalog also catches mistakes the old interface let time out
+  // 6. EXPLAIN: the client compiles the query through the cost-based
+  //    optimizer (fed by the statistics Publish accrued) and reports the
+  //    chosen physical plan with a per-operator network-cost breakdown —
+  //    without running anything. Submit result->plan to run exactly what
+  //    was explained.
+  auto explain = net.client(7)->Explain(
+      Sql("SELECT service, count(*) AS n FROM deploy GROUP BY service "
+          "TIMEOUT 10s"));
+  if (explain.ok()) {
+    std::printf("\n%s", explain->ToString().c_str());
+  }
+
+  // 7. The catalog also catches mistakes the old interface let time out
   //    silently: querying a table nobody ever declared fails at submission.
   auto bad = net.client(0)->Query(Sql("SELECT * FROM nosuch TIMEOUT 5s"));
   std::printf("\nquerying an undeclared table: %s\n",

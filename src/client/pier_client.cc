@@ -104,8 +104,23 @@ std::vector<Tuple> QueryHandle::Collect(TimeUs max_wait) {
 // PierClient
 // ---------------------------------------------------------------------------
 
-PierClient::PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run)
-    : qp_(qp), catalog_(catalog), run_(std::move(run)) {
+PierClient::PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run,
+                       StatsRegistry* stats)
+    : qp_(qp), catalog_(catalog), run_(std::move(run)), stats_(stats) {
+  if (stats_ == nullptr) {
+    owned_stats_ = std::make_unique<StatsRegistry>();
+    // One registry = one sys.stats origin; a client-owned registry speaks
+    // as its node. An injected (shared) registry keeps the origin its owner
+    // chose, so many clients publishing it never multiply the counts.
+    owned_stats_->set_origin(qp_->dht()->local_address().host);
+    stats_ = owned_stats_.get();
+  }
+  // The statistics system table is an ordinary soft-state table, declared
+  // like any application table so stats rows are publishable and queryable
+  // through PIER itself. Idempotent; a conflicting application declaration
+  // wins (Register rejects ours, which we deliberately ignore).
+  (void)catalog_->Register(
+      TableSpec(kSysStatsTable).PartitionBy({"table"}));
   // Give SubmitQuery the metadata check PIER itself cannot do: a plan that
   // scans a table the application never declared fails loudly at the proxy
   // instead of timing out with zero answers.
@@ -133,8 +148,18 @@ Status PierClient::Publish(const std::string& table, const Tuple& t,
     return Status::NotFound("table '" + table + "' is not in the catalog");
   if (lifetime <= 0) lifetime = spec->default_lifetime;
 
+  // Publish-time statistics accrual (sys.stats rows themselves excepted),
+  // with periodic republication into the sys.stats system table.
+  auto observe = [&](size_t bytes) {
+    if (table == kSysStatsTable) return;
+    stats_->Observe(table, t, spec->partition_attrs, bytes,
+                    qp_->vri()->Now());
+    if (stats_->TakePublishDue(table, kStatsPublishEvery))
+      PublishSysStatsRow(table);
+  };
+
   if (spec->local_only) {
-    qp_->StoreLocal(table, t, lifetime);
+    observe(qp_->StoreLocal(table, t, lifetime));
     return Status::Ok();
   }
 
@@ -161,7 +186,7 @@ Status PierClient::Publish(const std::string& table, const Tuple& t,
           "' must be a non-negative integer, got " + v->ToString());
   }
 
-  qp_->Publish(table, spec->partition_attrs, t, lifetime);
+  size_t bytes = qp_->Publish(table, spec->partition_attrs, t, lifetime);
   for (const SecondaryIndexSpec& idx : spec->secondary_indexes) {
     qp_->PublishSecondary(idx.table, idx.attr, table, spec->partition_attrs, t,
                           lifetime);
@@ -169,19 +194,53 @@ Status PierClient::Publish(const std::string& table, const Tuple& t,
   for (const RangeIndexSpec& idx : spec->range_indexes) {
     qp_->PublishRange(idx.table, idx.attr, t, idx.key_bits, lifetime);
   }
+  observe(bytes);
   return Status::Ok();
 }
 
-Result<QueryPlan> PierClient::Compile(const Sql& sql) const {
+void PierClient::PublishSysStatsRow(const std::string& table) {
+  Tuple row = stats_->ToSysTuple(table);
+  if (row.num_columns() == 0) return;  // nothing observed locally
+  qp_->Publish(kSysStatsTable, {"table"}, row);
+}
+
+Status PierClient::PublishStats() {
+  for (const std::string& table : stats_->Tables()) {
+    if (table == kSysStatsTable) continue;
+    PublishSysStatsRow(table);
+  }
+  return Status::Ok();
+}
+
+Result<QueryPlan> PierClient::Compile(const Sql& sql,
+                                      PlanExplain* explain) const {
   SqlOptions options;
   options.tables = catalog_->TableHints();
   options.agg_strategy = sql.agg_strategy;
   options.default_timeout = sql.default_timeout;
-  return CompileSql(sql.text, options);
+  Optimizer optimizer(stats_, CostModel(cost_params_));
+  options.optimizer = &optimizer;
+  return CompileSql(sql.text, options, explain);
 }
 
 Result<QueryPlan> PierClient::Compile(const Ufl& ufl) const {
   return ParseUfl(ufl.text);
+}
+
+Result<ExplainResult> PierClient::Explain(const Sql& sql) const {
+  ExplainResult out;
+  PIER_ASSIGN_OR_RETURN(out.plan, Compile(sql, &out.detail));
+  Optimizer optimizer(stats_, CostModel(cost_params_));
+  optimizer.CostPlan(out.plan, &out.detail);
+  return out;
+}
+
+Result<ExplainResult> PierClient::Explain(const Ufl& ufl) const {
+  ExplainResult out;
+  PIER_ASSIGN_OR_RETURN(out.plan, Compile(ufl));
+  Optimizer optimizer(stats_, CostModel(cost_params_));
+  optimizer.CostPlan(out.plan, &out.detail);
+  return out;
 }
 
 Result<QueryHandle> PierClient::Query(const Sql& sql) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "client/catalog.h"
+#include "opt/optimizer.h"
 #include "qp/query_processor.h"
 
 namespace pier {
@@ -32,8 +33,10 @@ namespace pier {
 /// comes from the catalog instead).
 struct Sql {
   std::string text;
-  /// "flat" two-phase rehash or "hier" aggregation-tree (§3.3.4).
-  std::string agg_strategy = "flat";
+  /// "flat" two-phase rehash, "hier" aggregation-tree (§3.3.4), or "auto":
+  /// the cost-based optimizer chooses, defaulting to flat when the client
+  /// has no usable statistics for the table.
+  std::string agg_strategy = "auto";
   TimeUs default_timeout = 20 * kSecond;
 
   explicit Sql(std::string query) : text(std::move(query)) {}
@@ -51,6 +54,15 @@ struct Sql {
 struct Ufl {
   std::string text;
   explicit Ufl(std::string program) : text(std::move(program)) {}
+};
+
+/// What PierClient::Explain returns: the chosen physical plan plus the
+/// optimizer's decisions and a per-operator cost breakdown.
+struct ExplainResult {
+  QueryPlan plan;
+  PlanExplain detail;
+
+  std::string ToString() const { return detail.ToString(); }
 };
 
 /// A live query owned by the client. Cheap to copy (shared state); the
@@ -119,7 +131,12 @@ class PierClient {
   /// The client installs its catalog as `qp`'s table resolver for its own
   /// lifetime (cleared again on destruction). `qp` and `catalog` must
   /// outlive the client; one catalog is typically shared by many clients.
-  PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run = nullptr);
+  /// `stats` is the statistics registry Publish accrues into (shared across
+  /// clients by the runtime that boots them); null makes the client own a
+  /// private one. The `sys.stats` system table is registered in the catalog
+  /// so stats rows are publishable and queryable like any other table.
+  PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run = nullptr,
+             StatsRegistry* stats = nullptr);
   ~PierClient();
 
   PierClient(const PierClient&) = delete;
@@ -127,6 +144,12 @@ class PierClient {
 
   Catalog* catalog() { return catalog_; }
   QueryProcessor* qp() { return qp_; }
+  StatsRegistry* stats() { return stats_; }
+
+  /// Cost-model parameters for this client's optimizer (network size above
+  /// all — a node cannot discover N itself, the booting runtime injects it).
+  void set_cost_params(const CostParams& p) { cost_params_ = p; }
+  const CostParams& cost_params() const { return cost_params_; }
 
   // --- Publishing ------------------------------------------------------------
 
@@ -135,6 +158,15 @@ class PierClient {
   /// tables go to the primary index, every declared secondary index, and
   /// every declared PHT range index. lifetime 0 uses the spec's default.
   Status Publish(const std::string& table, const Tuple& t, TimeUs lifetime = 0);
+
+  /// Republish this client's accrued statistics for every observed table as
+  /// sys.stats tuples, immediately (Publish also does this automatically
+  /// every kStatsPublishEvery tuples per table). Any node can then fold the
+  /// cluster-wide view out of `SELECT * FROM sys.stats`.
+  Status PublishStats();
+
+  /// Publish pacing: one sys.stats row per table per this many tuples.
+  static constexpr uint64_t kStatsPublishEvery = 64;
 
   // --- Queries ---------------------------------------------------------------
 
@@ -145,9 +177,18 @@ class PierClient {
 
   /// Compile SQL against the catalog (or parse UFL) without submitting —
   /// plan inspection for tests and EXPLAIN-style tooling. The returned plan
-  /// can be submitted with Query(std::move(plan)).
-  Result<QueryPlan> Compile(const Sql& sql) const;
+  /// can be submitted with Query(std::move(plan)). A non-null `explain`
+  /// receives the optimizer's physical-plan decisions.
+  Result<QueryPlan> Compile(const Sql& sql,
+                            PlanExplain* explain = nullptr) const;
   Result<QueryPlan> Compile(const Ufl& ufl) const;
+
+  /// EXPLAIN: compile (SQL goes through the cost-based optimizer; UFL is
+  /// taken as-is) and annotate the physical plan with the chosen strategies
+  /// and a per-operator cost breakdown. Nothing is submitted; pass
+  /// result->plan to Query() to run exactly what was explained.
+  Result<ExplainResult> Explain(const Sql& sql) const;
+  Result<ExplainResult> Explain(const Ufl& ufl) const;
 
   /// Point lookup through a declared secondary index (§3.3.3): stream the
   /// BASE tuples whose `attr` equals `v`. The opgraph travels to the index
@@ -159,6 +200,8 @@ class PierClient {
 
  private:
   Result<QueryHandle> Submit(QueryPlan plan);
+  /// Publish one sys.stats row for `table` from the registry's local view.
+  void PublishSysStatsRow(const std::string& table);
 
   QueryProcessor* qp_;
   Catalog* catalog_;
@@ -166,6 +209,9 @@ class PierClient {
   /// Installation token for the resolver this client put on qp_; destruction
   /// clears the resolver only if it is still this client's.
   uint64_t resolver_token_ = 0;
+  StatsRegistry* stats_ = nullptr;
+  std::unique_ptr<StatsRegistry> owned_stats_;  // when none was injected
+  CostParams cost_params_;
 };
 
 }  // namespace pier

@@ -47,6 +47,15 @@ class ExecContext {
   /// Ask the executor to stop this query locally (e.g. LIMIT satisfied).
   std::function<void()> request_stop;
 
+  /// Observe a tuple this node publishes into the DHT during operator
+  /// execution (the Put exchange). Feeds the statistics subsystem; the
+  /// installer decides which namespaces matter (per-query rendezvous
+  /// namespaces are normally skipped).
+  std::function<void(const std::string& ns,
+                     const std::vector<std::string>& key_attrs, const Tuple& t,
+                     size_t bytes)>
+      observe_publish;
+
   /// Namespace scoped to this query ("q<id>.<what>"); used for rendezvous
   /// partitions, operator state and aggregation channels.
   std::string QueryNs(const std::string& what) const {

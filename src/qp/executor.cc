@@ -115,6 +115,7 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
       if (result_sink_) result_sink_(qid, proxy, t);
     };
     cx.request_stop = [this, qid]() { StopQuery(qid); };
+    cx.observe_publish = publish_observer_;
 
     auto inst = std::make_unique<OpGraphInstance>(std::move(cx), g);
     Status s = inst->Build();

@@ -66,6 +66,17 @@ class QueryExecutor {
                                         const NetAddress& proxy, const Tuple&)>;
   void set_result_sink(ResultSink sink) { result_sink_ = std::move(sink); }
 
+  /// Observer for tuples operators publish into the DHT (the Put exchange);
+  /// copied into every graph's ExecContext. The statistics subsystem hangs
+  /// off this to accrue table stats from operator execution.
+  using PublishObserver =
+      std::function<void(const std::string& ns,
+                         const std::vector<std::string>& key_attrs,
+                         const Tuple& t, size_t bytes)>;
+  void set_publish_observer(PublishObserver o) {
+    publish_observer_ = std::move(o);
+  }
+
   /// Instantiate `graphs` of the query described by `meta` on this node.
   /// The first arrival arms the flush/close timers; later arrivals (more
   /// graphs of the same query) just add instances.
@@ -108,6 +119,7 @@ class QueryExecutor {
   Vri* vri_;
   Dht* dht_;
   ResultSink result_sink_;
+  PublishObserver publish_observer_;
   std::map<uint64_t, RunningQuery> queries_;
 };
 

@@ -163,11 +163,14 @@ class PutOp : public Operator {
     stats_.consumed++;
     std::string key = t.PartitionKey(key_attrs_);
     std::string suffix = cx_->NextSuffix();
+    std::string wire = t.Encode();
+    size_t bytes = wire.size();
     if (use_send_) {
-      cx_->dht->Send(ns_, key, suffix, t.Encode(), lifetime_);
+      cx_->dht->Send(ns_, key, suffix, std::move(wire), lifetime_);
     } else {
-      cx_->dht->Put(ns_, key, suffix, t.Encode(), lifetime_);
+      cx_->dht->Put(ns_, key, suffix, std::move(wire), lifetime_);
     }
+    if (cx_->observe_publish) cx_->observe_publish(ns_, key_attrs_, t, bytes);
     stats_.emitted++;
   }
 

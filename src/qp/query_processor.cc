@@ -41,13 +41,17 @@ QueryProcessor::~QueryProcessor() {
   }
 }
 
-void QueryProcessor::Publish(const std::string& table,
-                             const std::vector<std::string>& key_attrs,
-                             const Tuple& t, TimeUs lifetime) {
+size_t QueryProcessor::Publish(const std::string& table,
+                               const std::vector<std::string>& key_attrs,
+                               const Tuple& t, TimeUs lifetime) {
   if (lifetime <= 0) lifetime = options_.publish_lifetime;
   std::string suffix = std::to_string(next_suffix_++) + "@" +
                        std::to_string(dht_->local_address().host);
-  dht_->Put(table, t.PartitionKey(key_attrs), suffix, t.Encode(), lifetime);
+  std::string wire = t.Encode();
+  size_t bytes = wire.size();
+  dht_->Put(table, t.PartitionKey(key_attrs), suffix, std::move(wire),
+            lifetime);
+  return bytes;
 }
 
 void QueryProcessor::PublishSecondary(const std::string& index_table,
@@ -89,15 +93,18 @@ void QueryProcessor::PublishRange(const std::string& pht_table,
       ->Insert(static_cast<uint64_t>(*key), t.Encode(), nullptr, lifetime);
 }
 
-void QueryProcessor::StoreLocal(const std::string& table, const Tuple& t,
-                                TimeUs lifetime) {
+size_t QueryProcessor::StoreLocal(const std::string& table, const Tuple& t,
+                                  TimeUs lifetime) {
   if (lifetime <= 0) lifetime = options_.publish_lifetime;
   ObjectName name;
   name.ns = table;
   name.key = "";  // local-only: the partition key is never routed on
   name.suffix = std::to_string(next_suffix_++) + "@" +
                 std::to_string(dht_->local_address().host);
-  dht_->objects()->Put(std::move(name), t.Encode(), lifetime);
+  std::string wire = t.Encode();
+  size_t bytes = wire.size();
+  dht_->objects()->Put(std::move(name), std::move(wire), lifetime);
+  return bytes;
 }
 
 Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,

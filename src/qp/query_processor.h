@@ -44,9 +44,10 @@ class QueryProcessor {
   // --- Publishing (primary/secondary indexes, §3.3.3) -------------------------
 
   /// Publish a tuple into the DHT under `table`, partitioned by `key_attrs`
-  /// (the primary index). lifetime 0 uses the default.
-  void Publish(const std::string& table, const std::vector<std::string>& key_attrs,
-               const Tuple& t, TimeUs lifetime = 0);
+  /// (the primary index). lifetime 0 uses the default. Returns the stored
+  /// object's encoded size (statistics accrual reuses it).
+  size_t Publish(const std::string& table, const std::vector<std::string>& key_attrs,
+                 const Tuple& t, TimeUs lifetime = 0);
 
   /// Publish a secondary index entry: a (index-key, tupleID-ish) pair — a
   /// small tuple holding the indexed value and the base tuple's location
@@ -65,8 +66,9 @@ class QueryProcessor {
   /// Store a tuple in this node's local soft-state table WITHOUT shipping it
   /// anywhere — data "in situ" (§2.1.2): endpoint monitoring sources (packet
   /// traces, firewall logs) stay at their origin and are reached by scans
-  /// in broadcast-disseminated opgraphs.
-  void StoreLocal(const std::string& table, const Tuple& t, TimeUs lifetime = 0);
+  /// in broadcast-disseminated opgraphs. Returns the encoded size.
+  size_t StoreLocal(const std::string& table, const Tuple& t,
+                    TimeUs lifetime = 0);
 
   // --- Client API (this node is the proxy) -------------------------------------
 
@@ -108,6 +110,12 @@ class QueryProcessor {
   /// Stop delivering results and tear down local execution. Remote opgraphs
   /// drain via their own timeouts (soft state, no recall protocol).
   void CancelQuery(uint64_t query_id);
+
+  /// Forward an operator-publish observer to the executor (statistics
+  /// accrual from operator execution, §"introspect via queries").
+  void set_publish_observer(QueryExecutor::PublishObserver o) {
+    executor_->set_publish_observer(std::move(o));
+  }
 
   // --- Introspection -------------------------------------------------------------
 

@@ -26,6 +26,19 @@ SimPier::SimPier(uint32_t n, Options options)
       });
   harness_.AddNodes(n);
   harness_.loop()->RunUntil(harness_.loop()->now() + 1);
+  // Operator execution feeds the shared statistics registry too: tuples a
+  // Put exchange publishes into an application namespace count like
+  // client-published ones. Per-query rendezvous namespaces stay out.
+  for (uint32_t i = 0; i < harness_.num_nodes(); ++i) {
+    EventLoop* loop = harness_.loop();
+    qp(i)->set_publish_observer(
+        [this, loop](const std::string& ns,
+                     const std::vector<std::string>& key_attrs, const Tuple& t,
+                     size_t bytes) {
+          if (IsQueryScopedNamespace(ns) || ns == kSysStatsTable) return;
+          stats_.Observe(ns, t, key_attrs, bytes, loop->now());
+        });
+  }
   if (options_.seed_routing) {
     SeedAll();
   }
@@ -48,8 +61,12 @@ PierClient* SimPier::client(uint32_t index) {
     it = clients_
              .emplace(index, std::make_unique<PierClient>(
                                  qp(index), &catalog_,
-                                 [this](TimeUs t) { harness_.RunFor(t); }))
+                                 [this](TimeUs t) { harness_.RunFor(t); },
+                                 &stats_))
              .first;
+    CostParams params;
+    params.nodes = static_cast<double>(harness_.num_nodes());
+    it->second->set_cost_params(params);
   }
   return it->second.get();
 }

@@ -59,8 +59,14 @@ class SimPier {
   /// The application catalog shared by every node's client.
   Catalog* catalog() { return &catalog_; }
 
+  /// The statistics registry shared by every node's client (the simulation
+  /// collapses per-node registries into one, so it already holds the
+  /// cluster-wide view a real node would assemble from sys.stats queries).
+  StatsRegistry* stats() { return &stats_; }
+
   /// The client façade at node `index` (created on first use). Its Wait /
-  /// Collect calls advance the simulation's virtual time.
+  /// Collect calls advance the simulation's virtual time; its cost model
+  /// knows the simulated network size.
   PierClient* client(uint32_t index);
 
   /// Install globally-consistent routing state on every live node.
@@ -72,6 +78,7 @@ class SimPier {
   Options options_;
   SimHarness harness_;
   Catalog catalog_;
+  StatsRegistry stats_;
   std::map<uint32_t, std::unique_ptr<PierClient>> clients_;
 };
 

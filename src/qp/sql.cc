@@ -2,9 +2,12 @@
 
 #include "qp/agg_state.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <set>
 
+#include "opt/optimizer.h"
 #include "util/hash.h"
 
 namespace pier {
@@ -309,8 +312,7 @@ Result<ParsedSql> Parse(const std::string& sql) {
     }
     q.from.push_back(std::move(ft));
   }
-  if (q.from.empty() || q.from.size() > 2)
-    return Status::NotSupported("FROM must name one or two tables");
+  if (q.from.empty()) return Status::NotSupported("FROM must name a table");
 
   if (where != std::string_view::npos) {
     size_t end = clause_end(where + 5);
@@ -396,66 +398,96 @@ struct Compiler {
   ParsedSql q;
   QueryPlan plan;
   std::string qns;  // "q<id>"
+  PlanExplain* explain_ = nullptr;
 
   std::string Ns(const std::string& what) const { return qns + "." + what; }
 
-  /// Per-side filter + join predicate extraction for two-table queries.
-  struct JoinInfo {
-    std::string l_col, r_col;       // join attrs (bare names)
-    ExprPtr l_filter, r_filter;     // pushed-down side filters (bare names)
-    ExprPtr residual;               // everything else (bare names)
-    bool found = false;
+  /// Per-input filters, equi-join edges, and everything else, for any number
+  /// of FROM tables. Bare column names throughout.
+  struct MultiJoin {
+    std::vector<ExprPtr> filters;  // one per input; null if none
+    std::vector<JoinEdge> edges;   // first equi-join predicate per table pair
+    struct Residual {
+      ExprPtr expr;
+      std::vector<int> refs;  // referenced input indices
+      /// References an unknown/unprefixed name: only safe once every input
+      /// is joined.
+      bool needs_all = false;
+    };
+    std::vector<Residual> residuals;
   };
 
-  Result<JoinInfo> AnalyzeJoin() {
-    JoinInfo info;
+  Result<MultiJoin> AnalyzeJoins() {
+    MultiJoin mj;
+    mj.filters.resize(q.from.size());
     if (!q.where) return Status::InvalidArgument("join query needs WHERE");
+    std::map<std::string, int> alias_index;
+    for (size_t i = 0; i < q.from.size(); ++i) {
+      alias_index.emplace(q.from[i].alias, static_cast<int>(i));
+    }
     std::vector<ExprPtr> conjuncts;
     SplitConjuncts(q.where, &conjuncts);
-    const std::string& la = q.from[0].alias;
-    const std::string& ra = q.from[1].alias;
-    std::vector<ExprPtr> l_parts, r_parts, rest;
+    std::set<std::pair<int, int>> edged;  // pairs that already have an edge
+    std::vector<std::vector<ExprPtr>> filter_parts(q.from.size());
     for (const ExprPtr& c : conjuncts) {
-      // Join predicate: col(l) = col(r).
-      if (!info.found && c->kind() == ExprKind::kCmp &&
-          c->cmp_op() == CmpOp::kEq &&
+      // Join predicate: col(a) = col(b) across two distinct aliases; only
+      // the first such predicate per pair becomes an edge (the rest stay
+      // residual, as the two-table compiler always treated them).
+      if (c->kind() == ExprKind::kCmp && c->cmp_op() == CmpOp::kEq &&
           c->children()[0]->kind() == ExprKind::kColumn &&
           c->children()[1]->kind() == ExprKind::kColumn) {
-        std::string p0 = ColumnPrefix(c->children()[0]->column_name());
-        std::string p1 = ColumnPrefix(c->children()[1]->column_name());
-        if ((p0 == la && p1 == ra) || (p0 == ra && p1 == la)) {
-          const std::string& c0 = c->children()[0]->column_name();
-          const std::string& c1 = c->children()[1]->column_name();
-          info.l_col = StripPrefix(p0 == la ? c0 : c1);
-          info.r_col = StripPrefix(p0 == la ? c1 : c0);
-          info.found = true;
-          continue;
+        const std::string& c0 = c->children()[0]->column_name();
+        const std::string& c1 = c->children()[1]->column_name();
+        auto it0 = alias_index.find(ColumnPrefix(c0));
+        auto it1 = alias_index.find(ColumnPrefix(c1));
+        if (it0 != alias_index.end() && it1 != alias_index.end() &&
+            it0->second != it1->second) {
+          int i0 = it0->second, i1 = it1->second;
+          std::pair<int, int> key = std::minmax(i0, i1);
+          if (edged.insert(key).second) {
+            JoinEdge e;
+            if (i0 < i1) {
+              e.a = i0;
+              e.b = i1;
+              e.a_col = StripPrefix(c0);
+              e.b_col = StripPrefix(c1);
+            } else {
+              e.a = i1;
+              e.b = i0;
+              e.a_col = StripPrefix(c1);
+              e.b_col = StripPrefix(c0);
+            }
+            mj.edges.push_back(std::move(e));
+            continue;
+          }
         }
       }
-      // Side filter: all columns reference exactly one alias.
+      // Side filter when all columns reference exactly one alias; residual
+      // otherwise.
       std::vector<std::string> cols;
       c->CollectColumns(&cols);
-      bool all_l = !cols.empty(), all_r = !cols.empty();
+      std::set<int> refs;
+      bool unknown = cols.empty();
       for (const std::string& col : cols) {
-        std::string p = ColumnPrefix(col);
-        all_l &= (p == la);
-        all_r &= (p == ra);
+        auto it = alias_index.find(ColumnPrefix(col));
+        if (it == alias_index.end()) {
+          unknown = true;
+        } else {
+          refs.insert(it->second);
+        }
       }
       ExprPtr bare = RewriteColumns(c, StripPrefix);
-      if (all_l) {
-        l_parts.push_back(bare);
-      } else if (all_r) {
-        r_parts.push_back(bare);
+      if (!unknown && refs.size() == 1) {
+        filter_parts[*refs.begin()].push_back(bare);
       } else {
-        rest.push_back(bare);
+        mj.residuals.push_back(MultiJoin::Residual{
+            bare, std::vector<int>(refs.begin(), refs.end()), unknown});
       }
     }
-    if (!info.found)
-      return Status::NotSupported("two-table query needs an equi-join predicate");
-    info.l_filter = JoinConjuncts(l_parts);
-    info.r_filter = JoinConjuncts(r_parts);
-    info.residual = JoinConjuncts(rest);
-    return info;
+    for (size_t i = 0; i < q.from.size(); ++i) {
+      mj.filters[i] = JoinConjuncts(filter_parts[i]);
+    }
+    return mj;
   }
 
   /// Build a scan->selection chain; returns the id of the chain's tail.
@@ -575,7 +607,28 @@ struct Compiler {
       keys_text += q.group_by[i];
     }
 
-    if (options.agg_strategy == "hier") {
+    // "flat"/"hier" are forced; "auto" asks the optimizer (and falls back
+    // to flat — the historical default — without usable statistics).
+    std::string strategy = options.agg_strategy;
+    if (strategy == "auto") {
+      strategy = "flat";
+      if (options.optimizer != nullptr) {
+        auto hint = options.tables.find(ft.table);
+        bool group_is_pk = hint != options.tables.end() &&
+                           !q.group_by.empty() &&
+                           hint->second.partition_attrs == q.group_by;
+        AggDecision dec = options.optimizer->ChooseAggStrategy(
+            ft.table, q.group_by.size(), group_is_pk);
+        if (!dec.strategy.empty()) strategy = dec.strategy;
+        if (explain_ != nullptr) explain_->agg = dec;
+      }
+    }
+    if (explain_ != nullptr && explain_->agg.strategy.empty()) {
+      explain_->agg.strategy = strategy;
+      explain_->agg.stats_based = false;
+    }
+
+    if (strategy == "hier") {
       OpGraph& g = plan.AddGraph();
       uint32_t tail = ScanChain(&g, ft.table, q.where);
       OpSpec& agg = g.AddOp(OpKind::kHierAgg);
@@ -644,74 +697,202 @@ struct Compiler {
     return std::move(plan);
   }
 
-  Result<QueryPlan> CompileJoin() {
-    PIER_ASSIGN_OR_RETURN(JoinInfo j, AnalyzeJoin());
-    const FromTable& lt = q.from[0];
-    const FromTable& rt = q.from[1];
+  /// Start an opgraph from a base table: targeted dissemination when the
+  /// filter pins the partition key, then scan (+ pushed-down selection).
+  uint32_t StartBaseGraph(OpGraph* g, const std::string& table,
+                          const ExprPtr& filter) {
+    auto hint = options.tables.find(table);
+    if (hint != options.tables.end())
+      TryEqualityDissem(filter, table, hint->second, g);
+    return ScanChain(g, table, filter);
+  }
 
-    // Naive physical choice: Fetch Matches when the inner (right) table's
-    // primary index is exactly the join attribute; otherwise rehash + SHJ.
-    auto rhint = options.tables.find(rt.table);
-    bool fm = rhint != options.tables.end() &&
-              rhint->second.partition_attrs.size() == 1 &&
-              rhint->second.partition_attrs[0] == j.r_col;
+  /// Compile the chosen join steps into opgraphs. Each step either extends
+  /// the current chain with a Fetch Matches probe, or closes it with a Put
+  /// into a rendezvous namespace joined by a SymHashJoin in a fresh staged
+  /// graph (optionally Bloom-prefiltering the probed side first).
+  Result<QueryPlan> CompileJoins() {
+    PIER_ASSIGN_OR_RETURN(MultiJoin mj, AnalyzeJoins());
+    std::vector<JoinInput> inputs(q.from.size());
+    for (size_t i = 0; i < q.from.size(); ++i) {
+      inputs[i].table = q.from[i].table;
+      auto hint = options.tables.find(q.from[i].table);
+      if (hint != options.tables.end())
+        inputs[i].partition_attrs = hint->second.partition_attrs;
+      inputs[i].filtered = mj.filters[i] != nullptr;
+    }
+    PIER_ASSIGN_OR_RETURN(
+        std::vector<JoinStep> steps,
+        options.optimizer ? options.optimizer->PlanJoins(inputs, mj.edges)
+                          : DefaultJoinSteps(inputs, mj.edges));
+    if (explain_ != nullptr) explain_->joins = steps;
 
-    if (fm) {
-      OpGraph& g = plan.AddGraph();
-      auto lhint = options.tables.find(lt.table);
-      if (lhint != options.tables.end())
-        TryEqualityDissem(j.l_filter, lt.table, lhint->second, &g);
-      uint32_t tail = ScanChain(&g, lt.table, j.l_filter);
-      OpSpec& fmj = g.AddOp(OpKind::kFetchMatches);
-      fmj.Set("table", rt.table);
-      fmj.SetExpr("key_expr", Expr::Column(j.l_col));
-      std::vector<ExprPtr> resid;
-      if (j.r_filter) resid.push_back(j.r_filter);
-      if (j.residual) resid.push_back(j.residual);
-      if (!resid.empty()) fmj.SetExpr("pred", JoinConjuncts(resid));
-      g.Connect(tail, fmj.id, 0);
-      if (NeedsCollect()) {
-        CollectStage(&g, fmj.id, 1);
-      } else {
-        Finish(&g, fmj.id, /*project=*/true);
-      }
-      return std::move(plan);
+    // Unused equi-join edges (cycles in the join graph) become residual
+    // equality predicates, applied once both endpoints are joined.
+    std::vector<bool> edge_used(mj.edges.size(), false);
+    for (const JoinStep& s : steps) edge_used[s.edge] = true;
+    for (size_t e = 0; e < mj.edges.size(); ++e) {
+      if (edge_used[e]) continue;
+      const JoinEdge& je = mj.edges[e];
+      mj.residuals.push_back(MultiJoin::Residual{
+          Expr::Cmp(CmpOp::kEq, Expr::Column(je.a_col),
+                    Expr::Column(je.b_col)),
+          {je.a, je.b},
+          false});
     }
 
-    // Rehash both inputs into one namespace partitioned by join key.
-    std::string jns = Ns("join");
-    auto rehash_side = [&](const FromTable& ft, const ExprPtr& filter,
-                           const std::string& key_col) {
-      OpGraph& g = plan.AddGraph();
-      auto hint = options.tables.find(ft.table);
-      if (hint != options.tables.end())
-        TryEqualityDissem(filter, ft.table, hint->second, &g);
-      uint32_t tail = ScanChain(&g, ft.table, filter);
-      OpSpec& put = g.AddOp(OpKind::kPut);
-      put.Set("ns", jns);
-      put.Set("key", key_col);
-      g.Connect(tail, put.id, 0);
-    };
-    rehash_side(lt, j.l_filter, j.l_col);
-    rehash_side(rt, j.r_filter, j.r_col);
+    // Bloom probes buffer until the filter arrives; give the build side a
+    // quarter of the query lifetime before the probe fetches.
+    int64_t bloom_wait_ms = std::clamp<int64_t>(
+        plan.timeout / (4 * kMillisecond), 500, 8000);
+    int64_t bloom_bits =
+        options.optimizer != nullptr
+            ? static_cast<int64_t>(
+                  options.optimizer->model().params().bloom_bits)
+            : 4096;
 
-    OpGraph& g3 = plan.AddGraph();
-    g3.flush_stage = 1;
-    OpSpec& nd = g3.AddOp(OpKind::kNewData);
-    nd.Set("ns", jns);
-    uint32_t nd_id = nd.id;  // AddOp below invalidates the reference
-    OpSpec& shj = g3.AddOp(OpKind::kSymHashJoin);
-    shj.Set("l_key", j.l_col);
-    shj.Set("r_key", j.r_col);
-    shj.Set("l_table", lt.table);
-    shj.Set("r_table", rt.table);
-    if (j.residual) shj.SetExpr("pred", j.residual);
-    uint32_t shj_id = shj.id;
-    g3.Connect(nd_id, shj_id, 0);
+    std::set<int> covered{steps[0].outer};
+    std::vector<bool> placed(mj.residuals.size(), false);
+    OpGraph* cg = nullptr;   // graph carrying the running intermediate
+    uint32_t ctail = 0;      // its dataflow tail
+    int cstage = 0;          // its flush stage
+    std::string ctable;      // intermediate tuples' table name
+
+    for (size_t k = 0; k < steps.size(); ++k) {
+      const JoinStep& s = steps[k];
+      covered.insert(s.inner);
+      bool last = k + 1 == steps.size();
+      const ExprPtr& inner_filter = mj.filters[s.inner];
+      const std::string& inner_table = q.from[s.inner].table;
+
+      // Residual conjuncts whose references are now all joined. Folded into
+      // ONE conjunction first so a two-table default plan serializes exactly
+      // as it always has.
+      std::vector<ExprPtr> resids;
+      for (size_t r = 0; r < mj.residuals.size(); ++r) {
+        if (placed[r]) continue;
+        const MultiJoin::Residual& res = mj.residuals[r];
+        if (res.needs_all && !last) continue;
+        bool ok = true;
+        for (int ref : res.refs) ok &= covered.count(ref) > 0;
+        if (!ok) continue;
+        placed[r] = true;
+        resids.push_back(res.expr);
+      }
+      ExprPtr residual = JoinConjuncts(resids);
+
+      // Later SymHashJoins split their mixed rendezvous stream by table
+      // name, so non-final steps name their output tuples.
+      std::string out_name = last ? "" : "j" + std::to_string(k + 1);
+      std::string ns_suffix =
+          steps.size() > 1 ? std::to_string(k + 1) : std::string();
+
+      if (s.strategy == JoinStrategy::kFetchMatches) {
+        if (cg == nullptr) {
+          OpGraph& g = plan.AddGraph();
+          ctail = StartBaseGraph(&g, q.from[s.outer].table,
+                                 mj.filters[s.outer]);
+          cg = &g;
+          ctable = q.from[s.outer].table;
+        }
+        OpSpec& fmj = cg->AddOp(OpKind::kFetchMatches);
+        fmj.Set("table", inner_table);
+        fmj.SetExpr("key_expr", Expr::Column(s.outer_col));
+        if (!out_name.empty()) fmj.Set("table_out", out_name);
+        std::vector<ExprPtr> pred;
+        if (inner_filter) pred.push_back(inner_filter);
+        if (residual) pred.push_back(residual);
+        if (!pred.empty()) fmj.SetExpr("pred", JoinConjuncts(pred));
+        uint32_t fm_id = fmj.id;
+        cg->Connect(ctail, fm_id, 0);
+        ctail = fm_id;
+        if (!out_name.empty()) ctable = out_name;
+        continue;
+      }
+
+      // Rehash (optionally Bloom-prefiltered): outer side into the
+      // rendezvous namespace, inner side into the same, SHJ in a new graph.
+      bool bloom = s.strategy == JoinStrategy::kBloom;
+      std::string jns = Ns("join" + ns_suffix);
+      std::string fns = Ns("bloom" + ns_suffix);
+      std::string l_table_name;
+      if (cg == nullptr) {
+        OpGraph& g = plan.AddGraph();
+        uint32_t tail =
+            StartBaseGraph(&g, q.from[s.outer].table, mj.filters[s.outer]);
+        if (bloom) {
+          OpSpec& bp = g.AddOp(OpKind::kBloomProbe);
+          bp.Set("col", s.outer_col);
+          bp.Set("ns", fns);
+          bp.SetInt("wait_ms", bloom_wait_ms);
+          uint32_t bp_id = bp.id;
+          g.Connect(tail, bp_id, 0);
+          tail = bp_id;
+        }
+        OpSpec& put = g.AddOp(OpKind::kPut);
+        put.Set("ns", jns);
+        put.Set("key", s.outer_col);
+        g.Connect(tail, put.id, 0);
+        l_table_name = q.from[s.outer].table;
+      } else {
+        if (bloom) {
+          OpSpec& bp = cg->AddOp(OpKind::kBloomProbe);
+          bp.Set("col", s.outer_col);
+          bp.Set("ns", fns);
+          bp.SetInt("wait_ms", bloom_wait_ms);
+          uint32_t bp_id = bp.id;
+          cg->Connect(ctail, bp_id, 0);
+          ctail = bp_id;
+        }
+        OpSpec& put = cg->AddOp(OpKind::kPut);
+        put.Set("ns", jns);
+        put.Set("key", s.outer_col);
+        cg->Connect(ctail, put.id, 0);
+        l_table_name = ctable;
+      }
+
+      {
+        OpGraph& g = plan.AddGraph();
+        uint32_t tail = StartBaseGraph(&g, inner_table, inner_filter);
+        if (bloom) {
+          OpSpec& bc = g.AddOp(OpKind::kBloomCreate);
+          bc.Set("col", s.inner_col);
+          bc.Set("ns", fns);
+          bc.SetInt("bits", bloom_bits);
+          g.Connect(tail, bc.id, 0);
+          // The filter publishes on flush; inner tuples also flow to the
+          // rehash put below.
+        }
+        OpSpec& put = g.AddOp(OpKind::kPut);
+        put.Set("ns", jns);
+        put.Set("key", s.inner_col);
+        g.Connect(tail, put.id, 0);
+      }
+
+      OpGraph& jg = plan.AddGraph();
+      jg.flush_stage = cstage + 1;
+      OpSpec& nd = jg.AddOp(OpKind::kNewData);
+      nd.Set("ns", jns);
+      uint32_t nd_id = nd.id;  // AddOp below invalidates the reference
+      OpSpec& shj = jg.AddOp(OpKind::kSymHashJoin);
+      shj.Set("l_key", s.outer_col);
+      shj.Set("r_key", s.inner_col);
+      shj.Set("l_table", l_table_name);
+      shj.Set("r_table", inner_table);
+      if (!out_name.empty()) shj.Set("table", out_name);
+      if (residual) shj.SetExpr("pred", residual);
+      uint32_t shj_id = shj.id;
+      jg.Connect(nd_id, shj_id, 0);
+      cg = &jg;
+      ctail = shj_id;
+      cstage = jg.flush_stage;
+      ctable = out_name.empty() ? "join" : out_name;
+    }
+
     if (NeedsCollect()) {
-      CollectStage(&g3, shj_id, 2);
+      CollectStage(cg, ctail, cstage + 1);
     } else {
-      Finish(&g3, shj_id, /*project=*/true);
+      Finish(cg, ctail, /*project=*/true);
     }
     return std::move(plan);
   }
@@ -732,19 +913,29 @@ struct Compiler {
     }
 
     if (q.from.size() == 1) return CompileSingleTable();
-    return CompileJoin();
+    return CompileJoins();
   }
 };
 
 }  // namespace
 
-Result<QueryPlan> CompileSql(const std::string& sql, const SqlOptions& options) {
+Result<QueryPlan> CompileSql(const std::string& sql, const SqlOptions& options,
+                             PlanExplain* explain) {
+  if (options.agg_strategy != "flat" && options.agg_strategy != "hier" &&
+      options.agg_strategy != "auto") {
+    return Status::InvalidArgument("unknown agg_strategy '" +
+                                   options.agg_strategy +
+                                   "' (expected \"flat\", \"hier\" or "
+                                   "\"auto\")");
+  }
   PIER_ASSIGN_OR_RETURN(ParsedSql parsed, Parse(sql));
-  Compiler c{options, std::move(parsed), QueryPlan{}, ""};
-  c.plan.query_id = NextQueryId(sql);
+  Compiler c{options, std::move(parsed), QueryPlan{}, "", explain};
+  c.plan.query_id =
+      options.query_id != 0 ? options.query_id : NextQueryId(sql);
   c.qns = "q" + std::to_string(c.plan.query_id);
   PIER_ASSIGN_OR_RETURN(QueryPlan plan, c.Compile());
   PIER_RETURN_IF_ERROR(plan.Validate());
+  if (explain != nullptr) explain->query_id = plan.query_id;
   return plan;
 }
 

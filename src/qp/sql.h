@@ -1,19 +1,23 @@
-// The naive SQL-like front end (§3.3.2 footnote 5, §4.2).
+// The SQL-like front end (§3.3.2 footnote 5, §4.2).
 //
 // PIER has no system catalog, so the application "bakes in" the metadata the
 // compiler needs (§4.2.1): for each table, the attributes it was partitioned
-// on when published (its primary index). The optimizer is deliberately naive,
-// as in the paper: selections are pushed into the scan graphs, equality
-// predicates on a partition key turn broadcast dissemination into a targeted
-// one, a two-table equi-join picks Fetch Matches when the inner's primary
-// index matches the join attribute (rehash symmetric-hash otherwise), and
-// aggregates run either as two-phase partial/final rehash or over the
-// hierarchical aggregation tree.
+// on when published (its primary index). Selections are pushed into the scan
+// graphs and equality predicates on a partition key turn broadcast
+// dissemination into a targeted one.
+//
+// Physical choices — join strategy (rehash symmetric-hash vs Fetch Matches
+// vs Bloom-prefiltered rehash), join order for multi-way joins, and flat vs
+// hierarchical aggregation — are delegated to SqlOptions::optimizer when one
+// is supplied. Without an optimizer (or without usable statistics) the
+// compiler keeps its historical defaults: syntactic join order, Fetch
+// Matches when the inner's primary index matches the join attribute (rehash
+// otherwise), flat two-phase aggregation.
 //
 // Grammar (keywords case-insensitive):
 //
 //   SELECT item [, item]*
-//   FROM table [alias] [, table [alias]]
+//   FROM table [alias] [, table [alias]]*
 //   [WHERE expr]
 //   [GROUP BY col [, col]*]
 //   [ORDER BY col [ASC|DESC]]
@@ -35,6 +39,9 @@
 
 namespace pier {
 
+class Optimizer;
+struct PlanExplain;
+
 /// Application-provided metadata standing in for the missing catalog.
 struct TableHint {
   /// Attributes the table is partitioned on in the DHT (primary index).
@@ -44,14 +51,24 @@ struct TableHint {
 struct SqlOptions {
   std::map<std::string, TableHint> tables;
   /// "hier": aggregate over the aggregation tree; "flat": two-phase
-  /// partial/final rehash aggregation.
-  std::string agg_strategy = "flat";
+  /// partial/final rehash aggregation; "auto": let the optimizer choose
+  /// (falls back to flat without usable statistics). Anything else is an
+  /// InvalidArgument.
+  std::string agg_strategy = "auto";
   TimeUs default_timeout = 20 * kSecond;
+  /// Cost-based physical planning (join strategy/order, auto aggregation).
+  /// Null keeps the compiler's historical defaults.
+  const Optimizer* optimizer = nullptr;
+  /// Nonzero pins the plan's query id (tests and plan comparisons); 0 mints
+  /// a fresh process-unique id.
+  uint64_t query_id = 0;
 };
 
 /// Compile a SQL string into a query plan. The plan's query_id/proxy are
-/// filled in by QueryProcessor::SubmitQuery.
-Result<QueryPlan> CompileSql(const std::string& sql, const SqlOptions& options);
+/// filled in by QueryProcessor::SubmitQuery. A non-null `explain` receives
+/// the optimizer's decisions (join order/strategies, aggregation choice).
+Result<QueryPlan> CompileSql(const std::string& sql, const SqlOptions& options,
+                             PlanExplain* explain = nullptr);
 
 }  // namespace pier
 
