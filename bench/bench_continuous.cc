@@ -1,0 +1,200 @@
+// Experiment E10 — the continuous-query lifecycle: does live replanning pay?
+//
+// A continuous aggregation query (GROUP BY over a NON-partition column, so
+// every data-holding node must rehash its per-window partials) is submitted
+// while the table is nearly empty — the optimizer's only sound choice is
+// flat two-phase aggregation. Mid-run the workload shifts: the table grows
+// dense (tuples >> nodes, most nodes holding data), the regime where the
+// aggregation tree wins (§3.3.4, src/opt/README.md). A frozen plan keeps
+// paying the flat rehash every window forever; `replan=auto` notices the
+// shifted statistics, re-runs the optimizer, and swaps to hierarchical
+// aggregation at a window boundary.
+//
+// Four runs share the SAME publish schedule on the SAME seed:
+//   no-query      publishes only — the maintenance + publish baseline
+//   frozen-flat   what you get today: plan fixed at submission (flat)
+//   replan-auto   starts flat, expected to swap to hier after the shift
+//   frozen-hier   the post-shift oracle, wrong for the sparse start
+// Measured: network bytes during a post-shift steady-state tail, minus the
+// no-query baseline — i.e. the query's own per-window aggregation cost —
+// plus answers delivered and swap count.
+//
+// The bench FAILS (nonzero exit) if replan-auto never swaps, or if its tail
+// cost is strictly the worst of the three query configurations.
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "qp/sim_pier.h"
+
+namespace pier {
+namespace {
+
+constexpr uint32_t kNodes = 24;
+constexpr int kCats = 32;           // distinct group keys (not the partition)
+constexpr int kShiftTuples = 1536;  // the mid-run cardinality shift
+
+struct Outcome {
+  uint64_t answers = 0;
+  uint32_t replans = 0;
+  uint64_t tail_bytes = 0;
+};
+
+/// Publish one event: unique id (the partition key — tuples spread across
+/// every node), rotating category (the group key).
+void PublishOne(SimPier* net, int64_t* next_id) {
+  int64_t id = (*next_id)++;
+  Tuple e("ev");
+  e.Append("id", Value::Int64(id));
+  e.Append("cat", Value::String("c" + std::to_string(id % kCats)));
+  Status s = net->client(static_cast<uint32_t>(id % kNodes))->Publish("ev", e);
+  if (!s.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+Outcome RunConfig(const std::string& config, uint64_t seed) {
+  SimPier::Options popts;
+  popts.sim.seed = seed;
+  popts.settle_time = 8 * kSecond;
+  SimPier net(kNodes, popts);
+  net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+  net.RunFor(1 * kSecond);
+  int64_t next_id = 0;
+
+  Outcome out;
+  QueryHandle handle;
+  if (config != "no-query") {
+    Sql query(
+        "SELECT cat, count(*) AS cnt FROM ev GROUP BY cat "
+        "TIMEOUT 120s WINDOW 3s CONTINUOUS");
+    if (config == "frozen-hier") query.WithAggStrategy("hier");
+    if (config == "replan-auto") {
+      query.WithReplan("auto");
+      net.client(0)->set_replan_period(3 * kSecond);
+    }
+    auto q = net.client(0)->Query(query);
+    handle = bench::Check(q, "continuous query").OnTuple([&](const Tuple&) {
+      out.answers++;
+    });
+  }
+  net.RunFor(2 * kSecond);
+
+  // Sparse phase: a trickle, far below the optimizer's trust threshold.
+  for (int i = 0; i < 10; ++i) {
+    PublishOne(&net, &next_id);
+    net.RunFor(2 * kSecond);
+  }
+
+  // The shift: the table becomes dense (64 tuples per node), flipping the
+  // flat-vs-hier crossover.
+  for (int i = 0; i < kShiftTuples; ++i) {
+    PublishOne(&net, &next_id);
+    if (i % 96 == 95) net.RunFor(1 * kSecond);
+  }
+  net.RunFor(6 * kSecond);  // replan ticks + re-dissemination settle here
+
+  // Steady-state tail: a heavy live stream (one tuple per node per tick, so
+  // every node's partial state flushes every window); identical in every
+  // configuration, so the byte delta against the no-query baseline is the
+  // query's own per-window aggregation cost.
+  uint64_t answers_before_tail = out.answers;
+  net.harness()->ResetStats();
+  for (int i = 0; i < 160; ++i) {
+    for (uint32_t n = 0; n < kNodes; ++n) PublishOne(&net, &next_id);
+    net.RunFor(250 * kMillisecond);
+  }
+  out.tail_bytes = net.harness()->total_bytes();
+  if (handle.valid()) out.replans = handle.stats().replans;
+  if (std::getenv("E10_DEBUG") && handle.valid()) {
+    int flat_nodes = 0, hier_nodes = 0, none = 0;
+    for (uint32_t n = 0; n < kNodes; ++n) {
+      Operator* op = net.qp(n)->executor()->FindOp(handle.id(), 1, 2);
+      if (op == nullptr) none++;
+      else if (op->spec().kind == OpKind::kHierAgg) hier_nodes++;
+      else flat_nodes++;
+    }
+    std::fprintf(stderr,
+                 "[debug] %s: flat=%d hier=%d none=%d answers pre-tail=%llu "
+                 "tail=%llu msgs=%llu\n",
+                 config.c_str(), flat_nodes, hier_nodes, none,
+                 static_cast<unsigned long long>(answers_before_tail),
+                 static_cast<unsigned long long>(out.answers -
+                                                 answers_before_tail),
+                 static_cast<unsigned long long>(
+                     net.harness()->total_msgs()));
+  }
+  return out;
+}
+
+int Run() {
+  bench::Title("E10: continuous-query replanning under a cardinality shift");
+  bench::Note("query submitted over a near-empty table (flat aggregation is "
+              "the only sound choice), then " +
+              std::to_string(kShiftTuples) + " tuples arrive across " +
+              std::to_string(kNodes) +
+              " nodes; tail = 40s steady stream after the shift");
+  std::vector<int> w = {14, 10, 9, 12, 14};
+  bench::Row({"config", "answers", "replans", "tail KB", "query KB"}, w);
+
+  int failures = 0;
+  uint64_t baseline = RunConfig("no-query", 707).tail_bytes;
+  bench::Row({"no-query", "-", "-", bench::Fmt(baseline / 1024.0, 0), "0"},
+             w);
+  std::map<std::string, int64_t> query_cost;
+  uint32_t auto_replans = 0;
+  for (const char* config : {"frozen-flat", "replan-auto", "frozen-hier"}) {
+    Outcome o = RunConfig(config, 707);
+    int64_t cost = static_cast<int64_t>(o.tail_bytes) -
+                   static_cast<int64_t>(baseline);
+    query_cost[config] = cost;
+    if (std::string(config) == "replan-auto") auto_replans = o.replans;
+    bench::Row({config, std::to_string(o.answers),
+                std::to_string(o.replans),
+                bench::Fmt(o.tail_bytes / 1024.0, 0),
+                bench::Fmt(cost / 1024.0, 0)},
+               w);
+  }
+
+  if (auto_replans == 0) {
+    std::fprintf(stderr,
+                 "FAIL: replan=auto never swapped the plan after the shift\n");
+    failures++;
+  }
+  std::string worst;
+  int64_t worst_bytes = std::numeric_limits<int64_t>::min();
+  bool unique_worst = false;
+  for (const auto& [name, bytes] : query_cost) {
+    if (bytes > worst_bytes) {
+      worst = name;
+      worst_bytes = bytes;
+      unique_worst = true;
+    } else if (bytes == worst_bytes) {
+      unique_worst = false;
+    }
+  }
+  if (unique_worst && worst == "replan-auto") {
+    std::fprintf(stderr,
+                 "FAIL: replan-auto is the worst measured configuration "
+                 "(%lld query tail bytes)\n",
+                 static_cast<long long>(worst_bytes));
+    failures++;
+  }
+
+  bench::Note(
+      "expected shape: frozen-flat pays the full per-window partial rehash "
+      "forever; replan-auto swaps to hier once the shifted stats clear the "
+      "cost-ratio threshold and then tracks frozen-hier's tail cost; "
+      "frozen-hier is the post-shift oracle (but was the wrong plan for the "
+      "sparse start).");
+  return failures;
+}
+
+}  // namespace
+}  // namespace pier
+
+int main() { return pier::Run(); }

@@ -11,9 +11,9 @@ namespace pier {
 // ---------------------------------------------------------------------------
 
 struct QueryHandle::State {
-  /// Cap on answers buffered for Collect(): a continuous query whose handle
-  /// was dropped (the qp callbacks keep this State alive until done) must
-  /// not accumulate tuples without bound.
+  /// Default cap on answers buffered for Collect() or while paused: a
+  /// continuous query whose handle was dropped (the qp callbacks keep this
+  /// State alive until done) must not accumulate tuples without bound.
   static constexpr size_t kMaxBuffered = 64 * 1024;
 
   QueryProcessor* qp = nullptr;
@@ -27,7 +27,30 @@ struct QueryHandle::State {
   /// Answers arriving before OnTuple is registered (or forever, for Collect
   /// users) accumulate here; a streaming callback drains and disables it.
   bool buffering = true;
+  /// Backpressure: a paused handle buffers (bounded) instead of delivering.
+  bool paused = false;
+  size_t buffer_cap = kMaxBuffered;
   std::vector<Tuple> buffer;
+
+  /// Deliver buffered answers to the streaming callback, stopping early if
+  /// the callback pauses the handle again — or Cancel()s it — mid-drain
+  /// (the rest stays buffered, in order, exactly as Cancel leaves any other
+  /// undelivered backlog). Draining a query that was ALREADY done is fine:
+  /// replaying the backlog into a late OnTuple registration is a local
+  /// handoff, not a late network delivery.
+  void Drain() {
+    const bool was_done = stats.done;
+    std::vector<Tuple> pending;
+    pending.swap(buffer);
+    size_t i = 0;
+    for (; i < pending.size() && !paused && stats.done == was_done; ++i)
+      on_tuple(pending[i]);
+    if (i < pending.size()) {
+      buffer.insert(buffer.begin(),
+                    std::make_move_iterator(pending.begin() + i),
+                    std::make_move_iterator(pending.end()));
+    }
+  }
 };
 
 uint64_t QueryHandle::id() const { return state_ ? state_->id : 0; }
@@ -38,9 +61,8 @@ QueryHandle& QueryHandle::OnTuple(std::function<void(const Tuple&)> fn) {
   if (!state_) return *this;
   state_->on_tuple = std::move(fn);
   state_->buffering = false;
-  std::vector<Tuple> pending;
-  pending.swap(state_->buffer);
-  for (const Tuple& t : pending) state_->on_tuple(t);
+  // A paused handle keeps its backlog until Resume().
+  if (!state_->paused) state_->Drain();
   return *this;
 }
 
@@ -65,6 +87,31 @@ void QueryHandle::Cancel() {
   std::function<void()> done = std::move(state_->on_done);
   state_->on_done = nullptr;
   if (done) done();
+}
+
+Status QueryHandle::Rewindow(TimeUs window) {
+  if (!state_) return Status::InvalidArgument("empty query handle");
+  if (state_->stats.done)
+    return Status::InvalidArgument("query already completed");
+  return state_->qp->RewindowQuery(state_->id, window);
+}
+
+void QueryHandle::Pause() {
+  if (!state_ || state_->stats.done) return;
+  state_->paused = true;
+}
+
+void QueryHandle::Resume() {
+  if (!state_ || !state_->paused) return;
+  state_->paused = false;
+  if (state_->on_tuple) state_->Drain();
+}
+
+bool QueryHandle::paused() const { return state_ && state_->paused; }
+
+void QueryHandle::SetBufferCap(size_t cap) {
+  if (!state_) return;
+  state_->buffer_cap = cap;
 }
 
 bool QueryHandle::done() const { return state_ && state_->stats.done; }
@@ -95,6 +142,12 @@ Status QueryHandle::Wait(TimeUs max_wait) {
 std::vector<Tuple> QueryHandle::Collect(TimeUs max_wait) {
   if (!state_) return {};
   Wait(max_wait);
+  if (!state_->stats.done) {
+    // Still running (a continuous query mid-stream): hand out a snapshot
+    // and KEEP the buffer — draining it here would silently steal the
+    // prefix from the next Collect caller.
+    return state_->buffer;
+  }
   std::vector<Tuple> out;
   out.swap(state_->buffer);
   return out;
@@ -139,6 +192,12 @@ PierClient::~PierClient() {
   // client's eventual teardown reverts the qp to the paper's accept-all
   // contract rather than reviving a possibly-dead older catalog.
   qp_->ClearTableResolver(resolver_token_);
+  // Replan checks and the stats refresh capture `this` / this client's
+  // registry; none of them may outlive the client.
+  for (auto& [qid, task] : replans_) {
+    if (task.timer) qp_->vri()->CancelEvent(task.timer);
+  }
+  if (stats_refresh_.valid()) stats_refresh_.Cancel();
 }
 
 Status PierClient::Publish(const std::string& table, const Tuple& t,
@@ -212,15 +271,22 @@ Status PierClient::PublishStats() {
   return Status::Ok();
 }
 
-Result<QueryPlan> PierClient::Compile(const Sql& sql,
-                                      PlanExplain* explain) const {
+Result<QueryPlan> PierClient::CompileSqlPinned(const Sql& sql,
+                                               uint64_t query_id,
+                                               PlanExplain* explain) const {
   SqlOptions options;
   options.tables = catalog_->TableHints();
   options.agg_strategy = sql.agg_strategy;
   options.default_timeout = sql.default_timeout;
+  options.query_id = query_id;
   Optimizer optimizer(stats_, CostModel(cost_params_));
   options.optimizer = &optimizer;
   return CompileSql(sql.text, options, explain);
+}
+
+Result<QueryPlan> PierClient::Compile(const Sql& sql,
+                                      PlanExplain* explain) const {
+  return CompileSqlPinned(sql, /*query_id=*/0, explain);
 }
 
 Result<QueryPlan> PierClient::Compile(const Ufl& ufl) const {
@@ -244,8 +310,19 @@ Result<ExplainResult> PierClient::Explain(const Ufl& ufl) const {
 }
 
 Result<QueryHandle> PierClient::Query(const Sql& sql) {
-  PIER_ASSIGN_OR_RETURN(QueryPlan plan, Compile(sql));
-  return Submit(std::move(plan));
+  if (sql.replan != "off" && sql.replan != "auto") {
+    return Status::InvalidArgument("unknown replan mode '" + sql.replan +
+                                   "' (expected \"off\" or \"auto\")");
+  }
+  PlanExplain explain;
+  PIER_ASSIGN_OR_RETURN(QueryPlan plan, Compile(sql, &explain));
+  bool auto_replan = sql.replan == "auto" && plan.continuous;
+  plan.replan = auto_replan;
+  QueryPlan submitted;
+  if (auto_replan) submitted = plan;  // Submit consumes the original
+  PIER_ASSIGN_OR_RETURN(QueryHandle h, Submit(std::move(plan)));
+  if (auto_replan) EnableAutoReplan(h, sql, std::move(submitted), explain);
+  return h;
 }
 
 Result<QueryHandle> PierClient::Query(const Ufl& ufl) {
@@ -255,6 +332,87 @@ Result<QueryHandle> PierClient::Query(const Ufl& ufl) {
 
 Result<QueryHandle> PierClient::Query(QueryPlan plan) {
   return Submit(std::move(plan));
+}
+
+// ---------------------------------------------------------------------------
+// Continuous-query replanning and the background stats refresh
+// ---------------------------------------------------------------------------
+
+void PierClient::EnableAutoReplan(const QueryHandle& h, const Sql& sql,
+                                  QueryPlan plan, const PlanExplain& explain) {
+  ReplanTask task;
+  task.handle = h.state_;
+  task.sql = sql;
+  task.fingerprint = Replanner::Fingerprint(explain);
+  task.period = replan_period_ > 0
+                    ? replan_period_
+                    : std::max(QueryExecutor::EffectiveWindow(plan), kSecond);
+  task.current = std::move(plan);
+  uint64_t qid = h.id();
+  replans_[qid] = std::move(task);
+  ScheduleReplanCheck(qid);
+}
+
+void PierClient::ScheduleReplanCheck(uint64_t query_id) {
+  auto it = replans_.find(query_id);
+  if (it == replans_.end()) return;
+  it->second.timer = qp_->vri()->ScheduleEvent(
+      it->second.period, [this, query_id]() { ReplanTick(query_id); });
+}
+
+void PierClient::ReplanTick(uint64_t query_id) {
+  auto it = replans_.find(query_id);
+  if (it == replans_.end()) return;
+  ReplanTask& task = it->second;
+  task.timer = 0;
+  std::shared_ptr<QueryHandle::State> state = task.handle.lock();
+  if (!state || state->stats.done) {
+    replans_.erase(it);  // query over (timeout or Cancel): stop checking
+    return;
+  }
+  // Recompile the logical query under TODAY's statistics, with the running
+  // query's id pinned so rendezvous namespaces stay stable, and ask the
+  // replanner whether the new decision is worth a swap.
+  PlanExplain explain;
+  Result<QueryPlan> fresh = CompileSqlPinned(task.sql, query_id, &explain);
+  if (fresh.ok()) {
+    Replanner replanner(stats_, CostModel(cost_params_), replan_options_);
+    ReplanDecision d =
+        replanner.Consider(task.current, task.fingerprint, *fresh, explain);
+    if (d.swap) {
+      QueryPlan next = std::move(*fresh);
+      next.replan = true;
+      Status s = qp_->SwapQuery(query_id, next);
+      if (s.ok()) {
+        task.current = std::move(next);
+        task.fingerprint = Replanner::Fingerprint(explain);
+        state->stats.replans++;
+      }
+    }
+  }
+  ScheduleReplanCheck(query_id);
+}
+
+Result<QueryHandle> PierClient::StartStatsRefresh(TimeUs window,
+                                                  TimeUs lifetime) {
+  if (stats_refresh_.valid() && !stats_refresh_.done()) return stats_refresh_;
+  // The SQL round trip below formats whole milliseconds, so that is the
+  // resolution this API honestly offers.
+  if (window < kMillisecond || lifetime < kMillisecond)
+    return Status::InvalidArgument(
+        "refresh window/lifetime must be at least 1ms");
+  Sql refresh("SELECT * FROM " + std::string(kSysStatsTable) + " TIMEOUT " +
+              std::to_string(lifetime / kMillisecond) + "ms WINDOW " +
+              std::to_string(window / kMillisecond) + "ms CONTINUOUS");
+  PIER_ASSIGN_OR_RETURN(QueryHandle h, Query(refresh));
+  StatsRegistry* registry = stats_;
+  h.OnTuple([registry](const Tuple& row) {
+    // Best effort: a malformed row is dropped, like everywhere else in the
+    // soft-state path. Own-origin rows are skipped, not re-folded.
+    (void)registry->FoldForeign(row);
+  });
+  stats_refresh_ = h;
+  return h;
 }
 
 Result<QueryHandle> PierClient::QueryByIndex(const std::string& table,
@@ -312,17 +470,25 @@ Result<QueryHandle> PierClient::Submit(QueryPlan plan) {
       qp_->SubmitQuery(
           std::move(plan),
           [state](const Tuple& t) {
+            // Answers can still be in flight (queued router messages, a
+            // flush loop mid-emission) when Cancel() completes the handle;
+            // a done handle must ignore them instead of mutating the
+            // buffer or re-invoking on_tuple.
+            if (state->stats.done) return;
             state->stats.tuples++;
             TimeUs latency =
                 state->qp->vri()->Now() - state->stats.submitted_at;
             if (state->stats.first_tuple_latency < 0)
               state->stats.first_tuple_latency = latency;
             state->stats.last_tuple_latency = latency;
-            if (state->on_tuple) {
+            if (state->on_tuple && !state->paused) {
               state->on_tuple(t);
-            } else if (state->buffering &&
-                       state->buffer.size() < QueryHandle::State::kMaxBuffered) {
-              state->buffer.push_back(t);
+            } else if (state->buffering || state->paused) {
+              if (state->buffer.size() < state->buffer_cap) {
+                state->buffer.push_back(t);
+              } else {
+                state->stats.dropped++;
+              }
             }
           },
           [state]() {

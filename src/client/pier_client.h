@@ -19,12 +19,14 @@
 #define PIER_CLIENT_PIER_CLIENT_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "client/catalog.h"
 #include "opt/optimizer.h"
+#include "opt/replanner.h"
 #include "qp/query_processor.h"
 
 namespace pier {
@@ -37,11 +39,23 @@ struct Sql {
   /// the cost-based optimizer chooses, defaulting to flat when the client
   /// has no usable statistics for the table.
   std::string agg_strategy = "auto";
+  /// "off", or "auto" (mirroring agg_strategy=auto): for CONTINUOUS
+  /// queries, the client periodically re-runs the optimizer over the query
+  /// as statistics drift and swaps the physical plan at a window boundary
+  /// when the chosen strategy changed beyond the Replanner's cost-ratio
+  /// threshold. Ignored for snapshot queries. Anything else is an
+  /// InvalidArgument.
+  std::string replan = "off";
   TimeUs default_timeout = 20 * kSecond;
 
+  Sql() = default;
   explicit Sql(std::string query) : text(std::move(query)) {}
   Sql& WithAggStrategy(std::string strategy) {
     agg_strategy = std::move(strategy);
+    return *this;
+  }
+  Sql& WithReplan(std::string mode) {
+    replan = std::move(mode);
     return *this;
   }
   Sql& WithDefaultTimeout(TimeUs t) {
@@ -72,7 +86,12 @@ struct ExplainResult {
 class QueryHandle {
  public:
   struct Stats {
-    uint64_t tuples = 0;             // answers delivered to this handle
+    uint64_t tuples = 0;   // answers that reached this handle
+    /// Answers discarded because the handle's buffer was full (the handle
+    /// was paused past its cap, or a Collect-style handle overflowed).
+    uint64_t dropped = 0;
+    /// Automatic plan swaps performed on this query (replan=auto).
+    uint32_t replans = 0;
     TimeUs submitted_at = 0;
     TimeUs first_tuple_latency = -1;  // -1 until the first answer arrives
     TimeUs last_tuple_latency = -1;
@@ -94,8 +113,30 @@ class QueryHandle {
 
   /// Stop delivery and tear down local execution (remote opgraphs drain via
   /// their own timeouts; there is no recall protocol). Completes the handle:
-  /// a registered OnDone callback fires once, synchronously.
+  /// a registered OnDone callback fires once, synchronously. Answers still
+  /// in flight are ignored — a done handle never invokes on_tuple again.
   void Cancel();
+
+  // --- Continuous-query lifecycle --------------------------------------------
+
+  /// Change a running continuous query's window. Takes effect at the next
+  /// window boundary on every node executing the query's opgraphs.
+  Status Rewindow(TimeUs window);
+
+  /// Handle-level backpressure: a paused handle delivers nothing. Arriving
+  /// answers are buffered up to the buffer cap; past it they are dropped and
+  /// counted in Stats::dropped. Resume() delivers the buffered backlog to a
+  /// registered OnTuple callback (losslessly, if the cap never bit) and
+  /// re-enables streaming. The query itself keeps running either way — this
+  /// throttles a slow consumer, not the network.
+  void Pause();
+  void Resume();
+  bool paused() const;
+
+  /// Bound the handle's answer buffer (default ~64k tuples). Applies to
+  /// Collect-style buffering and to the Pause() backlog alike; overflow is
+  /// counted in Stats::dropped.
+  void SetBufferCap(size_t cap);
 
   bool done() const;
   const Stats& stats() const;
@@ -106,9 +147,14 @@ class QueryHandle {
   Status Wait(TimeUs max_wait = 0);
 
   /// Blocking convenience for tests and examples: Wait(), then return the
-  /// buffered answers (the first ~64k — register OnTuple for unbounded
-  /// streams). Only meaningful if OnTuple was never registered (the buffer
-  /// is disabled once a streaming callback takes over).
+  /// buffered answers (the first ~64k, or the SetBufferCap bound — overflow
+  /// is dropped and counted in Stats::dropped; register OnTuple for
+  /// unbounded streams). Only meaningful if OnTuple was never registered
+  /// (the buffer is disabled once a streaming callback takes over). On a
+  /// completed query the buffer is drained into the return value; on a
+  /// still-running continuous query Collect returns a COPY and leaves the
+  /// buffer in place, so a later Collect sees the full prefix rather than a
+  /// surprise suffix.
   std::vector<Tuple> Collect(TimeUs max_wait = 0);
 
  private:
@@ -168,6 +214,22 @@ class PierClient {
   /// Publish pacing: one sys.stats row per table per this many tuples.
   static constexpr uint64_t kStatsPublishEvery = 64;
 
+  /// Start the background statistics refresh: a CONTINUOUS query over
+  /// `sys.stats` whose answers are auto-folded into this client's registry
+  /// (own-origin rows are skipped), replacing by-hand StatsRegistry::Fold
+  /// loops. One refresh per client; calling again while one runs returns
+  /// the running handle. Cancel() the handle (or destroy the client) to
+  /// stop it. `window` paces re-delivery checks; `lifetime` bounds the
+  /// refresh query like any continuous query.
+  Result<QueryHandle> StartStatsRefresh(TimeUs window = 5 * kSecond,
+                                        TimeUs lifetime = 10 * 60 * kSecond);
+
+  /// Replanning policy for queries submitted with replan=auto: cost-ratio
+  /// threshold (Replanner::Options) and check period (0 = once per query
+  /// window, floored at 1s).
+  void set_replan_options(const Replanner::Options& o) { replan_options_ = o; }
+  void set_replan_period(TimeUs period) { replan_period_ = period; }
+
   // --- Queries ---------------------------------------------------------------
 
   Result<QueryHandle> Query(const Sql& sql);
@@ -199,7 +261,27 @@ class PierClient {
                                    TimeUs timeout = 10 * kSecond);
 
  private:
+  /// One query being auto-replanned: the logical description to recompile,
+  /// the running physical plan (for recosting) and its strategy fingerprint.
+  struct ReplanTask {
+    std::weak_ptr<QueryHandle::State> handle;
+    Sql sql;
+    QueryPlan current;
+    std::string fingerprint;
+    TimeUs period = 0;
+    uint64_t timer = 0;
+  };
+
   Result<QueryHandle> Submit(QueryPlan plan);
+  /// Compile `sql` with a pinned query id (0 mints a fresh one) — replan
+  /// recompiles must reuse the running query's id so rendezvous namespaces
+  /// ("q<id>.*") stay stable across generations.
+  Result<QueryPlan> CompileSqlPinned(const Sql& sql, uint64_t query_id,
+                                     PlanExplain* explain) const;
+  void EnableAutoReplan(const QueryHandle& h, const Sql& sql, QueryPlan plan,
+                        const PlanExplain& explain);
+  void ScheduleReplanCheck(uint64_t query_id);
+  void ReplanTick(uint64_t query_id);
   /// Publish one sys.stats row for `table` from the registry's local view.
   void PublishSysStatsRow(const std::string& table);
 
@@ -212,6 +294,12 @@ class PierClient {
   StatsRegistry* stats_ = nullptr;
   std::unique_ptr<StatsRegistry> owned_stats_;  // when none was injected
   CostParams cost_params_;
+  Replanner::Options replan_options_;
+  TimeUs replan_period_ = 0;  // 0: one check per query window
+  std::map<uint64_t, ReplanTask> replans_;
+  /// The background sys.stats refresh query, if started. Cancelled on
+  /// destruction: its OnTuple callback captures this client's registry.
+  QueryHandle stats_refresh_;
 };
 
 }  // namespace pier

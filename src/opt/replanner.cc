@@ -1,0 +1,55 @@
+#include "opt/replanner.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pier {
+
+Replanner::Replanner(const StatsRegistry* stats, CostModel model)
+    : Replanner(stats, std::move(model), Options()) {}
+
+std::string Replanner::Fingerprint(const PlanExplain& explain) {
+  std::string fp;
+  for (const JoinStep& j : explain.joins) {
+    fp += j.outer_name + "." + j.outer_col + "><" + j.inner_name + "." +
+          j.inner_col + ":" + JoinStrategyName(j.strategy) + ";";
+  }
+  if (!explain.agg.strategy.empty()) fp += "agg:" + explain.agg.strategy + ";";
+  return fp;
+}
+
+ReplanDecision Replanner::Consider(const QueryPlan& current,
+                                   const std::string& current_fingerprint,
+                                   const QueryPlan& fresh,
+                                   const PlanExplain& fresh_explain) const {
+  ReplanDecision d;
+  d.strategy_changed = Fingerprint(fresh_explain) != current_fingerprint;
+  if (!d.strategy_changed) {
+    d.reason = "strategy unchanged";
+    return d;
+  }
+
+  // Same statistics, both plans: the ratio compares like with like.
+  PlanExplain cur_cost;
+  optimizer_.CostPlan(current, &cur_cost);
+  PlanExplain fresh_cost;
+  optimizer_.CostPlan(fresh, &fresh_cost);
+  d.current_total = optimizer_.model().Total(cur_cost.total);
+  d.fresh_total = optimizer_.model().Total(fresh_cost.total);
+  if (d.fresh_total > 0) {
+    d.ratio = d.current_total / d.fresh_total;
+  } else {
+    // A free candidate beats any positive cost; two free plans tie.
+    d.ratio = d.current_total > 0 ? std::numeric_limits<double>::infinity()
+                                  : 0;
+  }
+  d.swap = d.ratio >= options_.min_cost_ratio;
+  d.reason = d.swap ? "strategy changed, current plan " +
+                          std::to_string(d.ratio) + "x candidate cost"
+                    : "strategy changed but win below threshold (" +
+                          std::to_string(d.ratio) + "x < " +
+                          std::to_string(options_.min_cost_ratio) + "x)";
+  return d;
+}
+
+}  // namespace pier

@@ -1,0 +1,73 @@
+// Continuous-query replanning (the CACQ/eddies idea applied at plan
+// granularity): a continuous query outlives the statistics it was planned
+// with, so the client periodically re-runs the optimizer over its logical
+// plan and swaps the physical plan when the decision changed *enough*.
+//
+// The Replanner itself is policy only — it never touches the executor. It
+// compares the running plan against a freshly optimized candidate, both
+// costed under the CURRENT statistics, and reports whether to swap:
+//
+//   swap  <=>  strategy fingerprint changed
+//              AND  cost(current) / cost(candidate) >= min_cost_ratio
+//
+// The fingerprint is the optimizer's *decisions* (join order, join
+// strategies, aggregation strategy), not the raw cost numbers: drifting
+// estimates that confirm the same plan must never churn a running query,
+// and the ratio threshold keeps marginal wins from paying the swap's
+// re-dissemination and state-rebuild cost.
+
+#ifndef PIER_OPT_REPLANNER_H_
+#define PIER_OPT_REPLANNER_H_
+
+#include <string>
+
+#include "opt/optimizer.h"
+
+namespace pier {
+
+/// What one replan check concluded.
+struct ReplanDecision {
+  bool swap = false;              // replace the running plan now
+  bool strategy_changed = false;  // fingerprints differ
+  double current_total = 0;  // running plan recosted under current stats
+  double fresh_total = 0;    // candidate plan under the same stats
+  double ratio = 0;          // current_total / fresh_total (0 if both free)
+  std::string reason;        // one-line human-readable summary
+};
+
+class Replanner {
+ public:
+  struct Options {
+    /// Swap only when the running plan is at least this factor costlier
+    /// than the candidate (1.2 = candidate must be >=20% cheaper).
+    double min_cost_ratio = 1.2;
+  };
+
+  Replanner(const StatsRegistry* stats, CostModel model, Options options)
+      : optimizer_(stats, std::move(model)), options_(options) {}
+  Replanner(const StatsRegistry* stats, CostModel model);  // default options
+
+  const Options& options() const { return options_; }
+
+  /// The strategy fingerprint of a planned query: join order + per-join
+  /// strategy + aggregation strategy, as recorded in the compile-time
+  /// PlanExplain. Cost numbers are deliberately excluded.
+  static std::string Fingerprint(const PlanExplain& explain);
+
+  /// Compare the running plan (identified by the fingerprint captured when
+  /// it was compiled) against a freshly optimized candidate. Both plans are
+  /// costed with CostPlan under the current statistics so the ratio reflects
+  /// today's data, not submission-time estimates.
+  ReplanDecision Consider(const QueryPlan& current,
+                          const std::string& current_fingerprint,
+                          const QueryPlan& fresh,
+                          const PlanExplain& fresh_explain) const;
+
+ private:
+  Optimizer optimizer_;
+  Options options_;
+};
+
+}  // namespace pier
+
+#endif  // PIER_OPT_REPLANNER_H_

@@ -233,4 +233,13 @@ Status StatsRegistry::Fold(const Tuple& sys_row) {
   return Status::Ok();
 }
 
+Status StatsRegistry::FoldForeign(const Tuple& sys_row) {
+  const Value* origin_v = sys_row.Get("origin");
+  if (origin_v == nullptr)
+    return Status::InvalidArgument("sys.stats row lacks origin");
+  PIER_ASSIGN_OR_RETURN(int64_t origin, origin_v->AsInt64());
+  if (static_cast<uint64_t>(origin) == origin_) return Status::Ok();
+  return Fold(sys_row);
+}
+
 }  // namespace pier

@@ -117,6 +117,12 @@ class StatsRegistry {
   /// restarted origin's smaller-but-fresher counts replace stale ones.
   Status Fold(const Tuple& sys_row);
 
+  /// Fold, but silently skip rows stamped with this registry's own origin —
+  /// the background sys.stats refresh streams EVERY published row back,
+  /// including the ones this registry produced, and folding those would
+  /// double count its local accruals.
+  Status FoldForeign(const Tuple& sys_row);
+
  private:
   struct Entry {
     uint64_t tuples = 0;

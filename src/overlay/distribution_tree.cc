@@ -70,9 +70,9 @@ DistributionTree::DistributionTree(Dht* dht, Options options)
     }());
   });
 
-  // Periodic soft-state JOIN refresh.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick]() {
+  // Periodic soft-state JOIN refresh. The tick lives in join_tick_, not a
+  // self-capturing shared_ptr (which would cycle and leak).
+  join_tick_ = [this]() {
     SendJoin();
     // Expire stale children.
     TimeUs now = dht_->vri()->Now();
@@ -83,11 +83,12 @@ DistributionTree::DistributionTree(Dht* dht, Options options)
         ++it;
       }
     }
-    join_timer_ = dht_->vri()->ScheduleEvent(options_.join_refresh_period, *tick);
+    join_timer_ =
+        dht_->vri()->ScheduleEvent(options_.join_refresh_period, join_tick_);
   };
   join_timer_ = dht_->vri()->ScheduleEvent(
       static_cast<TimeUs>(dht_->vri()->rng()->Uniform(options_.join_refresh_period)),
-      *tick);
+      join_tick_);
 }
 
 DistributionTree::~DistributionTree() {

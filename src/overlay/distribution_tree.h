@@ -68,6 +68,9 @@ class DistributionTree {
   std::unordered_set<uint64_t> seen_bcasts_;
   std::deque<uint64_t> seen_order_;
   BroadcastHandler handler_;
+  /// Repeating join-refresh tick; scheduled events copy from here so the
+  /// closure never strongly captures its own function object.
+  std::function<void()> join_tick_;
   uint64_t join_timer_ = 0;
   uint64_t next_bcast_salt_ = 1;
   uint64_t join_sub_ = 0;

@@ -6,12 +6,13 @@ namespace pier {
 
 ObjectManager::ObjectManager(Vri* vri, Options options)
     : vri_(vri), options_(options) {
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick]() {
+  // The tick lives in gc_tick_, not a self-capturing shared_ptr (which would
+  // cycle and leak); scheduled events hold plain copies.
+  gc_tick_ = [this]() {
     DropExpired();
-    gc_timer_ = vri_->ScheduleEvent(options_.gc_period, *tick);
+    gc_timer_ = vri_->ScheduleEvent(options_.gc_period, gc_tick_);
   };
-  gc_timer_ = vri_->ScheduleEvent(options_.gc_period, *tick);
+  gc_timer_ = vri_->ScheduleEvent(options_.gc_period, gc_tick_);
 }
 
 ObjectManager::~ObjectManager() { vri_->CancelEvent(gc_timer_); }

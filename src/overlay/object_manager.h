@@ -79,6 +79,9 @@ class ObjectManager {
   Vri* vri_;
   Options options_;
   InsertHook insert_hook_;
+  /// Repeating GC tick; scheduled events copy from here so the closure never
+  /// strongly captures its own function object (that cycle leaks).
+  std::function<void()> gc_tick_;
   uint64_t gc_timer_ = 0;
 };
 

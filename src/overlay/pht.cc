@@ -86,8 +86,14 @@ void Pht::FindLeaf(uint64_t key,
   state->hi = options_.key_bits;
   state->cb = std::move(cb);
 
+  // The closure must not hold a strong reference to its own function object
+  // (that cycle leaks); the chain stays alive through the local ref below
+  // and the copy inside each in-flight Probe callback.
   auto step = std::make_shared<std::function<void()>>();
-  *step = [state, step]() {
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [state, weak_step]() {
+    auto step = weak_step.lock();
+    if (!step) return;
     if (state->lo > state->hi) {
       // Nothing found: the trie is empty; the root is the (implicit) leaf.
       state->cb(std::string(""));

@@ -85,15 +85,20 @@ void ChordProtocol::ScheduleMaintenance() {
     TimeUs period;
     void (ChordProtocol::*fn)();
   };
+  // The ticks live in maintenance_ (not in self-capturing shared_ptrs, which
+  // would cycle and leak): each scheduled event holds a plain copy that
+  // reschedules from the stored member.
+  maintenance_.assign(3, nullptr);
   for (Loop loop : {Loop{0, options_.stabilize_period, &ChordProtocol::Stabilize},
                     Loop{1, options_.fix_finger_period, &ChordProtocol::FixNextFinger},
                     Loop{2, options_.check_pred_period, &ChordProtocol::CheckPredecessor}}) {
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, loop, tick, jittered]() {
+    maintenance_[loop.slot] = [this, loop, jittered]() {
       (this->*(loop.fn))();
-      timers_[loop.slot] = host_->vri()->ScheduleEvent(jittered(loop.period), *tick);
+      timers_[loop.slot] = host_->vri()->ScheduleEvent(
+          jittered(loop.period), maintenance_[loop.slot]);
     };
-    timers_[loop.slot] = host_->vri()->ScheduleEvent(jittered(loop.period), *tick);
+    timers_[loop.slot] =
+        host_->vri()->ScheduleEvent(jittered(loop.period), maintenance_[loop.slot]);
   }
 }
 
@@ -423,8 +428,14 @@ void ChordProtocol::ResolveSuccessor(Id target, const NetAddress& via,
   state->cb = std::move(cb);
 
   // step(peer_addr): ask that peer; a null address means "start locally".
+  // The closure must not hold a strong reference to its own function object
+  // (that cycle leaked one State per resolve); the chain stays alive through
+  // the local ref below and the copy inside each in-flight RPC callback.
   auto step = std::make_shared<std::function<void(const NetAddress&)>>();
-  *step = [state, step](const NetAddress& ask) {
+  std::weak_ptr<std::function<void(const NetAddress&)>> weak_step = step;
+  *step = [state, weak_step](const NetAddress& ask) {
+    auto step = weak_step.lock();
+    if (!step) return;
     ChordProtocol* self = state->self;
     if (state->iter++ > self->options_.max_resolve_iterations) {
       state->cb(Status::Unavailable("chord: resolve iteration limit"));

@@ -110,6 +110,9 @@ class ChordProtocol : public RoutingProtocol {
   bool maintenance_scheduled_ = false;
   std::unordered_map<uint64_t, PendingRpc> pending_;
   std::vector<uint64_t> timers_;
+  /// Repeating maintenance ticks; scheduled events copy from here so the
+  /// closures never strongly capture their own function objects.
+  std::vector<std::function<void()>> maintenance_;
 };
 
 }  // namespace pier

@@ -58,14 +58,16 @@ void PrefixProtocol::Start(const NetAddress& bootstrap) {
   if (!maintenance_scheduled_) {
     maintenance_scheduled_ = true;
     Rng* rng = host_->vri()->rng();
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, tick, rng]() {
+    // The tick lives in gossip_tick_, not a self-capturing shared_ptr
+    // (which would cycle and leak); scheduled events hold plain copies.
+    gossip_tick_ = [this, rng]() {
       Gossip();
       TimeUs period = options_.gossip_period;
       TimeUs jitter = static_cast<TimeUs>(rng->Uniform(period / 2)) - period / 4;
-      gossip_timer_ = host_->vri()->ScheduleEvent(period + jitter, *tick);
+      gossip_timer_ = host_->vri()->ScheduleEvent(period + jitter, gossip_tick_);
     };
-    gossip_timer_ = host_->vri()->ScheduleEvent(options_.gossip_period, *tick);
+    gossip_timer_ =
+        host_->vri()->ScheduleEvent(options_.gossip_period, gossip_tick_);
   }
 }
 
@@ -81,8 +83,14 @@ void PrefixProtocol::DoJoin(const NetAddress& bootstrap) {
   state->self = this;
   state->bootstrap = bootstrap;
 
+  // The closure must not hold a strong reference to its own function object
+  // (that cycle leaks); the chain stays alive through the local ref below
+  // and the copy inside each pending join callback.
   auto step = std::make_shared<std::function<void(const NetAddress&)>>();
-  *step = [state, step](const NetAddress& ask) {
+  std::weak_ptr<std::function<void(const NetAddress&)>> weak_step = step;
+  *step = [state, weak_step](const NetAddress& ask) {
+    auto step = weak_step.lock();
+    if (!step) return;
     PrefixProtocol* self = state->self;
     if (state->iter++ > self->options_.max_join_iterations) {
       self->join_timer_ = self->host_->vri()->ScheduleEvent(

@@ -88,6 +88,9 @@ class PrefixProtocol : public RoutingProtocol {
   std::vector<Peer> leaves_cw_;
   std::vector<Peer> leaves_ccw_;
   std::array<std::array<Peer, 16>, 16> table_{};
+  /// Repeating gossip tick; scheduled events copy from here so the closure
+  /// never strongly captures its own function object.
+  std::function<void()> gossip_tick_;
   uint64_t gossip_timer_ = 0;
   uint64_t join_timer_ = 0;
   uint64_t next_nonce_ = 1;

@@ -85,15 +85,56 @@ QueryExecutor::~QueryExecutor() {
   }
 }
 
+TimeUs QueryExecutor::EffectiveWindow(const QueryPlan& meta) {
+  // Windowless continuous plans (window 0 is reachable through hand-built
+  // QueryPlans; SQL/UFL reject WINDOW 0 at parse time) used to be clamped to
+  // 1ms, arming a per-millisecond flush timer that flooded the event loop.
+  // They now get a sane default bounded by the query lifetime.
+  if (meta.window <= 0)
+    return std::max(kMinWindow, std::min(kDefaultWindow, meta.timeout / 4));
+  return std::max(meta.window, kMinWindow);
+}
+
 Status QueryExecutor::StartGraphs(const QueryPlan& meta,
                                   const std::vector<OpGraph>& graphs) {
+  // Metadata-only refreshes (rewindowing broadcasts) must never instantiate
+  // a query on nodes that do not run it.
+  if (graphs.empty() && queries_.count(meta.query_id) == 0)
+    return Status::Ok();
   auto [it, created] = queries_.try_emplace(meta.query_id);
   RunningQuery& rq = it->second;
   if (created) {
     rq.meta = meta;
     rq.meta.graphs.clear();
     rq.start_time = vri_->Now();
+    rq.generation = meta.generation;
     ArmQueryTimers(&rq);
+  } else if (meta.generation > rq.generation) {
+    // Plan swap: the old instances emit their current window's blocking
+    // state (the final flush — windows are the quiesce points, so no
+    // operator state needs to migrate), then tear down. The new generation
+    // runs under the same query id, start time and close timer; only the
+    // window/flush metadata is adopted from the new plan.
+    for (auto& inst : rq.instances) inst->Flush();
+    for (auto& inst : rq.instances) inst->Close();
+    rq.instances.clear();
+    for (uint64_t t : rq.flush_timers) vri_->CancelEvent(t);
+    rq.flush_timers.clear();
+    rq.generation = meta.generation;
+    TimeUs timeout = rq.meta.timeout;  // lifetime fixed at submission
+    rq.meta = meta;
+    rq.meta.graphs.clear();
+    rq.meta.timeout = timeout;
+    // The repeating window tick re-reads the window at each boundary, so an
+    // already-armed timer needs no rearming; a query that only now became
+    // continuous does.
+    if (rq.meta.continuous && rq.window_timer == 0) ArmWindowTimer(&rq);
+  } else if (meta.generation == rq.generation) {
+    // Same-generation refresh: adopt a changed window (rewindowing); it
+    // takes effect at the next window boundary.
+    rq.meta.window = meta.window;
+  } else {
+    return Status::Ok();  // stale re-dissemination of a superseded generation
   }
   for (const OpGraph& g : graphs) {
     bool duplicate = false;
@@ -136,18 +177,24 @@ void QueryExecutor::ArmQueryTimers(RunningQuery* rq) {
   uint64_t qid = rq->meta.query_id;
   rq->close_timer =
       vri_->ScheduleEvent(rq->meta.timeout, [this, qid]() { DoStop(qid); });
-  if (rq->meta.continuous) {
-    // Window flushes repeat until the close timer wins.
-    TimeUs window = std::max<TimeUs>(rq->meta.window, kMillisecond);
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, qid, window, tick]() {
-      auto it = queries_.find(qid);
-      if (it == queries_.end()) return;
-      for (auto& inst : it->second.instances) inst->Flush();
-      it->second.window_timer = vri_->ScheduleEvent(window, *tick);
-    };
-    rq->window_timer = vri_->ScheduleEvent(window, *tick);
-  }
+  if (rq->meta.continuous) ArmWindowTimer(rq);
+}
+
+void QueryExecutor::ArmWindowTimer(RunningQuery* rq) {
+  // Window flushes repeat until the close timer wins. The window length is
+  // re-read from the query's metadata at every boundary, so rewindowing a
+  // running query (StartGraphs metadata refresh) takes effect at the next
+  // tick without rearming anything.
+  uint64_t qid = rq->meta.query_id;
+  rq->window_tick = [this, qid]() {
+    auto it = queries_.find(qid);
+    if (it == queries_.end()) return;
+    for (auto& inst : it->second.instances) inst->Flush();
+    it->second.window_timer = vri_->ScheduleEvent(
+        EffectiveWindow(it->second.meta), it->second.window_tick);
+  };
+  rq->window_timer =
+      vri_->ScheduleEvent(EffectiveWindow(rq->meta), rq->window_tick);
 }
 
 void QueryExecutor::ArmInstanceFlush(RunningQuery* rq, OpGraphInstance* inst,

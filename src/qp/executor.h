@@ -77,9 +77,28 @@ class QueryExecutor {
     publish_observer_ = std::move(o);
   }
 
+  /// Continuous-query window bounds: a windowless continuous plan (window 0,
+  /// possible on hand-built QueryPlans) gets `kDefaultWindow`; explicit
+  /// windows are floored at `kMinWindow` so a degenerate plan cannot flood
+  /// the event loop with per-millisecond flushes.
+  static constexpr TimeUs kMinWindow = 10 * kMillisecond;
+  static constexpr TimeUs kDefaultWindow = 5 * kSecond;
+
+  /// The flush period a continuous query described by `meta` actually runs
+  /// with (re-read at every window boundary, so rewindowing a running query
+  /// takes effect at the next tick).
+  static TimeUs EffectiveWindow(const QueryPlan& meta);
+
   /// Instantiate `graphs` of the query described by `meta` on this node.
   /// The first arrival arms the flush/close timers; later arrivals (more
-  /// graphs of the same query) just add instances.
+  /// graphs of the same query) just add instances. Re-arrivals with:
+  ///   - the same generation refresh the window metadata (rewindowing) and
+  ///     dedup already-instantiated graphs;
+  ///   - a higher generation swap the plan: the running instances get a
+  ///     final flush (the window boundary is the quiesce point), are closed,
+  ///     and the new generation's graphs are instantiated in their place,
+  ///     under the same query id and close timer.
+  /// An empty `graphs` list never creates a query (metadata-only refresh).
   Status StartGraphs(const QueryPlan& meta, const std::vector<OpGraph>& graphs);
 
   /// Tear down a query: close instances, cancel timers, drop state. Safe to
@@ -105,13 +124,19 @@ class QueryExecutor {
     QueryPlan meta;  // graphs emptied; metadata only
     std::vector<std::unique_ptr<OpGraphInstance>> instances;
     std::vector<uint64_t> flush_timers;
+    /// The repeating window tick. Living here (not in a self-capturing
+    /// shared_ptr) keeps the reschedule cycle leak-free: scheduled events
+    /// hold copies that only capture (executor, query id).
+    std::function<void()> window_tick;
     uint64_t window_timer = 0;
     uint64_t close_timer = 0;
     TimeUs start_time = 0;
+    uint32_t generation = 0;
     bool stopping = false;
   };
 
   void ArmQueryTimers(RunningQuery* rq);
+  void ArmWindowTimer(RunningQuery* rq);
   void ArmInstanceFlush(RunningQuery* rq, OpGraphInstance* inst,
                         int32_t stage);
   void DoStop(uint64_t query_id);

@@ -152,6 +152,7 @@ Status QueryPlan::Validate() const {
     PIER_RETURN_IF_ERROR(g.Validate());
   }
   if (timeout <= 0) return Status::InvalidArgument("non-positive timeout");
+  if (window < 0) return Status::InvalidArgument("negative window");
   return Status::Ok();
 }
 
@@ -163,6 +164,8 @@ void QueryPlan::EncodeTo(WireWriter* w) const {
   w->PutU8(continuous ? 1 : 0);
   w->PutI64(flush_after);
   w->PutI64(window);
+  w->PutU32(generation);
+  w->PutU8(replan ? 1 : 0);
   w->PutVarint(graphs.size());
   for (const OpGraph& g : graphs) {
     w->PutU32(g.id);
@@ -209,6 +212,10 @@ Result<QueryPlan> QueryPlan::Decode(std::string_view wire) {
   plan.continuous = cont != 0;
   PIER_RETURN_IF_ERROR(r.GetI64(&plan.flush_after));
   PIER_RETURN_IF_ERROR(r.GetI64(&plan.window));
+  PIER_RETURN_IF_ERROR(r.GetU32(&plan.generation));
+  uint8_t replan;
+  PIER_RETURN_IF_ERROR(r.GetU8(&replan));
+  plan.replan = replan != 0;
   uint64_t ngraphs;
   PIER_RETURN_IF_ERROR(r.GetVarint(&ngraphs));
   if (ngraphs > 1000) return Status::Corruption("absurd graph count");

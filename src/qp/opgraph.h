@@ -133,10 +133,21 @@ struct QueryPlan {
   /// Every opgraph stops executing when the timeout expires (§3.3.2).
   TimeUs timeout = 30 * kSecond;
   /// Snapshot queries flush blocking state once at `flush_after`; continuous
-  /// queries flush every `window` until the timeout.
+  /// queries flush every `window` until the timeout. window 0 on a continuous
+  /// plan means "no WINDOW clause": the executor substitutes a sane default.
   bool continuous = false;
   TimeUs flush_after = 0;  // 0: executor picks a default from the timeout
   TimeUs window = 5 * kSecond;
+  /// Plan-swap generation for continuous queries. A re-disseminated plan with
+  /// a higher generation replaces the running opgraphs under the same query
+  /// id (the executor final-flushes the old instances first); the same
+  /// generation only refreshes metadata (rewindowing). Snapshot queries
+  /// never bump it.
+  uint32_t generation = 0;
+  /// Client-side request for automatic replanning (set by `replan=auto` in
+  /// SQL/UFL). The executor ignores it; PierClient periodically re-optimizes
+  /// and swaps the plan when the chosen strategy changed enough.
+  bool replan = false;
 
   std::vector<OpGraph> graphs;
 

@@ -120,7 +120,8 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
   stats_.queries_submitted++;
 
   ClientQuery client;
-  client.on_tuple = std::move(on_tuple);
+  if (on_tuple)
+    client.on_tuple = std::make_shared<const TupleCallback>(std::move(on_tuple));
   client.on_done = std::move(on_done);
   uint64_t qid = plan.query_id;
   client.done_timer = vri_->ScheduleEvent(
@@ -131,10 +132,60 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
         clients_.erase(it);
         if (done) done();
       });
+  if (plan.continuous) {
+    client.plan = plan;
+    client.plan_stored = true;
+  }
   clients_[qid] = std::move(client);
 
   Disseminate(plan);
   return qid;
+}
+
+Status QueryProcessor::RewindowQuery(uint64_t query_id, TimeUs window) {
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  auto it = clients_.find(query_id);
+  if (it == clients_.end())
+    return Status::NotFound("not this node's running query");
+  if (!it->second.plan_stored)
+    return Status::NotSupported("only continuous queries can be rewindowed");
+  QueryPlan& plan = it->second.plan;
+  plan.window = window;
+  // Metadata-only refresh: same generation, no graphs. Every node running
+  // the query's opgraphs adopts the window at its next boundary; nodes that
+  // never saw the query ignore it (the executor refuses to create queries
+  // from graphless plans). The local executor is updated directly so the
+  // proxy does not wait a broadcast round-trip for its own graphs.
+  QueryPlan meta = plan;
+  meta.graphs.clear();
+  executor_->StartGraphs(meta, {});
+  tree_->Broadcast(meta.Encode());
+  return Status::Ok();
+}
+
+Status QueryProcessor::SwapQuery(uint64_t query_id, QueryPlan new_plan) {
+  auto it = clients_.find(query_id);
+  if (it == clients_.end())
+    return Status::NotFound("not this node's running query");
+  if (!it->second.plan_stored)
+    return Status::NotSupported("only continuous queries can swap plans");
+  if (!new_plan.continuous)
+    return Status::InvalidArgument(
+        "a continuous query cannot swap to a snapshot plan");
+  QueryPlan& current = it->second.plan;
+  new_plan.query_id = query_id;
+  new_plan.proxy = dht_->local_address();
+  new_plan.generation = current.generation + 1;
+  // A swap replaces the opgraphs, not the window policy: a recompiled plan
+  // carries the query text's original window, and disseminating that would
+  // silently undo an earlier Rewindow. Window changes go through
+  // RewindowQuery only.
+  new_plan.window = current.window;
+  PIER_RETURN_IF_ERROR(new_plan.Validate());
+  PIER_RETURN_IF_ERROR(CheckTablesKnown(new_plan));
+  current = new_plan;
+  Disseminate(current);
+  return Status::Ok();
 }
 
 Status QueryProcessor::CheckTablesKnown(const QueryPlan& plan) const {
@@ -277,11 +328,14 @@ void QueryProcessor::StartRangeGraph(const QueryPlan& plan, const OpGraph& g) {
 void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
                                    const Tuple& t) {
   if (proxy == dht_->local_address() || proxy.IsNull()) {
-    // This node is the proxy: deliver directly to the client.
+    // This node is the proxy: deliver directly to the client. The shared_ptr
+    // copy keeps the closure alive through the call even if the client
+    // Cancel()s from inside its own on_tuple (which erases the entry).
     auto it = clients_.find(query_id);
     if (it == clients_.end()) return;  // client cancelled or timed out
     stats_.answers_delivered++;
-    if (it->second.on_tuple) it->second.on_tuple(t);
+    std::shared_ptr<const TupleCallback> cb = it->second.on_tuple;
+    if (cb) (*cb)(t);
     return;
   }
   stats_.answers_forwarded++;
@@ -302,7 +356,10 @@ void QueryProcessor::HandleAnswerMsg(const NetAddress& from,
   auto it = clients_.find(qid);
   if (it == clients_.end()) return;  // late answer after done/cancel
   stats_.answers_delivered++;
-  if (it->second.on_tuple) it->second.on_tuple(*t);
+  // The shared_ptr copy outlives a Cancel()-inside-the-callback erase
+  // (see ForwardAnswer).
+  std::shared_ptr<const TupleCallback> cb = it->second.on_tuple;
+  if (cb) (*cb)(*t);
 }
 
 }  // namespace pier

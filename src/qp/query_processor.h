@@ -111,6 +111,23 @@ class QueryProcessor {
   /// drain via their own timeouts (soft state, no recall protocol).
   void CancelQuery(uint64_t query_id);
 
+  // --- Continuous-query lifecycle (this node must be the proxy) ---------------
+
+  /// Adjust a running continuous query's window. The change is broadcast as
+  /// a metadata-only refresh; every node running the query's opgraphs adopts
+  /// it at its next window boundary. Errors: NotFound if this node is not
+  /// the query's proxy (or it already ended), NotSupported for snapshot
+  /// queries, InvalidArgument for window <= 0.
+  Status RewindowQuery(uint64_t query_id, TimeUs window);
+
+  /// Swap a new physical plan in under the same query id (continuous
+  /// queries only). The plan is re-disseminated with a bumped generation;
+  /// each executing node final-flushes its running instances and
+  /// instantiates the new generation in their place. Answer routing and the
+  /// client's done timer are untouched — the query's lifetime stays fixed
+  /// at its original submission.
+  Status SwapQuery(uint64_t query_id, QueryPlan new_plan);
+
   /// Forward an operator-publish observer to the executor (statistics
   /// accrual from operator execution, §"introspect via queries").
   void set_publish_observer(QueryExecutor::PublishObserver o) {
@@ -140,9 +157,18 @@ class QueryProcessor {
   static constexpr const char* kDissemNs = "!dissem";
 
   struct ClientQuery {
-    TupleCallback on_tuple;
+    /// Held by shared_ptr so delivery can keep the closure alive across the
+    /// call with one refcount bump per tuple — a client calling Cancel()
+    /// from inside its own on_tuple erases this entry mid-delivery, and
+    /// destroying the executing closure would be a use-after-free.
+    std::shared_ptr<const TupleCallback> on_tuple;
     DoneCallback on_done;
     uint64_t done_timer = 0;
+    /// Continuous queries keep their plan so the lifecycle operations
+    /// (rewindow, swap) can re-disseminate it; snapshot plans are dropped
+    /// after dissemination as before.
+    QueryPlan plan;
+    bool plan_stored = false;
   };
 
   Status CheckTablesKnown(const QueryPlan& plan) const;

@@ -181,6 +181,14 @@ class UflParser {
           PIER_ASSIGN_OR_RETURN(plan_.window, Duration(value));
         } else if (key == "flush_after") {
           PIER_ASSIGN_OR_RETURN(plan_.flush_after, Duration(value));
+        } else if (key == "replan") {
+          // Accepted for symmetry with SQL's replan=auto. A UFL program IS
+          // the physical plan — there is no logical plan to re-optimize —
+          // so auto never finds a different strategy and never swaps; the
+          // flag still surfaces through QueryPlan::replan for tooling.
+          if (value != "auto" && value != "off")
+            return Err("replan must be 'auto' or 'off', got '" + value + "'");
+          plan_.replan = value == "auto";
         } else {
           return Err("unknown query option '" + key + "'");
         }

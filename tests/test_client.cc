@@ -323,8 +323,198 @@ TEST(QueryHandleTest, EmptyHandleIsInert) {
   EXPECT_FALSE(h.done());
   EXPECT_EQ(h.stats().tuples, 0u);
   h.Cancel();  // no-op, must not crash
+  h.Pause();
+  h.Resume();
+  h.SetBufferCap(1);
+  EXPECT_FALSE(h.paused());
+  EXPECT_FALSE(h.Rewindow(kSecond).ok());
   EXPECT_FALSE(h.Wait().ok());
   EXPECT_TRUE(h.Collect().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure (Pause/Resume, buffer cap) and continuous-query lifecycle
+// ---------------------------------------------------------------------------
+
+void PublishRows(SimPier* net, int n) {
+  for (int i = 0; i < n; ++i) {
+    Tuple t("t");
+    t.Append("k", Value::Int64(i));
+    ASSERT_TRUE(net->client(i % net->size())->Publish("t", t).ok());
+  }
+}
+
+TEST(QueryHandleTest, PauseBuffersAndResumeDeliversLosslessly) {
+  SimPier net(6, PierOptions(31));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PublishRows(&net, 6);
+  net.RunFor(3 * kSecond);
+
+  auto q = net.client(0)->Query(Sql("SELECT k FROM t TIMEOUT 6s"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<int64_t> delivered;
+  q->OnTuple([&](const Tuple& t) {
+    delivered.push_back(t.Get("k")->int64_unchecked());
+  });
+  q->Pause();
+  EXPECT_TRUE(q->paused());
+  net.RunFor(10 * kSecond);  // query runs to completion while paused
+
+  EXPECT_TRUE(q->done());
+  EXPECT_EQ(q->stats().tuples, 6u) << "answers reached the paused handle";
+  EXPECT_TRUE(delivered.empty()) << "a paused handle delivers nothing";
+  EXPECT_EQ(q->stats().dropped, 0u) << "backlog fits under the cap";
+
+  q->Resume();
+  EXPECT_FALSE(q->paused());
+  EXPECT_EQ(delivered.size(), 6u) << "Resume replays the backlog losslessly";
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_EQ(delivered, (std::vector<int64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(QueryHandleTest, CancelInsideResumeStopsTheDrain) {
+  // Regression: Resume() replays the paused backlog; a callback that
+  // Cancel()s mid-drain must stop the replay (the rest stays buffered),
+  // while a drain on an already-done handle still replays in full.
+  SimPier net(6, PierOptions(59));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PublishRows(&net, 6);
+  net.RunFor(3 * kSecond);
+
+  auto q = net.client(0)->Query(
+      Sql("SELECT k FROM t TIMEOUT 30s WINDOW 2s CONTINUOUS"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  q->Pause();
+  net.RunFor(6 * kSecond);
+  ASSERT_FALSE(q->done());
+  ASSERT_EQ(q->stats().tuples, 6u);
+
+  size_t delivered = 0;
+  QueryHandle handle = *q;
+  q->OnTuple([&](const Tuple&) {
+    delivered++;
+    handle.Cancel();
+  });
+  q->Resume();
+  EXPECT_EQ(delivered, 1u) << "Cancel mid-drain stops the replay";
+  EXPECT_TRUE(q->done());
+  EXPECT_EQ(q->Collect().size(), 5u) << "the rest stays buffered";
+}
+
+TEST(QueryHandleTest, BufferCapBitesAndCountsDrops) {
+  SimPier net(6, PierOptions(37));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PublishRows(&net, 6);
+  net.RunFor(3 * kSecond);
+
+  auto q = net.client(1)->Query(Sql("SELECT k FROM t TIMEOUT 6s"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  q->SetBufferCap(2);
+  std::vector<Tuple> rows = q->Collect();
+  EXPECT_EQ(rows.size(), 2u) << "the cap bounds the buffer";
+  EXPECT_EQ(q->stats().tuples, 6u);
+  EXPECT_EQ(q->stats().dropped, 4u) << "overflow is counted, not silent";
+}
+
+TEST(QueryHandleTest, CollectOnRunningContinuousKeepsTheBuffer) {
+  SimPier net(6, PierOptions(41));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PublishRows(&net, 6);
+  net.RunFor(3 * kSecond);
+
+  auto q = net.client(0)->Query(
+      Sql("SELECT k FROM t TIMEOUT 30s WINDOW 2s CONTINUOUS"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<Tuple> first = q->Collect(/*max_wait=*/6 * kSecond);
+  ASSERT_FALSE(q->done()) << "continuous query is still running";
+  EXPECT_EQ(first.size(), 6u);
+  // A second Collect mid-run sees the SAME prefix again (plus anything that
+  // arrived since) — the first call must not have swapped it away.
+  std::vector<Tuple> second = q->Collect(/*max_wait=*/1 * kSecond);
+  EXPECT_GE(second.size(), first.size());
+  q->Cancel();
+  EXPECT_TRUE(q->done());
+}
+
+TEST(QueryHandleTest, CancelFromInsideOnTupleIgnoresLaterAnswers) {
+  // Regression: answers already in flight when Cancel() runs (here: the
+  // remaining groups of the same window flush) must neither crash the
+  // delivery path nor reach the done handle.
+  SimPier net(6, PierOptions(43));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("ev").PartitionBy({"src"})).ok());
+  const char* srcs[] = {"a", "b", "c"};
+  for (int i = 0; i < 12; ++i) {
+    Tuple t("ev");
+    t.Append("src", Value::String(srcs[i % 3]));
+    ASSERT_TRUE(net.client(i % net.size())->Publish("ev", t).ok());
+  }
+  net.RunFor(3 * kSecond);
+
+  auto q = net.client(0)->Query(
+      Sql("SELECT src, count(*) AS c FROM ev GROUP BY src "
+          "TIMEOUT 30s WINDOW 2s CONTINUOUS"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t seen = 0;
+  QueryHandle handle = *q;
+  q->OnTuple([&](const Tuple&) {
+    seen++;
+    handle.Cancel();  // cancel mid-window, with sibling groups in flight
+  });
+  net.RunFor(20 * kSecond);
+  EXPECT_TRUE(q->done());
+  EXPECT_TRUE(q->stats().cancelled);
+  EXPECT_EQ(seen, 1u) << "no delivery after Cancel";
+  EXPECT_EQ(q->stats().tuples, 1u)
+      << "a done handle ignores late answers entirely";
+}
+
+TEST(PierClient, ReplanModeIsValidated) {
+  SimPier net(2, PierOptions(47));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  auto q = net.client(0)->Query(
+      Sql("SELECT * FROM t TIMEOUT 2s").WithReplan("sometimes"));
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PierClient, StatsRefreshFoldsRemoteRowsIntoAPrivateRegistry) {
+  SimPier net(6, PierOptions(53));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("ev").PartitionBy({"src"})).ok());
+
+  // A client with a PRIVATE registry (distinct origin) on node 3: the
+  // shared-registry clients' sys.stats rows are foreign to it.
+  PierClient mine(net.qp(3), net.catalog(),
+                  [&net](TimeUs t) { net.RunFor(t); });
+  ASSERT_FALSE(mine.stats()->Has("ev"));
+  auto refresh = mine.StartStatsRefresh(/*window=*/2 * kSecond,
+                                        /*lifetime=*/60 * kSecond);
+  ASSERT_TRUE(refresh.ok()) << refresh.status().ToString();
+
+  for (int i = 0; i < 100; ++i) {
+    Tuple t("ev");
+    t.Append("src", Value::Int64(i % 10));
+    ASSERT_TRUE(net.client(i % net.size())->Publish("ev", t).ok());
+  }
+  // Publish pacing already pushed sys.stats rows at the 64-tuple mark; an
+  // explicit republish covers the tail.
+  ASSERT_TRUE(net.client(0)->PublishStats().ok());
+  net.RunFor(6 * kSecond);
+
+  ASSERT_TRUE(mine.stats()->Has("ev"))
+      << "the refresh folds arriving sys.stats rows automatically";
+  EXPECT_EQ(mine.stats()->Snapshot("ev").tuples, 100u);
+
+  // Calling again while the refresh runs returns the running query.
+  auto again = mine.StartStatsRefresh();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->id(), refresh->id());
 }
 
 }  // namespace

@@ -492,5 +492,150 @@ TEST(OptimizerE2E, ExplainSelectsCheapPlanFromAccruedStats) {
   EXPECT_EQ(rows.size(), 80u) << "every r row has exactly one s match";
 }
 
+// ---------------------------------------------------------------------------
+// FoldForeign (the background refresh's ingest path)
+// ---------------------------------------------------------------------------
+
+TEST(Stats, FoldForeignSkipsOwnOriginRows) {
+  StatsRegistry mine;
+  mine.set_origin(7);
+  Seed(&mine, "t", 50, 10);
+
+  StatsRegistry other;
+  other.set_origin(9);
+  Seed(&other, "t", 30, 5);
+
+  // A refresh query streams back every published row, including this
+  // registry's own: folding those must not double count.
+  ASSERT_TRUE(mine.FoldForeign(mine.ToSysTuple("t")).ok());
+  EXPECT_EQ(mine.Snapshot("t").tuples, 50u) << "own row must be a no-op";
+
+  ASSERT_TRUE(mine.FoldForeign(other.ToSysTuple("t")).ok());
+  EXPECT_EQ(mine.Snapshot("t").tuples, 80u) << "foreign rows fold in";
+
+  EXPECT_FALSE(mine.FoldForeign(Tuple("junk")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Replanner policy
+// ---------------------------------------------------------------------------
+
+/// An aggregation PlanExplain with just the strategy decision filled in.
+PlanExplain AggExplain(const std::string& strategy) {
+  PlanExplain ex;
+  ex.agg.strategy = strategy;
+  return ex;
+}
+
+/// A one-graph flat-style plan over `table`: scan -> partial -> put.
+QueryPlan FlatAggPlan(const std::string& table) {
+  QueryPlan plan;
+  plan.continuous = true;
+  OpGraph& g = plan.AddGraph();
+  OpSpec& scan = g.AddOp(OpKind::kScan);
+  scan.Set("ns", table);
+  uint32_t tail = scan.id;
+  OpSpec& part = g.AddOp(OpKind::kGroupBy);
+  part.Set("keys", "k");
+  part.Set("aggs", "count:*:c");
+  part.Set("mode", "partial");
+  uint32_t part_id = part.id;
+  g.Connect(tail, part_id, 0);
+  OpSpec& put = g.AddOp(OpKind::kPut);
+  put.Set("ns", "q1.agg");
+  put.Set("key", "k");
+  g.Connect(part_id, put.id, 0);
+  return plan;
+}
+
+/// The hier-style equivalent: scan -> hieragg -> result.
+QueryPlan HierAggPlan(const std::string& table) {
+  QueryPlan plan;
+  plan.continuous = true;
+  OpGraph& g = plan.AddGraph();
+  OpSpec& scan = g.AddOp(OpKind::kScan);
+  scan.Set("ns", table);
+  uint32_t tail = scan.id;
+  OpSpec& agg = g.AddOp(OpKind::kHierAgg);
+  agg.Set("keys", "k");
+  agg.Set("aggs", "count:*:c");
+  uint32_t agg_id = agg.id;
+  g.Connect(tail, agg_id, 0);
+  OpSpec& res = g.AddOp(OpKind::kResult);
+  g.Connect(agg_id, res.id, 0);
+  return plan;
+}
+
+TEST(Replanner, FingerprintTracksDecisionsNotCosts) {
+  PlanExplain a = AggExplain("flat");
+  PlanExplain b = AggExplain("flat");
+  b.total = Cost{999, 999999};  // cost numbers must not affect identity
+  EXPECT_EQ(Replanner::Fingerprint(a), Replanner::Fingerprint(b));
+  EXPECT_NE(Replanner::Fingerprint(a), Replanner::Fingerprint(AggExplain("hier")));
+
+  PlanExplain join1;
+  JoinStep s;
+  s.outer_name = "r";
+  s.outer_col = "x";
+  s.inner_name = "s";
+  s.inner_col = "y";
+  s.strategy = JoinStrategy::kRehash;
+  join1.joins.push_back(s);
+  PlanExplain join2 = join1;
+  join2.joins[0].strategy = JoinStrategy::kBloom;
+  EXPECT_NE(Replanner::Fingerprint(join1), Replanner::Fingerprint(join2));
+  PlanExplain join3 = join1;
+  join3.joins[0].stats_based = true;  // same strategy, now confirmed by stats
+  EXPECT_EQ(Replanner::Fingerprint(join1), Replanner::Fingerprint(join3));
+}
+
+TEST(Replanner, UnchangedStrategyNeverSwaps) {
+  StatsRegistry reg;
+  Seed(&reg, "t", 5000, 40);
+  Replanner rp(&reg, CostModel(CostParams{}));
+  std::string fp = Replanner::Fingerprint(AggExplain("flat"));
+  ReplanDecision d = rp.Consider(FlatAggPlan("t"), fp, FlatAggPlan("t"),
+                                 AggExplain("flat"));
+  EXPECT_FALSE(d.swap);
+  EXPECT_FALSE(d.strategy_changed);
+}
+
+TEST(Replanner, SwapsOnlyPastTheCostRatioThreshold) {
+  CostParams params;
+  params.nodes = 32;
+  StatsRegistry reg;
+  // Dense table: far more tuples than nodes, so the flat plan's per-window
+  // rehash of partials dwarfs the aggregation tree's 2N reports.
+  Seed(&reg, "t", 5000, 40);
+
+  std::string flat_fp = Replanner::Fingerprint(AggExplain("flat"));
+  Replanner rp(&reg, CostModel(params));
+  ReplanDecision d = rp.Consider(FlatAggPlan("t"), flat_fp, HierAggPlan("t"),
+                                 AggExplain("hier"));
+  EXPECT_TRUE(d.strategy_changed);
+  ASSERT_GT(d.fresh_total, 0);
+  EXPECT_GT(d.ratio, 1.0) << "hier must estimate cheaper on the dense table";
+  EXPECT_EQ(d.swap, d.ratio >= rp.options().min_cost_ratio);
+
+  // A sky-high threshold vetoes the same strategy change.
+  Replanner::Options strict;
+  strict.min_cost_ratio = 1e9;
+  ReplanDecision vetoed =
+      Replanner(&reg, CostModel(params), strict)
+          .Consider(FlatAggPlan("t"), flat_fp, HierAggPlan("t"),
+                    AggExplain("hier"));
+  EXPECT_TRUE(vetoed.strategy_changed);
+  EXPECT_FALSE(vetoed.swap);
+
+  // A permissive threshold takes it.
+  Replanner::Options loose;
+  loose.min_cost_ratio = 1.0;
+  ReplanDecision taken =
+      Replanner(&reg, CostModel(params), loose)
+          .Consider(FlatAggPlan("t"), flat_fp, HierAggPlan("t"),
+                    AggExplain("hier"));
+  EXPECT_TRUE(taken.swap);
+}
+
 }  // namespace
 }  // namespace pier

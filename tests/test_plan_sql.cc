@@ -74,6 +74,8 @@ TEST(QueryPlan, WireRoundTrip) {
   plan.timeout = 12 * kSecond;
   plan.continuous = true;
   plan.window = 3 * kSecond;
+  plan.generation = 4;
+  plan.replan = true;
   OpGraph& g = plan.AddGraph();
   g.dissem = DissemKind::kEquality;
   g.dissem_ns = "t";
@@ -93,6 +95,8 @@ TEST(QueryPlan, WireRoundTrip) {
   EXPECT_EQ(back->query_id, 777u);
   EXPECT_TRUE(back->continuous);
   EXPECT_EQ(back->window, 3 * kSecond);
+  EXPECT_EQ(back->generation, 4u);
+  EXPECT_TRUE(back->replan);
   ASSERT_EQ(back->graphs.size(), 1u);
   const OpGraph& bg = back->graphs[0];
   EXPECT_EQ(bg.dissem, DissemKind::kEquality);
@@ -256,10 +260,21 @@ TEST(Sql, RejectsMalformedDurations) {
   EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 0s"));
   EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5x"));
   EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT soon"));
-  // WINDOW: same duration grammar.
+  // WINDOW: same duration grammar. WINDOW 0 in particular must be an
+  // InvalidArgument, not a per-millisecond flush timer at execution time.
   EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW -1s CONTINUOUS"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW 0 CONTINUOUS"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW 0ms CONTINUOUS"));
+  EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW 0s CONTINUOUS"));
   EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW 2parsecs CONTINUOUS"));
   EXPECT_TRUE(bad("SELECT * FROM t TIMEOUT 5s WINDOW abc CONTINUOUS"));
+  {
+    Status s = Client()
+                   ->Compile(Sql("SELECT * FROM t TIMEOUT 5s WINDOW 0 "
+                                 "CONTINUOUS"))
+                   .status();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  }
   // Control: the well-formed versions compile.
   EXPECT_TRUE(Client()->Compile(Sql("SELECT * FROM t TIMEOUT 5s")).ok());
   EXPECT_TRUE(Client()
@@ -307,6 +322,56 @@ TEST(Ufl, ParsesFullProgram) {
   Result<ExprPtr> pred = plan->graphs[0].FindOp(2)->GetExpr("pred");
   ASSERT_TRUE(pred.ok());
   EXPECT_EQ((*pred)->ToString(), "(sev >= 3)");
+}
+
+TEST(Ufl, WindowAndReplanOptions) {
+  // replan=auto is accepted and surfaces on the plan; WINDOW 0 is rejected
+  // with InvalidArgument just like in SQL.
+  auto plan = Client()->Compile(Ufl(R"(
+    query { timeout = 5s; window = 1s; continuous; replan = auto; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->replan);
+
+  auto off = Client()->Compile(Ufl(R"(
+    query { timeout = 5s; continuous; replan = off; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"));
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_FALSE(off->replan);
+
+  EXPECT_FALSE(Client()
+                   ->Compile(Ufl(R"(
+    query { timeout = 5s; continuous; replan = maybe; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"))
+                   .ok());
+
+  Status zero = Client()
+                    ->Compile(Ufl(R"(
+    query { timeout = 5s; window = 0ms; continuous; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"))
+                    .status();
+  EXPECT_EQ(zero.code(), StatusCode::kInvalidArgument) << zero.ToString();
+}
+
+TEST(Executor, EffectiveWindowDefaultsAndFloors) {
+  QueryPlan p;
+  p.continuous = true;
+  p.timeout = 40 * kSecond;
+  p.window = 0;  // windowless (only reachable through hand-built plans)
+  EXPECT_EQ(QueryExecutor::EffectiveWindow(p), QueryExecutor::kDefaultWindow);
+  p.timeout = 80 * kMillisecond;  // short-lived query: default shrinks
+  EXPECT_EQ(QueryExecutor::EffectiveWindow(p), 20 * kMillisecond);
+  p.timeout = 20 * kMillisecond;  // ...but never below the floor
+  EXPECT_EQ(QueryExecutor::EffectiveWindow(p), QueryExecutor::kMinWindow);
+  p.timeout = 40 * kSecond;
+  p.window = 1 * kMillisecond;  // explicit degenerate window: floored
+  EXPECT_EQ(QueryExecutor::EffectiveWindow(p), QueryExecutor::kMinWindow);
+  p.window = 2 * kSecond;  // sane explicit windows pass through
+  EXPECT_EQ(QueryExecutor::EffectiveWindow(p), 2 * kSecond);
 }
 
 TEST(Ufl, JoinPortsAndDissemination) {

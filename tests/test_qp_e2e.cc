@@ -321,6 +321,174 @@ TEST(QpE2E, ContinuousQuerySeesLatePublishes) {
   EXPECT_EQ(total, 6);
 }
 
+// ---------------------------------------------------------------------------
+// Continuous-query lifecycle: rewindow, swap, auto-replan
+// ---------------------------------------------------------------------------
+
+TEST(QpE2E, RewindowTakesEffectAtTheNextBoundary) {
+  SimPier net(8, PierOptions(91));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("ev").PartitionBy({"src"})).ok());
+
+  auto q = net.client(0)->Query(
+      Sql("SELECT src, count(*) AS cnt FROM ev GROUP BY src "
+          "TIMEOUT 60s WINDOW 6s CONTINUOUS"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<TimeUs> deliveries;
+  q->OnTuple([&](const Tuple&) { deliveries.push_back(net.loop()->now()); });
+
+  // Error paths first: a zero window and an unknown query are rejected.
+  EXPECT_EQ(q->Rewindow(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(net.qp(0)->RewindowQuery(12345, kSecond).code(),
+            StatusCode::kNotFound);
+
+  auto publish_for = [&](TimeUs span) {
+    for (TimeUs t = 0; t < span; t += kSecond) {
+      Tuple e("ev");
+      e.Append("src", Value::String("live"));
+      ASSERT_TRUE(net.client(0)->Publish("ev", e).ok());
+      net.RunFor(kSecond);
+    }
+  };
+
+  TimeUs phase_a_end;
+  publish_for(14 * kSecond);  // ~2 six-second windows
+  phase_a_end = net.loop()->now();
+  size_t phase_a = deliveries.size();
+
+  ASSERT_TRUE(q->Rewindow(2 * kSecond).ok());
+  publish_for(14 * kSecond);  // same span, ~7 two-second windows
+  size_t phase_b = 0;
+  for (TimeUs t : deliveries) phase_b += t > phase_a_end;
+
+  EXPECT_GT(phase_a, 0u);
+  EXPECT_GT(phase_b, phase_a + 1)
+      << "shorter windows must flush more often over the same span (a="
+      << phase_a << " b=" << phase_b << ")";
+
+  // A snapshot query has no windows to adjust.
+  auto snap = net.client(0)->Query(Sql("SELECT * FROM ev TIMEOUT 5s"));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->Rewindow(kSecond).code(), StatusCode::kNotSupported);
+}
+
+TEST(QpE2E, SwapQueryReplacesTheRunningOpgraphs) {
+  SimPier net(8, PierOptions(97));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("ev").PartitionBy({"src"})).ok());
+
+  const char* query_text =
+      "SELECT src, count(*) AS cnt FROM ev GROUP BY src "
+      "TIMEOUT 60s WINDOW 3s CONTINUOUS";
+  auto q = net.client(0)->Query(Sql(query_text).WithAggStrategy("flat"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  size_t delivered = 0;
+  q->OnTuple([&](const Tuple&) { delivered++; });
+
+  auto publish_for = [&](TimeUs span) {
+    for (TimeUs t = 0; t < span; t += kSecond) {
+      Tuple e("ev");
+      e.Append("src", Value::String("live"));
+      ASSERT_TRUE(net.client(0)->Publish("ev", e).ok());
+      net.RunFor(kSecond);
+    }
+  };
+  publish_for(8 * kSecond);
+  size_t before_swap = delivered;
+  EXPECT_GT(before_swap, 0u);
+
+  // The flat plan's first graph holds a partial GroupBy; after the swap the
+  // same (query, graph, op) coordinates must resolve to the hier plan's ops.
+  auto hier = net.client(0)->Compile(
+      Sql(query_text).WithAggStrategy("hier"));
+  ASSERT_TRUE(hier.ok()) << hier.status().ToString();
+  uint32_t hier_gid = hier->graphs[0].id;
+  uint32_t hier_agg_op = 0;
+  for (const OpSpec& op : hier->graphs[0].ops) {
+    if (op.kind == OpKind::kHierAgg) hier_agg_op = op.id;
+  }
+  ASSERT_NE(hier_agg_op, 0u);
+
+  // Guard rails: swaps need a live continuous query and a continuous plan.
+  EXPECT_EQ(net.qp(0)->SwapQuery(424242, *hier).code(), StatusCode::kNotFound);
+  {
+    QueryPlan snapshot = *hier;
+    snapshot.continuous = false;
+    EXPECT_EQ(net.qp(0)->SwapQuery(qid, std::move(snapshot)).code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  ASSERT_TRUE(net.qp(0)->SwapQuery(qid, std::move(*hier)).ok());
+  net.RunFor(2 * kSecond);  // dissemination of the new generation
+
+  // Every node now runs the hier opgraph under the ORIGINAL query id.
+  Operator* op = net.qp(1)->executor()->FindOp(qid, hier_gid, hier_agg_op);
+  ASSERT_NE(op, nullptr) << "new generation instantiated on remote nodes";
+  EXPECT_EQ(op->spec().kind, OpKind::kHierAgg);
+
+  publish_for(12 * kSecond);
+  EXPECT_GT(delivered, before_swap)
+      << "the swapped plan keeps answering under the same handle";
+  EXPECT_FALSE(q->done());
+}
+
+TEST(QpE2E, AutoReplanSwapsOnACardinalityShiftAndOnlyThen) {
+  SimPier net(8, PierOptions(101));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("ev").PartitionBy({"src"})).ok());
+  net.client(0)->set_replan_period(2 * kSecond);
+  Replanner::Options opts;
+  opts.min_cost_ratio = 1.05;
+  net.client(0)->set_replan_options(opts);
+
+  // Submitted over an EMPTY table: no usable statistics, so the compiler
+  // defaults to flat aggregation and the replanner's baseline is "flat".
+  auto q = net.client(0)->Query(
+      Sql("SELECT src, count(*) AS cnt FROM ev GROUP BY src "
+          "TIMEOUT 60s WINDOW 3s CONTINUOUS")
+          .WithReplan("auto"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  size_t delivered = 0;
+  q->OnTuple([&](const Tuple&) { delivered++; });
+
+  // Stable phase: a handful of tuples, far below min_sample_tuples — every
+  // recompile re-picks the default, so the plan must never swap.
+  for (int i = 0; i < 8; ++i) {
+    Tuple e("ev");
+    e.Append("src", Value::String("s" + std::to_string(i % 4)));
+    ASSERT_TRUE(net.client(0)->Publish("ev", e).ok());
+    net.RunFor(kSecond);
+  }
+  EXPECT_EQ(q->stats().replans, 0u) << "stable stats: no swap, ever";
+
+  // Shift: the table grows dense (hundreds of tuples over 8 nodes), which
+  // flips the cost model to hierarchical aggregation.
+  for (int i = 0; i < 300; ++i) {
+    Tuple e("ev");
+    e.Append("src", Value::String("s" + std::to_string(i % 4)));
+    ASSERT_TRUE(net.client(i % net.size())->Publish("ev", e).ok());
+    if (i % 25 == 24) net.RunFor(kSecond);
+  }
+  net.RunFor(10 * kSecond);  // several replan ticks past the shift
+
+  EXPECT_GE(q->stats().replans, 1u)
+      << "the cardinality shift must trigger a replan";
+  EXPECT_LE(q->stats().replans, 1u)
+      << "after the swap the fresh choice is stable again";
+  // Tumbling windows only emit when fresh tuples arrive, so keep the stream
+  // alive to observe the swapped plan answering.
+  size_t at_swap = delivered;
+  for (int i = 0; i < 10; ++i) {
+    Tuple e("ev");
+    e.Append("src", Value::String("s0"));
+    ASSERT_TRUE(net.client(0)->Publish("ev", e).ok());
+    net.RunFor(kSecond);
+  }
+  net.RunFor(4 * kSecond);
+  EXPECT_GT(delivered, at_swap) << "the replanned query keeps answering";
+}
+
 TEST(QpE2E, CancelStopsDelivery) {
   SimPier net(8, PierOptions(83));
   PublishRows(&net, 16);
