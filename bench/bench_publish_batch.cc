@@ -1,0 +1,178 @@
+// Experiment E11 — cross-layer message batching on the ingest path.
+//
+// One node bulk-publishes a table with a secondary index into a 32-node
+// network under the FIFO queueing network model (the sender's uplink
+// serializes messages, so per-message overhead — headers, acks, congestion-
+// window round trips — is paid in both bytes and wall-clock). The sweep
+// compares per-tuple Publish (batch=1) against client auto-batching at 8 and
+// 64 tuples, plus batch=64 with router send-coalescing on top.
+//
+// SELF-CHECKING: the run FAILS (exit 1) unless batch=64 beats batch=1 on
+// BOTH total bytes and ingest wall-clock. A regression that quietly unbatches
+// the pipeline turns the bench red instead of printing a slower table.
+//
+// PIER_BENCH_SMOKE=1 shrinks the workload for CI smoke runs.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "qp/sim_pier.h"
+
+namespace pier {
+namespace {
+
+struct Config {
+  uint32_t nodes = 32;
+  int tuples = 1024;
+  int distinct_keys = 128;
+  int distinct_tags = 32;
+  TimeUs cap = 300 * kSecond;  // give up waiting for ingest past this
+};
+
+struct RunResult {
+  double ingest_ms = -1;  // virtual time until every object is stored
+  uint64_t bytes = 0;
+  uint64_t msgs = 0;
+  uint64_t batched_puts = 0;
+  uint64_t coalesced = 0;
+};
+
+RunResult RunOnce(const Config& cfg, size_t batch, TimeUs coalesce_window) {
+  SimPier::Options opts;
+  opts.sim.seed = 77;
+  opts.sim.congestion = CongestionKind::kFifo;
+  opts.dht.router.coalesce_window_us = coalesce_window;
+  opts.seed_routing = true;
+  opts.settle_time = 8 * kSecond;
+  SimPier net(cfg.nodes, opts);
+  if (!net.catalog()
+           ->Register(TableSpec("ev").PartitionBy({"k"}).SecondaryIndex("tag"))
+           .ok()) {
+    std::fprintf(stderr, "catalog registration failed\n");
+    std::exit(1);
+  }
+  PierClient* client = net.client(0);
+  if (batch > 1) client->SetPublishBatching(batch, 50 * kMillisecond);
+
+  // Every tuple lands as a primary row AND a secondary-index entry. Count
+  // per-namespace objects (background tree maintenance stores objects too,
+  // which would otherwise pollute the completion check).
+  uint64_t expected = static_cast<uint64_t>(cfg.tuples) * 2;
+  auto stored = [&net]() {
+    uint64_t n = 0;
+    for (uint32_t i = 0; i < net.size(); ++i) {
+      n += net.dht(i)->objects()->NamespaceObjects("ev");
+      n += net.dht(i)->objects()->NamespaceObjects("ev_by_tag");
+    }
+    return n;
+  };
+  uint64_t base = stored();
+  net.harness()->ResetStats();
+  TimeUs t0 = net.loop()->now();
+
+  for (int i = 0; i < cfg.tuples; ++i) {
+    Tuple t("ev");
+    t.Append("k", Value::Int64(i % cfg.distinct_keys));
+    t.Append("tag", Value::String("t" + std::to_string(i % cfg.distinct_tags)));
+    t.Append("payload", Value::String(std::string(64, 'x')));
+    Status s = client->Publish("ev", t);
+    if (!s.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (batch > 1) {
+    Status s = client->Flush();
+    if (!s.ok()) {
+      std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  RunResult r;
+  while (stored() < base + expected && net.loop()->now() - t0 < cfg.cap)
+    net.RunFor(10 * kMillisecond);
+  if (stored() < base + expected) {
+    std::fprintf(stderr, "ingest never completed (%llu of %llu objects)\n",
+                 static_cast<unsigned long long>(stored() - base),
+                 static_cast<unsigned long long>(expected));
+    std::exit(1);
+  }
+  r.ingest_ms = static_cast<double>(net.loop()->now() - t0) / kMillisecond;
+  r.bytes = net.harness()->total_bytes();
+  r.msgs = net.harness()->total_msgs();
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    Dht::Stats s = net.dht(i)->stats();
+    r.batched_puts += s.batched_puts;
+    r.coalesced += s.coalesced_msgs;
+  }
+  return r;
+}
+
+void Run() {
+  Config cfg;
+  if (std::getenv("PIER_BENCH_SMOKE") != nullptr) {
+    cfg.nodes = 16;
+    cfg.tuples = 192;
+    cfg.distinct_keys = 48;
+    cfg.distinct_tags = 12;
+  }
+  bench::Title("E11: batched publish under the FIFO queueing network model");
+  bench::Note("N=" + std::to_string(cfg.nodes) + ", " +
+              std::to_string(cfg.tuples) +
+              " tuples (primary + secondary index fan-out) published from one "
+              "node; FIFO uplink queueing");
+
+  std::vector<int> w = {12, 12, 14, 10, 14, 12};
+  bench::Row({"batch", "ingest ms", "total bytes", "msgs", "batched_puts",
+              "coalesced"},
+             w);
+
+  auto report = [&](const char* name, const RunResult& r) {
+    bench::Row({name, bench::Fmt(r.ingest_ms), std::to_string(r.bytes),
+                std::to_string(r.msgs), std::to_string(r.batched_puts),
+                std::to_string(r.coalesced)},
+               w);
+  };
+
+  RunResult b1 = RunOnce(cfg, 1, 0);
+  report("1", b1);
+  RunResult b8 = RunOnce(cfg, 8, 0);
+  report("8", b8);
+  RunResult b64 = RunOnce(cfg, 64, 0);
+  report("64", b64);
+  RunResult b64c = RunOnce(cfg, 64, 500);  // + 500us router coalescing
+  report("64+coal", b64c);
+
+  bench::Note(
+      "expected shape: larger batches cut both bytes (fewer headers/acks, "
+      "deduped lookups) and ingest time (fewer congestion-window round "
+      "trips on the sender's uplink); coalescing merges what batching "
+      "leaves.");
+
+  // --- Self-check: batching must actually win -------------------------------
+  if (b64.batched_puts == 0) {
+    std::fprintf(stderr,
+                 "FAIL: batch=64 run shows batched_puts == 0 — batching never "
+                 "engaged\n");
+    std::exit(1);
+  }
+  if (b64.bytes >= b1.bytes || b64.ingest_ms >= b1.ingest_ms) {
+    std::fprintf(stderr,
+                 "FAIL: batch=64 (%llu bytes, %.1f ms) does not beat batch=1 "
+                 "(%llu bytes, %.1f ms) on both axes\n",
+                 static_cast<unsigned long long>(b64.bytes), b64.ingest_ms,
+                 static_cast<unsigned long long>(b1.bytes), b1.ingest_ms);
+    std::exit(1);
+  }
+  bench::Note("self-check passed: batch=64 beats batch=1 on bytes AND "
+              "wall-clock.");
+}
+
+}  // namespace
+}  // namespace pier
+
+int main() {
+  pier::Run();
+  return 0;
+}

@@ -186,6 +186,10 @@ PierClient::PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run,
 }
 
 PierClient::~PierClient() {
+  // Buffered publishes are handed to the network before the client goes
+  // away (the DHT and event loop outlive it); an error here has no one
+  // left to report to.
+  (void)Flush();
   // The resolver captures catalog_ raw; never leave it dangling on a query
   // processor that outlives this client. The token makes this a no-op if a
   // newer client has since installed its own resolver, and that newer
@@ -198,6 +202,33 @@ PierClient::~PierClient() {
     if (task.timer) qp_->vri()->CancelEvent(task.timer);
   }
   if (stats_refresh_.valid()) stats_refresh_.Cancel();
+}
+
+Status PierClient::ValidateAgainstSpec(const TableSpec& spec,
+                                       const Tuple& t) const {
+  // The catalog knows what the indexes need; reject tuples the fan-out
+  // would silently mis-key or drop. (Secondary indexes stay sparse: a tuple
+  // without the indexed attribute is legitimately just not indexed.)
+  for (const std::string& attr : spec.partition_attrs) {
+    if (!t.Has(attr)) {
+      return Status::InvalidArgument(
+          "tuple for '" + spec.name + "' lacks partition attribute '" + attr +
+          "': it would be stored under a key no equality lookup computes");
+    }
+  }
+  for (const RangeIndexSpec& idx : spec.range_indexes) {
+    const Value* v = t.Get(idx.attr);
+    if (v == nullptr)
+      return Status::InvalidArgument("tuple for '" + spec.name +
+                                     "' lacks range-index attribute '" +
+                                     idx.attr + "'");
+    Result<int64_t> key = v->AsInt64();
+    if (!key.ok() || *key < 0)
+      return Status::InvalidArgument(
+          "range-index attribute '" + idx.attr +
+          "' must be a non-negative integer, got " + v->ToString());
+  }
+  return Status::Ok();
 }
 
 Status PierClient::Publish(const std::string& table, const Tuple& t,
@@ -222,27 +253,29 @@ Status PierClient::Publish(const std::string& table, const Tuple& t,
     return Status::Ok();
   }
 
-  // The catalog knows what the indexes need; reject tuples the fan-out
-  // would silently mis-key or drop. (Secondary indexes stay sparse: a tuple
-  // without the indexed attribute is legitimately just not indexed.)
-  for (const std::string& attr : spec->partition_attrs) {
-    if (!t.Has(attr)) {
-      return Status::InvalidArgument(
-          "tuple for '" + table + "' lacks partition attribute '" + attr +
-          "': it would be stored under a key no equality lookup computes");
+  PIER_RETURN_IF_ERROR(ValidateAgainstSpec(*spec, t));
+
+  // Auto-batching: buffer the (already validated) tuple; the size trigger,
+  // the delay timer, Flush() or client teardown ships it.
+  if (publish_batch_max_ > 1) {
+    PublishBuffer& buf = publish_buffers_[table];
+    buf.tuples.push_back(t);
+    buf.lifetimes.push_back(lifetime);
+    if (buf.tuples.size() >= publish_batch_max_) return FlushTable(table);
+    // max_delay 0 still arms a zero-delay event: a synchronous publish
+    // burst batches up, and the buffer flushes at the next event-loop turn
+    // instead of stranding tuples until a size trigger or Flush().
+    if (buf.timer == 0) {
+      buf.timer = qp_->vri()->ScheduleEvent(publish_batch_delay_, [this,
+                                                                   table]() {
+        // The timer has fired; zero the token so FlushTable does not cancel
+        // an already-executed event (the loop would remember it forever).
+        auto bit = publish_buffers_.find(table);
+        if (bit != publish_buffers_.end()) bit->second.timer = 0;
+        (void)FlushTable(table);
+      });
     }
-  }
-  for (const RangeIndexSpec& idx : spec->range_indexes) {
-    const Value* v = t.Get(idx.attr);
-    if (v == nullptr)
-      return Status::InvalidArgument("tuple for '" + table +
-                                     "' lacks range-index attribute '" +
-                                     idx.attr + "'");
-    Result<int64_t> key = v->AsInt64();
-    if (!key.ok() || *key < 0)
-      return Status::InvalidArgument(
-          "range-index attribute '" + idx.attr +
-          "' must be a non-negative integer, got " + v->ToString());
+    return Status::Ok();
   }
 
   size_t bytes = qp_->Publish(table, spec->partition_attrs, t, lifetime);
@@ -254,6 +287,109 @@ Status PierClient::Publish(const std::string& table, const Tuple& t,
     qp_->PublishRange(idx.table, idx.attr, t, idx.key_bits, lifetime);
   }
   observe(bytes);
+  return Status::Ok();
+}
+
+Status PierClient::PublishBatch(const std::string& table,
+                                const std::vector<Tuple>& tuples,
+                                TimeUs lifetime) {
+  const TableSpec* spec = catalog_->Find(table);
+  if (spec == nullptr)
+    return Status::NotFound("table '" + table + "' is not in the catalog");
+  if (lifetime <= 0) lifetime = spec->default_lifetime;
+  if (tuples.empty()) return Status::Ok();
+
+  // All-or-nothing validation: a bad tuple fails the call before anything
+  // of the batch hits the network.
+  if (!spec->local_only) {
+    for (const Tuple& t : tuples)
+      PIER_RETURN_IF_ERROR(ValidateAgainstSpec(*spec, t));
+  }
+
+  // Earlier Publish()es waiting in this table's auto-batch buffer must ship
+  // first, or the explicit batch would overtake them on the wire.
+  PIER_RETURN_IF_ERROR(FlushTable(table));
+
+  std::vector<TimeUs> lifetimes(tuples.size(), lifetime);
+  return ShipBatch(*spec, tuples, lifetimes);
+}
+
+void PierClient::SetPublishBatching(size_t max_tuples, TimeUs max_delay) {
+  publish_batch_max_ = max_tuples;
+  publish_batch_delay_ = max_delay;
+  // Turning batching down (or off) must not strand buffered tuples.
+  if (publish_batch_max_ <= 1) (void)Flush();
+}
+
+Status PierClient::Flush() {
+  Status first = Status::Ok();
+  // Collect names first: FlushTable erases entries while we iterate.
+  std::vector<std::string> tables;
+  tables.reserve(publish_buffers_.size());
+  for (const auto& [table, buf] : publish_buffers_) {
+    (void)buf;
+    tables.push_back(table);
+  }
+  for (const std::string& table : tables) {
+    Status s = FlushTable(table);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+Status PierClient::FlushTable(const std::string& table) {
+  auto it = publish_buffers_.find(table);
+  if (it == publish_buffers_.end()) return Status::Ok();
+  PublishBuffer buf = std::move(it->second);
+  publish_buffers_.erase(it);
+  if (buf.timer != 0) qp_->vri()->CancelEvent(buf.timer);
+  if (buf.tuples.empty()) return Status::Ok();
+  const TableSpec* spec = catalog_->Find(table);
+  if (spec == nullptr)
+    return Status::NotFound("table '" + table + "' left the catalog");
+  return ShipBatch(*spec, buf.tuples, buf.lifetimes);
+}
+
+Status PierClient::ShipBatch(const TableSpec& spec,
+                             const std::vector<Tuple>& tuples,
+                             const std::vector<TimeUs>& lifetimes) {
+  size_t total_bytes = 0;
+  if (spec.local_only) {
+    for (size_t i = 0; i < tuples.size(); ++i)
+      total_bytes += qp_->StoreLocal(spec.name, tuples[i], lifetimes[i]);
+  } else {
+    // The whole batch's index fan-out — primary rows AND secondary entries
+    // — ships as ONE DHT batch: one lookup per distinct key, one wire
+    // message per destination owner.
+    std::vector<DhtPutItem> items;
+    items.reserve(tuples.size() * (1 + spec.secondary_indexes.size()));
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      total_bytes += qp_->MakePublishItem(spec.name, spec.partition_attrs,
+                                          tuples[i], lifetimes[i], &items);
+      for (const SecondaryIndexSpec& idx : spec.secondary_indexes) {
+        qp_->MakeSecondaryItem(idx.table, idx.attr, spec.name,
+                               spec.partition_attrs, tuples[i], lifetimes[i],
+                               &items);
+      }
+    }
+    qp_->PublishBatch(std::move(items));
+    // PHT trie inserts are multi-step protocols; they stay per tuple.
+    for (const RangeIndexSpec& idx : spec.range_indexes) {
+      for (size_t i = 0; i < tuples.size(); ++i)
+        qp_->PublishRange(idx.table, idx.attr, tuples[i], idx.key_bits,
+                          lifetimes[i]);
+    }
+  }
+  // ONE statistics update for the whole batch.
+  if (spec.name != kSysStatsTable) {
+    std::vector<const Tuple*> ptrs;
+    ptrs.reserve(tuples.size());
+    for (const Tuple& t : tuples) ptrs.push_back(&t);
+    stats_->ObserveBatch(spec.name, ptrs, spec.partition_attrs, total_bytes,
+                         qp_->vri()->Now());
+    if (stats_->TakePublishDue(spec.name, kStatsPublishEvery))
+      PublishSysStatsRow(spec.name);
+  }
   return Status::Ok();
 }
 

@@ -205,6 +205,49 @@ class PierClient {
   /// every declared PHT range index. lifetime 0 uses the spec's default.
   Status Publish(const std::string& table, const Tuple& t, TimeUs lifetime = 0);
 
+  // --- Batched publishing ------------------------------------------------------
+  //
+  // Ingest-heavy workloads pay per-tuple network overhead on Publish: every
+  // tuple is its own DHT put per declared index (lookup + wire message +
+  // ack). Batching amortizes it — a batch's whole index fan-out (primary
+  // rows and secondary entries alike) is grouped by responsible node and
+  // each destination receives ONE wire message; the statistics registry
+  // updates once per batch. Two ways in:
+  //
+  //   client.PublishBatch("ev", rows);          // explicit batch
+  //   client.SetPublishBatching(64, 5000);      // auto: buffer Publish()es
+  //
+  // Knobs and defaults: auto-batching is OFF by default (max_tuples 0);
+  // when on, a per-table buffer flushes at `max_tuples`, when `max_delay`
+  // elapses after the first buffered tuple, on Flush(), and on client
+  // destruction. Range (PHT) indexes are fanned out per tuple at flush time
+  // (trie inserts are multi-step and do not batch).
+  //
+  // When is auto-batching safe? Publish keeps full validation (errors stay
+  // synchronous), but delivery becomes deferred: a reader does not see a
+  // buffered tuple until its batch flushes, and tuples buffered in a
+  // crashing process are lost — acceptable exactly where soft state already
+  // is (PIER promises best-effort, lifetime-bounded visibility, §3.2.3).
+  // Keep it off when a Publish must be queryable before the next client
+  // call, e.g. tests that publish one tuple then immediately query it.
+
+  /// Publish a whole batch for `table` in one shot. Every tuple is
+  /// validated against the spec FIRST; any invalid tuple fails the call and
+  /// nothing is published. lifetime 0 uses the spec's default.
+  Status PublishBatch(const std::string& table, const std::vector<Tuple>& tuples,
+                      TimeUs lifetime = 0);
+
+  /// Opt-in auto-batching on Publish(): buffer up to `max_tuples` per table
+  /// and at most `max_delay` after the first buffered tuple, then flush as
+  /// one PublishBatch. max_delay 0 flushes at the next event-loop turn (a
+  /// synchronous burst still batches). max_tuples 0 or 1 disables (flushing
+  /// anything held).
+  void SetPublishBatching(size_t max_tuples, TimeUs max_delay);
+
+  /// Flush every table's publish buffer now. Returns the first error any
+  /// flush produced (later tables still flush).
+  Status Flush();
+
   /// Republish this client's accrued statistics for every observed table as
   /// sys.stats tuples, immediately (Publish also does this automatically
   /// every kStatsPublishEvery tuples per table). Any node can then fold the
@@ -272,7 +315,22 @@ class PierClient {
     uint64_t timer = 0;
   };
 
+  /// One table's auto-batching buffer (tuples wait here for the size or
+  /// delay trigger; lifetimes resolved at Publish time ride along).
+  struct PublishBuffer {
+    std::vector<Tuple> tuples;
+    std::vector<TimeUs> lifetimes;
+    uint64_t timer = 0;
+  };
+
   Result<QueryHandle> Submit(QueryPlan plan);
+  /// Shared validation for Publish/PublishBatch: the catalog-driven checks
+  /// that reject tuples the index fan-out would mis-key or drop.
+  Status ValidateAgainstSpec(const TableSpec& spec, const Tuple& t) const;
+  /// Ship one batch (validated tuples) through the whole index fan-out.
+  Status ShipBatch(const TableSpec& spec, const std::vector<Tuple>& tuples,
+                   const std::vector<TimeUs>& lifetimes);
+  Status FlushTable(const std::string& table);
   /// Compile `sql` with a pinned query id (0 mints a fresh one) — replan
   /// recompiles must reuse the running query's id so rendezvous namespaces
   /// ("q<id>.*") stay stable across generations.
@@ -297,6 +355,10 @@ class PierClient {
   Replanner::Options replan_options_;
   TimeUs replan_period_ = 0;  // 0: one check per query window
   std::map<uint64_t, ReplanTask> replans_;
+  /// Auto-batching state: 0 max_tuples = off (the default).
+  size_t publish_batch_max_ = 0;
+  TimeUs publish_batch_delay_ = 0;
+  std::map<std::string, PublishBuffer> publish_buffers_;
   /// The background sys.stats refresh query, if started. Cancelled on
   /// destruction: its OnTuple callback captures this client's registry.
   QueryHandle stats_refresh_;

@@ -1,5 +1,6 @@
 #include "overlay/dht.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -29,6 +30,9 @@ Dht::Dht(Vri* vri, Options options) : vri_(vri), options_(options) {
   router_->RegisterDirectType(kMsgPut, [this](const NetAddress& f, std::string_view b) {
     HandlePut(f, b);
   });
+  router_->RegisterDirectType(
+      kMsgPutBatch,
+      [this](const NetAddress& f, std::string_view b) { HandlePutBatch(f, b); });
   router_->RegisterDirectType(kMsgGetReq, [this](const NetAddress& f, std::string_view b) {
     HandleGetReq(f, b);
   });
@@ -54,38 +58,55 @@ Dht::~Dht() {
 // Wire helpers
 // ---------------------------------------------------------------------------
 
+void Dht::EncodeObjectTo(WireWriter* w, const ObjectName& name, TimeUs lifetime,
+                         std::string_view value) {
+  w->PutBytes(name.ns);
+  w->PutBytes(name.key);
+  w->PutBytes(name.suffix);
+  w->PutU64(static_cast<uint64_t>(lifetime));
+  w->PutBytes(value);
+}
+
 std::string Dht::EncodeObject(const ObjectName& name, TimeUs lifetime,
                               std::string_view value) {
   WireWriter w;
-  w.PutBytes(name.ns);
-  w.PutBytes(name.key);
-  w.PutBytes(name.suffix);
-  w.PutU64(static_cast<uint64_t>(lifetime));
-  w.PutBytes(value);
+  EncodeObjectTo(&w, name, lifetime, value);
   return std::move(w).data();
+}
+
+Status Dht::DecodeObjectFrom(WireReader* r, WireObjectView* out) {
+  uint64_t lifetime;
+  PIER_RETURN_IF_ERROR(r->GetBytes(&out->ns));
+  PIER_RETURN_IF_ERROR(r->GetBytes(&out->key));
+  PIER_RETURN_IF_ERROR(r->GetBytes(&out->suffix));
+  PIER_RETURN_IF_ERROR(r->GetU64(&lifetime));
+  PIER_RETURN_IF_ERROR(r->GetBytes(&out->value));
+  out->lifetime = static_cast<TimeUs>(lifetime);
+  return Status::Ok();
 }
 
 Result<Dht::WireObject> Dht::DecodeObject(std::string_view wire) {
   WireReader r(wire);
+  WireObjectView v;
+  PIER_RETURN_IF_ERROR(DecodeObjectFrom(&r, &v));
   WireObject obj;
-  std::string_view ns, key, suffix, value;
-  uint64_t lifetime;
-  PIER_RETURN_IF_ERROR(r.GetBytes(&ns));
-  PIER_RETURN_IF_ERROR(r.GetBytes(&key));
-  PIER_RETURN_IF_ERROR(r.GetBytes(&suffix));
-  PIER_RETURN_IF_ERROR(r.GetU64(&lifetime));
-  PIER_RETURN_IF_ERROR(r.GetBytes(&value));
-  obj.name.ns = std::string(ns);
-  obj.name.key = std::string(key);
-  obj.name.suffix = std::string(suffix);
-  obj.lifetime = static_cast<TimeUs>(lifetime);
-  obj.value = std::string(value);
+  obj.name.ns = std::string(v.ns);
+  obj.name.key = std::string(v.key);
+  obj.name.suffix = std::string(v.suffix);
+  obj.lifetime = v.lifetime;
+  obj.value = std::string(v.value);
   return obj;
 }
 
-void Dht::StoreObject(const ObjectName& name, std::string value, TimeUs lifetime) {
+void Dht::StoreObject(ObjectName name, std::string value, TimeUs lifetime) {
   stats_.store_requests++;
-  objects_->Put(name, std::move(value), EffectiveLifetime(lifetime));
+  objects_->Put(std::move(name), std::move(value), EffectiveLifetime(lifetime));
+}
+
+void Dht::StoreFromView(const WireObjectView& v) {
+  StoreObject(ObjectName{std::string(v.ns), std::string(v.key),
+                         std::string(v.suffix)},
+              std::string(v.value), v.lifetime);
 }
 
 // ---------------------------------------------------------------------------
@@ -93,24 +114,132 @@ void Dht::StoreObject(const ObjectName& name, std::string value, TimeUs lifetime
 // ---------------------------------------------------------------------------
 
 void Dht::Put(const std::string& ns, const std::string& key, const std::string& suffix,
-              std::string value, TimeUs lifetime, DoneCallback done) {
+              std::string&& value, TimeUs lifetime, DoneCallback done) {
   stats_.puts++;
   ObjectName name{ns, key, suffix};
   Id target = name.routing_id();
-  std::string wire = EncodeObject(name, lifetime, value);
-  router_->Lookup(target, [this, wire = std::move(wire), done = std::move(done)](
+  // The complete kMsgPut frame is built exactly once, here; the lookup
+  // callback moves it straight down to the transport (no re-framing copy).
+  WireWriter w = OverlayRouter::FrameMessage(kMsgPut);
+  EncodeObjectTo(&w, name, lifetime, value);
+  router_->Lookup(target, [this, wire = std::move(w).data(),
+                           done = std::move(done)](
                               const Result<NetAddress>& owner, Id) mutable {
     if (!owner.ok()) {
       if (done) done(owner.status());
       return;
     }
-    WireWriter w;
-    w.PutRaw(wire);
-    router_->SendDirect(owner.value(), kMsgPut, std::move(w).data(),
+    router_->SendFramed(owner.value(), std::move(wire),
                         [done = std::move(done)](const Status& s) {
                           if (done) done(s);
                         });
   });
+}
+
+void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
+  if (items.empty()) {
+    if (done) done(Status::Ok());
+    return;
+  }
+  stats_.puts += items.size();
+
+  // Group the batch by routing id first — entries sharing a (ns, key) share
+  // an owner and need only one Lookup between them; order inside each group
+  // follows batch order.
+  auto batch = std::make_shared<std::vector<DhtPutItem>>(std::move(items));
+  std::map<Id, std::vector<size_t>> by_id;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    by_id[ObjectName{(*batch)[i].ns, (*batch)[i].key, (*batch)[i].suffix}
+              .routing_id()]
+        .push_back(i);
+  }
+
+  // Shared completion state: the owners arrive asynchronously, one Lookup
+  // per distinct id; once all resolved, one wire message goes to each
+  // distinct destination.
+  struct BatchState {
+    std::map<NetAddress, std::vector<size_t>> by_owner;
+    size_t pending_lookups = 0;
+    size_t pending_sends = 0;
+    Status first_error = Status::Ok();
+    DoneCallback done;
+
+    void NoteError(const Status& s) {
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+    void FinishIfIdle() {
+      if (pending_lookups > 0 || pending_sends > 0) return;
+      if (done) {
+        DoneCallback cb = std::move(done);
+        done = nullptr;
+        cb(first_error);
+      }
+    }
+  };
+  auto st = std::make_shared<BatchState>();
+  st->pending_lookups = by_id.size();
+  st->done = std::move(done);
+
+  auto ship = [this, st, batch]() {
+    // All lookups resolved: one message per destination (chunked at the
+    // frame cap the receiver enforces). All sends are registered before the
+    // first one goes out, so a synchronously-failing send cannot complete
+    // the batch while later chunks are still unsent.
+    std::map<NetAddress, std::vector<size_t>> groups;
+    groups.swap(st->by_owner);
+    struct Frame {
+      NetAddress owner;
+      std::string wire;
+    };
+    std::vector<Frame> frames;
+    for (auto& [owner, indices] : groups) {
+      for (size_t start = 0; start < indices.size();
+           start += kMaxBatchEntriesPerFrame) {
+        size_t n = std::min(kMaxBatchEntriesPerFrame, indices.size() - start);
+        WireWriter w;
+        if (n == 1) {
+          // Singleton group: the plain put frame, byte-identical to Put().
+          const DhtPutItem& it = (*batch)[indices[start]];
+          w = OverlayRouter::FrameMessage(kMsgPut);
+          EncodeObjectTo(&w, ObjectName{it.ns, it.key, it.suffix}, it.lifetime,
+                         it.value);
+        } else {
+          w = OverlayRouter::FrameMessage(kMsgPutBatch);
+          w.PutVarint(n);
+          for (size_t j = start; j < start + n; ++j) {
+            const DhtPutItem& it = (*batch)[indices[j]];
+            EncodeObjectTo(&w, ObjectName{it.ns, it.key, it.suffix},
+                           it.lifetime, it.value);
+          }
+          stats_.batched_puts += n;
+          stats_.batch_msgs++;
+        }
+        frames.push_back(Frame{owner, std::move(w).data()});
+      }
+    }
+    st->pending_sends = frames.size();
+    for (Frame& f : frames) {
+      router_->SendFramed(f.owner, std::move(f.wire), [st](const Status& s) {
+        st->NoteError(s);
+        st->pending_sends--;
+        st->FinishIfIdle();
+      });
+    }
+    st->FinishIfIdle();
+  };
+
+  for (auto& [id, indices] : by_id) {
+    router_->Lookup(id, [st, ship, indices = indices](
+                            const Result<NetAddress>& owner, Id) {
+      if (owner.ok()) {
+        std::vector<size_t>& group = st->by_owner[owner.value()];
+        group.insert(group.end(), indices.begin(), indices.end());
+      } else {
+        st->NoteError(owner.status());
+      }
+      if (--st->pending_lookups == 0) ship();
+    });
+  }
 }
 
 void Dht::Send(const std::string& ns, const std::string& key,
@@ -239,16 +368,34 @@ void Dht::HandleRoutedDelivery(const RouteInfo& info, std::string_view payload) 
   // A routed Send reached the responsible node: store like a put.
   stats_.routed_deliveries++;
   stats_.routed_delivery_hops += info.hops;
-  auto obj = DecodeObject(payload);
-  if (!obj.ok()) return;  // malformed: drop
-  StoreObject(obj->name, std::move(obj->value), obj->lifetime);
+  WireReader r(payload);
+  WireObjectView v;
+  if (!DecodeObjectFrom(&r, &v).ok()) return;  // malformed: drop
+  StoreFromView(v);
 }
 
 void Dht::HandlePut(const NetAddress& from, std::string_view body) {
   (void)from;
-  auto obj = DecodeObject(body);
-  if (!obj.ok()) return;
-  StoreObject(obj->name, std::move(obj->value), obj->lifetime);
+  WireReader r(body);
+  WireObjectView v;
+  if (!DecodeObjectFrom(&r, &v).ok()) return;
+  StoreFromView(v);
+}
+
+void Dht::HandlePutBatch(const NetAddress& from, std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t count;
+  if (!r.GetVarint(&count).ok()) return;
+  if (count > kMaxBatchEntriesPerFrame) return;  // malformed: drop
+  // Entries alias the receive buffer; the only copies are the ones the
+  // store itself must own. A malformed tail drops the rest of the batch,
+  // never what already decoded (best-effort, like every other handler).
+  for (uint64_t i = 0; i < count; ++i) {
+    WireObjectView v;
+    if (!DecodeObjectFrom(&r, &v).ok()) return;
+    StoreFromView(v);
+  }
 }
 
 void Dht::HandleGetReq(const NetAddress& from, std::string_view body) {

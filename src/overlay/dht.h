@@ -34,6 +34,15 @@ struct DhtItem {
   std::string value;
 };
 
+/// One entry of a PutBatch: the same fields a Put call takes.
+struct DhtPutItem {
+  std::string ns;
+  std::string key;
+  std::string suffix;
+  std::string value;
+  TimeUs lifetime = 0;
+};
+
 class Dht {
  public:
   struct Options {
@@ -66,12 +75,24 @@ class Dht {
   void Get(const std::string& ns, const std::string& key, GetCallback cb);
 
   /// put(namespace, key, suffix, object, lifetime): two-phase store at the
-  /// responsible node.
+  /// responsible node. The payload is moved down the wire path unchanged —
+  /// pass an rvalue (std::move an owned buffer or hand over a temporary).
   void Put(const std::string& ns, const std::string& key, const std::string& suffix,
-           std::string value, TimeUs lifetime, DoneCallback done = nullptr);
+           std::string&& value, TimeUs lifetime, DoneCallback done = nullptr);
+
+  /// Batched put: the batch is grouped by responsible node (one Lookup per
+  /// distinct routing id, one wire message per destination — a multi-object
+  /// kMsgPutBatch frame, or a plain kMsgPut when a destination gets exactly
+  /// one object, keeping the unbatched wire format byte-identical). Entry
+  /// order is preserved within each destination, so objects sharing a
+  /// (ns, key) arrive in batch order. `done` (may be null) fires once after
+  /// every group's delivery resolved, with the first error if any failed.
+  void PutBatch(std::vector<DhtPutItem> items, DoneCallback done = nullptr);
 
   /// send(...): like put, but routed hop-by-hop through the overlay so
-  /// intermediate nodes receive upcalls (§3.2.4, Figure 6).
+  /// intermediate nodes receive upcalls (§3.2.4, Figure 6). The payload is
+  /// copied once into the routed frame (upcall handlers may mutate it en
+  /// route, so hop framing cannot alias the caller's buffer).
   void Send(const std::string& ns, const std::string& key, const std::string& suffix,
             std::string value, TimeUs lifetime);
 
@@ -117,6 +138,11 @@ class Dht {
   };
   static std::string EncodeObject(const ObjectName& name, TimeUs lifetime,
                                   std::string_view value);
+  /// Append the object encoding to an existing writer (copy-free framing:
+  /// the caller seeds the writer with its message type byte and the payload
+  /// is written exactly once).
+  static void EncodeObjectTo(WireWriter* w, const ObjectName& name,
+                             TimeUs lifetime, std::string_view value);
   static Result<WireObject> DecodeObject(std::string_view wire);
 
   // --- Introspection ------------------------------------------------------------
@@ -135,8 +161,15 @@ class Dht {
     uint64_t store_requests = 0;  // objects stored on behalf of others
     uint64_t routed_deliveries = 0;  // Send objects that reached this owner
     uint64_t routed_delivery_hops = 0;  // cumulative hop count of the above
+    uint64_t batched_puts = 0;  // objects that rode a multi-object PutBatch frame
+    uint64_t batch_msgs = 0;    // kMsgPutBatch frames sent
+    uint64_t coalesced_msgs = 0;  // mirror of the router's bundle-rider count
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s = stats_;
+    s.coalesced_msgs = router_->stats().coalesced_msgs;
+    return s;
+  }
 
  private:
   // Direct message types (>= 16; below that is the router's).
@@ -145,14 +178,34 @@ class Dht {
   static constexpr uint8_t kMsgGetResp = 18;
   static constexpr uint8_t kMsgRenewReq = 19;
   static constexpr uint8_t kMsgRenewResp = 20;
+  static constexpr uint8_t kMsgPutBatch = 21;
+  /// Largest entry count either side of the wire accepts in one
+  /// kMsgPutBatch frame: the sender chunks bigger groups, the receiver
+  /// drops frames past it as malformed.
+  static constexpr size_t kMaxBatchEntriesPerFrame = 4096;
+
+  /// A decoded object whose fields alias the receive buffer (no copies until
+  /// the store itself). Used by the put/batch handlers.
+  struct WireObjectView {
+    std::string_view ns;
+    std::string_view key;
+    std::string_view suffix;
+    std::string_view value;
+    TimeUs lifetime = 0;
+  };
+  static Status DecodeObjectFrom(WireReader* r, WireObjectView* out);
 
   void HandlePut(const NetAddress& from, std::string_view body);
+  void HandlePutBatch(const NetAddress& from, std::string_view body);
   void HandleGetReq(const NetAddress& from, std::string_view body);
   void HandleGetResp(const NetAddress& from, std::string_view body);
   void HandleRenewReq(const NetAddress& from, std::string_view body);
   void HandleRenewResp(const NetAddress& from, std::string_view body);
   void HandleRoutedDelivery(const RouteInfo& info, std::string_view payload);
-  void StoreObject(const ObjectName& name, std::string value, TimeUs lifetime);
+  void StoreObject(ObjectName name, std::string value, TimeUs lifetime);
+  /// Copy a decoded view's fields out of the receive buffer into the store
+  /// (the one unavoidable copy of the receive path).
+  void StoreFromView(const WireObjectView& v);
   TimeUs EffectiveLifetime(TimeUs lifetime) const {
     return lifetime > 0 ? lifetime : options_.default_lifetime;
   }

@@ -21,7 +21,12 @@ OverlayRouter::OverlayRouter(Vri* vri, Options options)
   protocol_ = MakeRoutingProtocol(options_.protocol, this);
 }
 
-OverlayRouter::~OverlayRouter() = default;
+OverlayRouter::~OverlayRouter() {
+  // Buffered coalesced messages go to the transport like their unbuffered
+  // counterparts would have (those would already be in flight by now);
+  // dropping them here would also drop their delivery callbacks unfired.
+  FlushCoalesced();
+}
 
 void OverlayRouter::Join(const NetAddress& bootstrap) { protocol_->Start(bootstrap); }
 
@@ -42,7 +47,12 @@ void OverlayRouter::SendDirect(const NetAddress& to, uint8_t type,
   WireWriter w;
   w.PutU8(type);
   w.PutRaw(payload);
-  transport_->Send(to, std::move(w).data(), std::move(on_delivery));
+  TransportSend(to, std::move(w).data(), std::move(on_delivery));
+}
+
+void OverlayRouter::SendFramed(const NetAddress& to, std::string framed,
+                               std::function<void(const Status&)> on_delivery) {
+  TransportSend(to, std::move(framed), std::move(on_delivery));
 }
 
 void OverlayRouter::SendProtocolMessage(
@@ -51,7 +61,83 @@ void OverlayRouter::SendProtocolMessage(
   WireWriter w;
   w.PutU8(kMsgProto);
   w.PutRaw(payload);
+  TransportSend(to, std::move(w).data(), std::move(on_delivery));
+}
+
+// ---------------------------------------------------------------------------
+// Outbound choke point: per-destination coalescing
+// ---------------------------------------------------------------------------
+
+void OverlayRouter::TransportSend(const NetAddress& to, std::string wire,
+                                  std::function<void(const Status&)> on_delivery) {
+  if (options_.coalesce_window_us <= 0) {
+    transport_->Send(to, std::move(wire), std::move(on_delivery));
+    return;
+  }
+  CoalesceBuffer& buf = coalesce_[to];
+  buf.bytes += wire.size();
+  buf.msgs.push_back(std::move(wire));
+  if (on_delivery) buf.callbacks.push_back(std::move(on_delivery));
+  if (buf.bytes >= options_.coalesce_max_bytes) {
+    FlushCoalesceBuffer(to);
+    return;
+  }
+  if (buf.timer == 0) {
+    buf.timer = vri_->ScheduleEvent(options_.coalesce_window_us, [this, to]() {
+      // This timer just fired; zero the token so the flush does not cancel
+      // an already-executed event (which would pin it in the loop's
+      // cancelled set forever).
+      auto bit = coalesce_.find(to);
+      if (bit != coalesce_.end()) bit->second.timer = 0;
+      FlushCoalesceBuffer(to);
+    });
+  }
+}
+
+void OverlayRouter::FlushCoalesceBuffer(const NetAddress& to) {
+  auto it = coalesce_.find(to);
+  if (it == coalesce_.end()) return;
+  // Steal the buffer first: the transport's delivery callback (or a failure
+  // path running synchronously) may send more messages to the same peer.
+  CoalesceBuffer buf = std::move(it->second);
+  coalesce_.erase(it);
+  if (buf.timer != 0) vri_->CancelEvent(buf.timer);
+  if (buf.msgs.empty()) return;
+
+  // One aggregated delivery report: every message in the bundle shares the
+  // wire message's fate.
+  std::function<void(const Status&)> on_delivery;
+  if (!buf.callbacks.empty()) {
+    auto cbs = std::make_shared<std::vector<std::function<void(const Status&)>>>(
+        std::move(buf.callbacks));
+    on_delivery = [cbs](const Status& s) {
+      for (auto& cb : *cbs) cb(s);
+    };
+  }
+
+  if (buf.msgs.size() == 1) {
+    // A lone message goes out exactly as it would have without the buffer.
+    transport_->Send(to, std::move(buf.msgs[0]), std::move(on_delivery));
+    return;
+  }
+  WireWriter w;
+  w.PutU8(kMsgBundle);
+  w.PutVarint(buf.msgs.size());
+  for (const std::string& m : buf.msgs) w.PutBytes(m);
+  stats_.coalesced_msgs += buf.msgs.size();
+  stats_.bundles_sent++;
   transport_->Send(to, std::move(w).data(), std::move(on_delivery));
+}
+
+void OverlayRouter::FlushCoalesced() {
+  // Collect keys first: flushing mutates the map.
+  std::vector<NetAddress> targets;
+  targets.reserve(coalesce_.size());
+  for (const auto& [to, buf] : coalesce_) {
+    (void)buf;
+    targets.push_back(to);
+  }
+  for (const NetAddress& to : targets) FlushCoalesceBuffer(to);
 }
 
 std::string OverlayRouter::EncodeRoute(const RouteInfo& info,
@@ -91,17 +177,17 @@ void OverlayRouter::ForwardRoute(RouteInfo info, std::string payload,
     return;
   }
   std::string wire = EncodeRoute(info, payload);
-  transport_->Send(next, std::move(wire),
-                   [this, next, info = std::move(info),
-                    payload = std::move(payload), attempts](const Status& s) mutable {
-                     if (s.ok()) return;
-                     protocol_->OnPeerUnreachable(next);
-                     if (attempts + 1 >= options_.route_retry_limit) {
-                       stats_.route_dead_ends++;
-                       return;
-                     }
-                     ForwardRoute(std::move(info), std::move(payload), attempts + 1);
-                   });
+  TransportSend(next, std::move(wire),
+                [this, next, info = std::move(info),
+                 payload = std::move(payload), attempts](const Status& s) mutable {
+                  if (s.ok()) return;
+                  protocol_->OnPeerUnreachable(next);
+                  if (attempts + 1 >= options_.route_retry_limit) {
+                    stats_.route_dead_ends++;
+                    return;
+                  }
+                  ForwardRoute(std::move(info), std::move(payload), attempts + 1);
+                });
 }
 
 void OverlayRouter::Deliver(const RouteInfo& info, std::string_view payload) {
@@ -129,6 +215,9 @@ void OverlayRouter::HandleMessage(const NetAddress& from, std::string_view paylo
     case kMsgRoute:
       HandleRoute(from, body);
       return;
+    case kMsgBundle:
+      HandleBundle(from, body);
+      return;
     case kMsgLookupReq:
       HandleLookupReq(from, body);
       return;
@@ -141,6 +230,25 @@ void OverlayRouter::HandleMessage(const NetAddress& from, std::string_view paylo
       return;
     }
   }
+}
+
+void OverlayRouter::HandleBundle(const NetAddress& from, std::string_view body) {
+  // A coalesced frame: N complete messages, each handled as if it had
+  // arrived alone. The parts alias the receive buffer — no per-part copy.
+  // The sender never nests bundles; a crafted deep nesting must not recurse
+  // the stack away (readers are defensive, §3.3.4).
+  if (bundle_depth_ >= 2) return;
+  bundle_depth_++;
+  WireReader r(body);
+  uint64_t count;
+  if (r.GetVarint(&count).ok() && count <= 100000) {
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string_view part;
+      if (!r.GetBytes(&part).ok()) break;
+      HandleMessage(from, part);
+    }
+  }
+  bundle_depth_--;
 }
 
 void OverlayRouter::HandleRoute(const NetAddress& from, std::string_view body) {
@@ -246,7 +354,7 @@ void OverlayRouter::HandleLookupReq(const NetAddress& from, std::string_view bod
   w.PutU64(local_id_);
   w.PutU32(local_address_.host);
   w.PutU16(local_address_.port);
-  transport_->Send(NetAddress{host, port}, std::move(w).data(), nullptr);
+  TransportSend(NetAddress{host, port}, std::move(w).data(), nullptr);
 }
 
 void OverlayRouter::HandleLookupResp(std::string_view body) {

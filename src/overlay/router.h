@@ -23,6 +23,7 @@
 #include "overlay/routing_protocol.h"
 #include "runtime/udpcc.h"
 #include "runtime/vri.h"
+#include "util/wire.h"
 
 namespace pier {
 
@@ -52,6 +53,14 @@ class OverlayRouter : public ProtocolHost {
     TimeUs lookup_timeout = 5 * kSecond;
     int route_retry_limit = 3;
     uint64_t id_salt = 0;  // lets tests control id placement
+    /// Per-destination send coalescing: messages bound for the same next hop
+    /// emitted within this window ride one framed wire message (unframed
+    /// transparently on receipt). 0 disables coalescing entirely — every
+    /// message goes out exactly as it would have before the buffer existed.
+    TimeUs coalesce_window_us = 0;
+    /// A pending coalescing buffer past this size flushes immediately rather
+    /// than waiting out the window (keeps bundles bounded).
+    size_t coalesce_max_bytes = 48 * 1024;
   };
 
   OverlayRouter(Vri* vri, Options options);
@@ -106,6 +115,23 @@ class OverlayRouter : public ProtocolHost {
   void SendDirect(const NetAddress& to, uint8_t type, std::string payload,
                   std::function<void(const Status&)> on_delivery = nullptr);
 
+  /// Copy-free variant: `framed` is the complete wire message, type byte
+  /// first (start from FrameMessage and append the body). The buffer moves
+  /// straight down to the transport with no re-framing copy.
+  void SendFramed(const NetAddress& to, std::string framed,
+                  std::function<void(const Status&)> on_delivery = nullptr);
+
+  /// A writer pre-seeded with the message type byte, for SendFramed.
+  static WireWriter FrameMessage(uint8_t type) {
+    WireWriter w;
+    w.PutU8(type);
+    return w;
+  }
+
+  /// Send everything sitting in the coalescing buffers now (timers pending
+  /// for those destinations are cancelled). No-op with coalescing off.
+  void FlushCoalesced();
+
   // --- Introspection ---------------------------------------------------------
 
   RoutingProtocol* protocol() { return protocol_.get(); }
@@ -119,6 +145,8 @@ class OverlayRouter : public ProtocolHost {
     uint64_t lookups_ok = 0;
     uint64_t lookups_failed = 0;
     uint64_t route_dead_ends = 0;
+    uint64_t coalesced_msgs = 0;  // messages that rode a multi-message bundle
+    uint64_t bundles_sent = 0;    // bundle frames actually transmitted
   };
   const Stats& stats() const { return stats_; }
   UdpCc* transport() { return transport_.get(); }
@@ -136,14 +164,21 @@ class OverlayRouter : public ProtocolHost {
   static constexpr uint8_t kMsgRoute = 2;
   static constexpr uint8_t kMsgLookupReq = 3;
   static constexpr uint8_t kMsgLookupResp = 4;
+  static constexpr uint8_t kMsgBundle = 5;  // coalesced frame of N messages
 
   void HandleMessage(const NetAddress& from, std::string_view payload);
   void HandleRoute(const NetAddress& from, std::string_view body);
+  void HandleBundle(const NetAddress& from, std::string_view body);
   void HandleLookupReq(const NetAddress& from, std::string_view body);
   void HandleLookupResp(std::string_view body);
   void ForwardRoute(RouteInfo info, std::string payload, int attempts);
   void Deliver(const RouteInfo& info, std::string_view payload);
   std::string EncodeRoute(const RouteInfo& info, std::string_view payload);
+  /// The single choke point every outbound wire message passes through;
+  /// applies the coalescing buffer when enabled, else sends directly.
+  void TransportSend(const NetAddress& to, std::string wire,
+                     std::function<void(const Status&)> on_delivery);
+  void FlushCoalesceBuffer(const NetAddress& to);
 
   Vri* vri_;
   Options options_;
@@ -161,6 +196,18 @@ class OverlayRouter : public ProtocolHost {
   };
   std::unordered_map<uint64_t, PendingLookup> pending_lookups_;
   uint64_t next_lookup_id_ = 1;
+
+  /// One destination's coalescing buffer: messages waiting for the window
+  /// timer (or the byte cap) to flush them as one bundle.
+  struct CoalesceBuffer {
+    std::vector<std::string> msgs;
+    std::vector<std::function<void(const Status&)>> callbacks;  // non-null only
+    size_t bytes = 0;
+    uint64_t timer = 0;
+  };
+  std::map<NetAddress, CoalesceBuffer> coalesce_;
+  /// Re-entrancy depth of HandleBundle (bundles never legitimately nest).
+  int bundle_depth_ = 0;
 
   Stats stats_;
 };

@@ -149,7 +149,13 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
     cx.proxy = meta.proxy;
     cx.continuous = meta.continuous;
     cx.window = meta.window;
-    cx.query_lifetime = meta.timeout;
+    // Soft state published by operators should drain with the query: under
+    // an absolute deadline the remaining lifetime shrinks the later this
+    // node joins the query's execution.
+    cx.query_lifetime =
+        meta.deadline_us > 0
+            ? std::max<TimeUs>(kMillisecond, meta.deadline_us - vri_->Now())
+            : meta.timeout;
     uint64_t qid = meta.query_id;
     NetAddress proxy = meta.proxy;
     cx.emit_result = [this, qid, proxy](const Tuple& t) {
@@ -175,8 +181,14 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
 
 void QueryExecutor::ArmQueryTimers(RunningQuery* rq) {
   uint64_t qid = rq->meta.query_id;
-  rq->close_timer =
-      vri_->ScheduleEvent(rq->meta.timeout, [this, qid]() { DoStop(qid); });
+  // Plans stamped with an absolute deadline close at that instant, however
+  // late this node first saw the query (a swapped-in later generation must
+  // not run a full timeout past everyone else's close). Unstamped plans
+  // keep the paper's relative-timeout contract.
+  TimeUs delay = rq->meta.timeout;
+  if (rq->meta.deadline_us > 0)
+    delay = std::max<TimeUs>(0, rq->meta.deadline_us - vri_->Now());
+  rq->close_timer = vri_->ScheduleEvent(delay, [this, qid]() { DoStop(qid); });
   if (rq->meta.continuous) ArmWindowTimer(rq);
 }
 

@@ -152,6 +152,7 @@ Status QueryPlan::Validate() const {
     PIER_RETURN_IF_ERROR(g.Validate());
   }
   if (timeout <= 0) return Status::InvalidArgument("non-positive timeout");
+  if (deadline_us < 0) return Status::InvalidArgument("negative deadline");
   if (window < 0) return Status::InvalidArgument("negative window");
   return Status::Ok();
 }
@@ -161,6 +162,7 @@ void QueryPlan::EncodeTo(WireWriter* w) const {
   w->PutU32(proxy.host);
   w->PutU16(proxy.port);
   w->PutI64(timeout);
+  w->PutI64(deadline_us);
   w->PutU8(continuous ? 1 : 0);
   w->PutI64(flush_after);
   w->PutI64(window);
@@ -207,6 +209,7 @@ Result<QueryPlan> QueryPlan::Decode(std::string_view wire) {
   PIER_RETURN_IF_ERROR(r.GetU32(&plan.proxy.host));
   PIER_RETURN_IF_ERROR(r.GetU16(&plan.proxy.port));
   PIER_RETURN_IF_ERROR(r.GetI64(&plan.timeout));
+  PIER_RETURN_IF_ERROR(r.GetI64(&plan.deadline_us));
   uint8_t cont;
   PIER_RETURN_IF_ERROR(r.GetU8(&cont));
   plan.continuous = cont != 0;
@@ -271,7 +274,11 @@ Result<QueryPlan> QueryPlan::Decode(std::string_view wire) {
 std::string QueryPlan::ToString() const {
   std::string s = "query " + std::to_string(query_id) +
                   (continuous ? " (continuous)" : " (snapshot)") +
-                  " timeout=" + std::to_string(timeout / kMillisecond) + "ms\n";
+                  " timeout=" + std::to_string(timeout / kMillisecond) + "ms" +
+                  (deadline_us > 0
+                       ? " deadline_us=" + std::to_string(deadline_us)
+                       : "") +
+                  "\n";
   for (const OpGraph& g : graphs) {
     s += "  graph " + std::to_string(g.id) + " [";
     switch (g.dissem) {

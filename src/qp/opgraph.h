@@ -132,6 +132,13 @@ struct QueryPlan {
   NetAddress proxy;
   /// Every opgraph stops executing when the timeout expires (§3.3.2).
   TimeUs timeout = 30 * kSecond;
+  /// Absolute end of the query's lifetime (proxy clock, microseconds),
+  /// stamped by SubmitQuery as now + timeout and carried through every
+  /// re-dissemination. 0 = unset (hand-built plans run the relative timeout
+  /// from wherever they land). The executor arms its close timer from this
+  /// when present, so a node whose FIRST sight of the query is a later
+  /// generation does not restart the full timeout from swap time.
+  TimeUs deadline_us = 0;
   /// Snapshot queries flush blocking state once at `flush_after`; continuous
   /// queries flush every `window` until the timeout. window 0 on a continuous
   /// plan means "no WINDOW clause": the executor substitutes a sane default.

@@ -68,6 +68,41 @@ void QueryProcessor::PublishSecondary(const std::string& index_table,
   Publish(index_table, {index_attr}, entry, lifetime);
 }
 
+size_t QueryProcessor::MakePublishItem(const std::string& table,
+                                       const std::vector<std::string>& key_attrs,
+                                       const Tuple& t, TimeUs lifetime,
+                                       std::vector<DhtPutItem>* items) {
+  if (lifetime <= 0) lifetime = options_.publish_lifetime;
+  DhtPutItem item;
+  item.ns = table;
+  item.key = t.PartitionKey(key_attrs);
+  item.suffix = std::to_string(next_suffix_++) + "@" +
+                std::to_string(dht_->local_address().host);
+  item.value = t.Encode();
+  item.lifetime = lifetime;
+  size_t bytes = item.value.size();
+  items->push_back(std::move(item));
+  return bytes;
+}
+
+void QueryProcessor::MakeSecondaryItem(
+    const std::string& index_table, const std::string& index_attr,
+    const std::string& base_table,
+    const std::vector<std::string>& base_key_attrs, const Tuple& t,
+    TimeUs lifetime, std::vector<DhtPutItem>* items) {
+  const Value* v = t.Get(index_attr);
+  if (v == nullptr) return;  // nothing to index
+  Tuple entry(index_table);
+  entry.Append(index_attr, *v);
+  entry.Append("base_table", Value::String(base_table));
+  entry.Append("base_key", Value::String(t.PartitionKey(base_key_attrs)));
+  MakePublishItem(index_table, {index_attr}, entry, lifetime, items);
+}
+
+void QueryProcessor::PublishBatch(std::vector<DhtPutItem> items) {
+  dht_->PutBatch(std::move(items));
+}
+
 Pht* QueryProcessor::PhtFor(const std::string& table, int key_bits) {
   std::string id = table + "/" + std::to_string(key_bits);
   auto it = phts_.find(id);
@@ -115,6 +150,11 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
     if (plan.query_id == 0) plan.query_id = 1;
   }
   plan.proxy = dht_->local_address();
+  // Fix the query's end as an absolute instant: every re-dissemination (plan
+  // swaps above all) carries it, so a node that first sees a later
+  // generation arms a close timer for the REMAINING lifetime, not a fresh
+  // full timeout (§3.3.2's "timeout specified in the query", made absolute).
+  if (plan.deadline_us == 0) plan.deadline_us = vri_->Now() + plan.timeout;
   PIER_RETURN_IF_ERROR(plan.Validate());
   PIER_RETURN_IF_ERROR(CheckTablesKnown(plan));
   stats_.queries_submitted++;
@@ -179,8 +219,10 @@ Status QueryProcessor::SwapQuery(uint64_t query_id, QueryPlan new_plan) {
   // A swap replaces the opgraphs, not the window policy: a recompiled plan
   // carries the query text's original window, and disseminating that would
   // silently undo an earlier Rewindow. Window changes go through
-  // RewindowQuery only.
+  // RewindowQuery only. The lifetime likewise stays fixed at submission:
+  // the original absolute deadline rides every generation.
   new_plan.window = current.window;
+  new_plan.deadline_us = current.deadline_us;
   PIER_RETURN_IF_ERROR(new_plan.Validate());
   PIER_RETURN_IF_ERROR(CheckTablesKnown(new_plan));
   current = new_plan;
@@ -339,10 +381,12 @@ void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
     return;
   }
   stats_.answers_forwarded++;
-  WireWriter w;
+  // Framed once, moved down: answer tuples are the hottest steady-state
+  // message of a running query (no re-framing copy in SendDirect).
+  WireWriter w = OverlayRouter::FrameMessage(kMsgAnswer);
   w.PutU64(query_id);
   t.EncodeTo(&w);
-  dht_->router()->SendDirect(proxy, kMsgAnswer, std::move(w).data());
+  dht_->router()->SendFramed(proxy, std::move(w).data());
 }
 
 void QueryProcessor::HandleAnswerMsg(const NetAddress& from,

@@ -58,6 +58,31 @@ class QueryProcessor {
                         const std::vector<std::string>& base_key_attrs,
                         const Tuple& t, TimeUs lifetime = 0);
 
+  // --- Batched publishing ------------------------------------------------------
+  // Build-then-ship: the client accumulates every index fan-out of a whole
+  // tuple batch (primary rows AND secondary entries) into one item list,
+  // then PublishBatch ships it as a single DHT batch — one Lookup per
+  // distinct key, one wire message per destination owner.
+
+  /// Append the primary-index put for `t` to `items` without sending.
+  /// Returns the encoded tuple size (statistics accrual reuses it).
+  size_t MakePublishItem(const std::string& table,
+                         const std::vector<std::string>& key_attrs,
+                         const Tuple& t, TimeUs lifetime,
+                         std::vector<DhtPutItem>* items);
+
+  /// Append a secondary-index entry for `t` to `items`; a tuple without the
+  /// indexed attribute contributes nothing (sparse indexes).
+  void MakeSecondaryItem(const std::string& index_table,
+                         const std::string& index_attr,
+                         const std::string& base_table,
+                         const std::vector<std::string>& base_key_attrs,
+                         const Tuple& t, TimeUs lifetime,
+                         std::vector<DhtPutItem>* items);
+
+  /// Ship pre-built items as one DHT batch.
+  void PublishBatch(std::vector<DhtPutItem> items);
+
   /// Publish into a PHT range index keyed by integer column `key_attr`.
   /// lifetime 0 uses the default.
   void PublishRange(const std::string& pht_table, const std::string& key_attr,

@@ -1,6 +1,7 @@
 #include "qp/ufl.h"
 
 #include <cctype>
+#include <cerrno>
 #include <map>
 
 namespace pier {
@@ -177,6 +178,16 @@ class UflParser {
         PIER_RETURN_IF_ERROR(ParamValue(&value));
         if (key == "timeout") {
           PIER_ASSIGN_OR_RETURN(plan_.timeout, Duration(value));
+        } else if (key == "deadline_us") {
+          // Absolute end of life in raw microseconds (no unit suffix: this
+          // is an instant, not a duration). Normally stamped by SubmitQuery;
+          // exposed here so serialized plans round-trip through UFL.
+          char* end = nullptr;
+          errno = 0;
+          long long n = std::strtoll(value.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0' || n < 0 || errno == ERANGE)
+            return Err("bad deadline_us '" + value + "'");
+          plan_.deadline_us = n;
         } else if (key == "window") {
           PIER_ASSIGN_OR_RETURN(plan_.window, Duration(value));
         } else if (key == "flush_after") {

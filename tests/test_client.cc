@@ -473,6 +473,168 @@ TEST(QueryHandleTest, CancelFromInsideOnTupleIgnoresLaterAnswers) {
       << "a done handle ignores late answers entirely";
 }
 
+// ---------------------------------------------------------------------------
+// Batched publishing (PublishBatch + auto-batching)
+// ---------------------------------------------------------------------------
+
+/// Objects of `ns` stored across the whole network (background maintenance
+/// traffic — tree joins etc. — stores objects too, so per-namespace counts
+/// are the only stable assertion base).
+uint64_t StoredObjects(SimPier* net, const std::string& ns) {
+  uint64_t n = 0;
+  for (uint32_t i = 0; i < net->size(); ++i)
+    n += net->dht(i)->objects()->NamespaceObjects(ns);
+  return n;
+}
+
+uint64_t BatchedPuts(SimPier* net) {
+  uint64_t n = 0;
+  for (uint32_t i = 0; i < net->size(); ++i)
+    n += net->dht(i)->stats().batched_puts;
+  return n;
+}
+
+TEST(PublishBatchTest, ExplicitBatchFansOutAndIsQueryable) {
+  SimPier net(8, PierOptions(61));
+  ASSERT_TRUE(net.catalog()
+                  ->Register(TableSpec("emp")
+                                 .PartitionBy({"id"})
+                                 .SecondaryIndex("dept"))
+                  .ok());
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 12; ++i) {
+    Tuple t("emp");
+    t.Append("id", Value::Int64(i));
+    t.Append("dept", Value::String(i % 2 ? "eng" : "ops"));
+    rows.push_back(std::move(t));
+  }
+  ASSERT_TRUE(net.client(0)->PublishBatch("emp", rows).ok());
+  net.RunFor(5 * kSecond);
+
+  EXPECT_GT(BatchedPuts(&net), 0u) << "the batch path must actually engage";
+  // One registry update for the whole batch, same totals as per-tuple.
+  EXPECT_EQ(net.stats()->Snapshot("emp").tuples, 12u);
+
+  auto q = net.client(3)->Query(Sql("SELECT id FROM emp TIMEOUT 6s"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->Collect().size(), 12u);
+  auto by_idx =
+      net.client(3)->QueryByIndex("emp", "dept", Value::String("eng"));
+  ASSERT_TRUE(by_idx.ok()) << by_idx.status().ToString();
+  EXPECT_EQ(by_idx->Collect().size(), 6u)
+      << "secondary entries rode the same batch";
+}
+
+TEST(PublishBatchTest, ValidationIsAllOrNothing) {
+  SimPier net(4, PierOptions(63));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("m").PartitionBy({"id"})).ok());
+  Tuple good("m");
+  good.Append("id", Value::Int64(1));
+  Tuple bad("m");  // no partition attribute
+  bad.Append("x", Value::Int64(2));
+  uint64_t before = StoredObjects(&net, "m");
+  Status s = net.client(0)->PublishBatch("m", {good, bad});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  net.RunFor(3 * kSecond);
+  EXPECT_EQ(StoredObjects(&net, "m"), before) << "nothing of the batch published";
+}
+
+TEST(PublishBatchTest, AutoBatchFlushesOnSize) {
+  SimPier net(6, PierOptions(67));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PierClient* c = net.client(0);
+  c->SetPublishBatching(4, /*max_delay=*/60 * kSecond);  // timer can't fire
+  uint64_t before = StoredObjects(&net, "t");
+  for (int i = 0; i < 3; ++i) {
+    Tuple t("t");
+    t.Append("k", Value::Int64(i));
+    ASSERT_TRUE(c->Publish("t", t).ok());
+  }
+  net.RunFor(3 * kSecond);
+  EXPECT_EQ(StoredObjects(&net, "t"), before)
+      << "below the size trigger nothing ships";
+  Tuple t4("t");
+  t4.Append("k", Value::Int64(3));
+  ASSERT_TRUE(c->Publish("t", t4).ok());  // 4th tuple: flush
+  net.RunFor(3 * kSecond);
+  EXPECT_EQ(StoredObjects(&net, "t"), before + 4);
+}
+
+TEST(PublishBatchTest, AutoBatchFlushesOnTimer) {
+  SimPier net(6, PierOptions(71));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PierClient* c = net.client(0);
+  c->SetPublishBatching(100, /*max_delay=*/500 * kMillisecond);
+  uint64_t before = StoredObjects(&net, "t");
+  for (int i = 0; i < 2; ++i) {
+    Tuple t("t");
+    t.Append("k", Value::Int64(i));
+    ASSERT_TRUE(c->Publish("t", t).ok());
+  }
+  net.RunFor(200 * kMillisecond);
+  EXPECT_EQ(StoredObjects(&net, "t"), before) << "window not yet elapsed";
+  net.RunFor(5 * kSecond);
+  EXPECT_EQ(StoredObjects(&net, "t"), before + 2) << "the delay timer flushed";
+}
+
+TEST(PublishBatchTest, ExplicitFlushShipsTheBuffer) {
+  SimPier net(6, PierOptions(73));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PierClient* c = net.client(0);
+  c->SetPublishBatching(100, /*max_delay=*/60 * kSecond);
+  uint64_t before = StoredObjects(&net, "t");
+  for (int i = 0; i < 5; ++i) {
+    Tuple t("t");
+    t.Append("k", Value::Int64(i));
+    ASSERT_TRUE(c->Publish("t", t).ok());
+  }
+  ASSERT_TRUE(c->Flush().ok());
+  net.RunFor(3 * kSecond);
+  EXPECT_EQ(StoredObjects(&net, "t"), before + 5);
+  // A second Flush with nothing buffered is a no-op.
+  EXPECT_TRUE(c->Flush().ok());
+}
+
+TEST(PublishBatchTest, ExplicitBatchFlushesThePendingBufferFirst) {
+  // An explicit PublishBatch must not overtake tuples already waiting in
+  // the same table's auto-batch buffer.
+  SimPier net(6, PierOptions(77));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PierClient* c = net.client(0);
+  c->SetPublishBatching(100, /*max_delay=*/60 * kSecond);
+  uint64_t before = StoredObjects(&net, "t");
+  Tuple first("t");
+  first.Append("k", Value::Int64(1));
+  ASSERT_TRUE(c->Publish("t", first).ok());  // buffered
+  Tuple second("t");
+  second.Append("k", Value::Int64(2));
+  ASSERT_TRUE(c->PublishBatch("t", {second}).ok());  // ships buffer + batch
+  net.RunFor(3 * kSecond);
+  EXPECT_EQ(StoredObjects(&net, "t"), before + 2)
+      << "the buffered tuple must ship with (before) the explicit batch";
+}
+
+TEST(PublishBatchTest, DisablingBatchingFlushesTheBacklog) {
+  SimPier net(6, PierOptions(79));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  PierClient* c = net.client(0);
+  c->SetPublishBatching(100, 60 * kSecond);
+  uint64_t before = StoredObjects(&net, "t");
+  Tuple t("t");
+  t.Append("k", Value::Int64(1));
+  ASSERT_TRUE(c->Publish("t", t).ok());
+  c->SetPublishBatching(0, 0);  // off — must not strand the buffered tuple
+  net.RunFor(3 * kSecond);
+  EXPECT_EQ(StoredObjects(&net, "t"), before + 1);
+}
+
 TEST(PierClient, ReplanModeIsValidated) {
   SimPier net(2, PierOptions(47));
   ASSERT_TRUE(

@@ -1,0 +1,197 @@
+// DHT batching and wire-path tests: PutBatch grouping/ordering/fallback
+// semantics, the byte-identical-when-unbatched guard, and router send
+// coalescing.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "overlay/dht.h"
+#include "overlay/sim_overlay.h"
+
+namespace pier {
+namespace {
+
+SimOverlay::Options SeededOptions(uint64_t seed = 42,
+                                  TimeUs coalesce_window = 0) {
+  SimOverlay::Options opts;
+  opts.sim.seed = seed;
+  opts.dht.router.coalesce_window_us = coalesce_window;
+  opts.seed_routing = true;
+  opts.settle_time = 1 * kSecond;
+  return opts;
+}
+
+DhtPutItem Item(const std::string& ns, const std::string& key,
+                const std::string& suffix, const std::string& value) {
+  DhtPutItem item;
+  item.ns = ns;
+  item.key = key;
+  item.suffix = suffix;
+  item.value = value;
+  item.lifetime = 60 * kSecond;
+  return item;
+}
+
+/// The owner index of (ns, key) under the current routing state.
+int OwnerOf(SimOverlay* net, const std::string& ns, const std::string& key) {
+  Id target = RoutingId(ns, key);
+  for (uint32_t i = 0; i < net->size(); ++i) {
+    if (net->dht(i)->router()->protocol()->IsOwner(target))
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(DhtBatch, SplitAcrossTwoOwnersDeliversToBoth) {
+  SimOverlay net(16, SeededOptions());
+  // Two keys with distinct owners plus a same-key pair: the batch must fan
+  // out to BOTH destinations, and the same-owner pair must ride one frame.
+  std::string key_a = "a0", key_b;
+  int owner_a = OwnerOf(&net, "bt", key_a);
+  ASSERT_GE(owner_a, 0);
+  for (int i = 1; i < 64; ++i) {
+    std::string candidate = "b" + std::to_string(i);
+    int owner = OwnerOf(&net, "bt", candidate);
+    if (owner >= 0 && owner != owner_a) {
+      key_b = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(key_b.empty()) << "no second owner found in 64 candidates";
+
+  Status done_status = Status::Internal("not called");
+  net.dht(3)->PutBatch(
+      {Item("bt", key_a, "s1", "v1"), Item("bt", key_a, "s2", "v2"),
+       Item("bt", key_b, "s3", "v3")},
+      [&](const Status& s) { done_status = s; });
+  net.RunFor(5 * kSecond);
+  EXPECT_TRUE(done_status.ok()) << done_status.ToString();
+
+  // Both owners hold their share.
+  std::vector<DhtItem> got_a, got_b;
+  net.dht(9)->Get("bt", key_a, [&](const Status& s, std::vector<DhtItem> items) {
+    ASSERT_TRUE(s.ok());
+    got_a = std::move(items);
+  });
+  net.dht(9)->Get("bt", key_b, [&](const Status& s, std::vector<DhtItem> items) {
+    ASSERT_TRUE(s.ok());
+    got_b = std::move(items);
+  });
+  net.RunFor(5 * kSecond);
+  EXPECT_EQ(got_a.size(), 2u);
+  EXPECT_EQ(got_b.size(), 1u);
+
+  // The same-key pair shared a multi-object frame; the lone item fell back
+  // to a plain put.
+  Dht::Stats stats = net.dht(3)->stats();
+  EXPECT_EQ(stats.puts, 3u);
+  EXPECT_EQ(stats.batched_puts, 2u);
+  EXPECT_EQ(stats.batch_msgs, 1u);
+}
+
+TEST(DhtBatch, OrderPreservedWithinKey) {
+  SimOverlay net(12, SeededOptions(7));
+  int owner = OwnerOf(&net, "ord", "k");
+  ASSERT_GE(owner, 0);
+  std::vector<std::string> arrivals;
+  net.dht(owner)->OnNewData("ord",
+                            [&](const ObjectName& name, std::string_view) {
+                              arrivals.push_back(name.suffix);
+                            });
+  std::vector<DhtPutItem> items;
+  for (int i = 0; i < 8; ++i)
+    items.push_back(Item("ord", "k", "s" + std::to_string(i), "v"));
+  net.dht(5)->PutBatch(std::move(items));
+  net.RunFor(5 * kSecond);
+  ASSERT_EQ(arrivals.size(), 8u);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(arrivals[i], "s" + std::to_string(i)) << "batch order broken";
+}
+
+TEST(DhtBatch, EmptyBatchCompletesImmediately) {
+  SimOverlay net(4, SeededOptions(9));
+  bool called = false;
+  net.dht(0)->PutBatch({}, [&](const Status& s) {
+    EXPECT_TRUE(s.ok());
+    called = true;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(net.dht(0)->stats().puts, 0u);
+}
+
+TEST(DhtBatch, SingletonGroupsAreByteIdenticalToPlainPuts) {
+  // The acceptance guard: with coalescing off and every destination getting
+  // exactly one object, a PutBatch produces the very same wire traffic as
+  // the loose Put calls it replaces — byte for byte, message for message.
+  SimOverlay::Options opts = SeededOptions(21);
+
+  SimOverlay plain(12, opts);
+  SimOverlay batched(12, opts);  // twin sim: same seed, same topology
+  std::string key_a = "a0", key_b;
+  int owner_a = OwnerOf(&plain, "tw", key_a);
+  ASSERT_GE(owner_a, 0);
+  for (int i = 1; i < 64 && key_b.empty(); ++i) {
+    std::string candidate = "b" + std::to_string(i);
+    int owner = OwnerOf(&plain, "tw", candidate);
+    if (owner >= 0 && owner != owner_a) key_b = candidate;
+  }
+  ASSERT_FALSE(key_b.empty());
+
+  plain.harness()->ResetStats();
+  batched.harness()->ResetStats();
+  plain.dht(2)->Put("tw", key_a, "s", "value-a", 60 * kSecond);
+  plain.dht(2)->Put("tw", key_b, "s", "value-b", 60 * kSecond);
+  batched.dht(2)->PutBatch(
+      {Item("tw", key_a, "s", "value-a"), Item("tw", key_b, "s", "value-b")});
+  plain.RunFor(10 * kSecond);
+  batched.RunFor(10 * kSecond);
+
+  EXPECT_EQ(plain.harness()->total_msgs(), batched.harness()->total_msgs());
+  EXPECT_EQ(plain.harness()->total_bytes(), batched.harness()->total_bytes());
+  EXPECT_EQ(batched.dht(2)->stats().batched_puts, 0u)
+      << "singleton groups must not use the batch frame";
+}
+
+TEST(DhtCoalesce, MergesSendsAndUnframesTransparently) {
+  SimOverlay net(12, SeededOptions(33, /*coalesce_window=*/1000));
+  // A burst of puts within one coalescing window: same-destination wire
+  // messages merge into bundles, yet every object lands normally.
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    net.dht(4)->Put("cl", "k" + std::to_string(i % 4), "s" + std::to_string(i),
+                    "v", 60 * kSecond, [&](const Status& s) {
+                      EXPECT_TRUE(s.ok()) << s.ToString();
+                      done++;
+                    });
+  }
+  net.RunFor(10 * kSecond);
+  EXPECT_EQ(done, 20);
+
+  uint64_t stored = 0, coalesced = 0, bundles = 0;
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    stored += net.dht(i)->stats().store_requests;
+    coalesced += net.dht(i)->router()->stats().coalesced_msgs;
+    bundles += net.dht(i)->router()->stats().bundles_sent;
+  }
+  EXPECT_EQ(stored, 20u);
+  EXPECT_GT(coalesced, 0u) << "the burst never shared a bundle";
+  EXPECT_GT(bundles, 0u);
+  EXPECT_EQ(net.dht(4)->stats().coalesced_msgs,
+            net.dht(4)->router()->stats().coalesced_msgs)
+      << "Dht::Stats mirrors the router counter";
+}
+
+TEST(DhtCoalesce, DisabledByDefault) {
+  SimOverlay net(8, SeededOptions(11));
+  for (int i = 0; i < 10; ++i)
+    net.dht(0)->Put("nc", "k" + std::to_string(i), "s", "v", 60 * kSecond);
+  net.RunFor(5 * kSecond);
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.dht(i)->router()->stats().coalesced_msgs, 0u);
+    EXPECT_EQ(net.dht(i)->router()->stats().bundles_sent, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pier

@@ -76,6 +76,7 @@ TEST(QueryPlan, WireRoundTrip) {
   plan.window = 3 * kSecond;
   plan.generation = 4;
   plan.replan = true;
+  plan.deadline_us = 99 * kSecond;  // absolute instant, rides every hop
   OpGraph& g = plan.AddGraph();
   g.dissem = DissemKind::kEquality;
   g.dissem_ns = "t";
@@ -97,6 +98,7 @@ TEST(QueryPlan, WireRoundTrip) {
   EXPECT_EQ(back->window, 3 * kSecond);
   EXPECT_EQ(back->generation, 4u);
   EXPECT_TRUE(back->replan);
+  EXPECT_EQ(back->deadline_us, 99 * kSecond);
   ASSERT_EQ(back->graphs.size(), 1u);
   const OpGraph& bg = back->graphs[0];
   EXPECT_EQ(bg.dissem, DissemKind::kEquality);
@@ -355,6 +357,24 @@ TEST(Ufl, WindowAndReplanOptions) {
   )"))
                     .status();
   EXPECT_EQ(zero.code(), StatusCode::kInvalidArgument) << zero.ToString();
+}
+
+TEST(Ufl, DeadlineRoundTrips) {
+  // deadline_us is an absolute instant in raw microseconds (SubmitQuery
+  // normally stamps it; the UFL seam exists so serialized plans round-trip).
+  auto plan = Client()->Compile(Ufl(R"(
+    query { timeout = 5s; deadline_us = 1234567; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->deadline_us, 1234567);
+
+  EXPECT_FALSE(Client()
+                   ->Compile(Ufl(R"(
+    query { timeout = 5s; deadline_us = -3; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"))
+                   .ok());
 }
 
 TEST(Executor, EffectiveWindowDefaultsAndFloors) {

@@ -322,6 +322,70 @@ TEST(QpE2E, ContinuousQuerySeesLatePublishes) {
 }
 
 // ---------------------------------------------------------------------------
+// Absolute deadlines (the close-timeout hole from the relative-timeout era)
+// ---------------------------------------------------------------------------
+
+TEST(QpE2E, SubmitStampsAnAbsoluteDeadlineOntoDisseminatedPlans) {
+  SimPier net(6, PierOptions(83));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+  // Watch targeted dissemination arrive as stored objects and decode the
+  // plan every executing node actually sees.
+  TimeUs seen_deadline = -1;
+  std::vector<uint64_t> subs;
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    subs.push_back(net.dht(i)->OnNewData(
+        "!dissem", [&](const ObjectName&, std::string_view blob) {
+          auto p = QueryPlan::Decode(blob);
+          if (p.ok()) seen_deadline = p->deadline_us;
+        }));
+  }
+  TimeUs submitted_at = net.loop()->now();
+  auto q = net.client(0)->Query(
+      Sql("SELECT * FROM t WHERE k = 3 TIMEOUT 5s"));  // equality dissem
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  net.RunFor(3 * kSecond);
+  EXPECT_EQ(seen_deadline, submitted_at + 5 * kSecond)
+      << "SubmitQuery must stamp now + timeout as the absolute deadline";
+  for (uint32_t i = 0; i < net.size(); ++i) net.dht(i)->CancelNewData(subs[i]);
+}
+
+TEST(QpE2E, LateGenerationFirstSightClosesAtTheDeadline) {
+  // The PR-3 hole: a node whose FIRST sight of a continuous query is a
+  // later generation used to arm a FULL timeout from swap time. With the
+  // absolute deadline it arms only the remaining lifetime.
+  SimPier net(2, PierOptions(87));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("ev").PartitionBy({"src"})).ok());
+
+  QueryPlan plan;
+  plan.query_id = 4242;
+  plan.continuous = true;
+  plan.timeout = 60 * kSecond;  // nominal lifetime: a minute...
+  plan.window = 2 * kSecond;
+  plan.generation = 3;  // ...but this node joins at generation 3,
+  plan.deadline_us = net.loop()->now() + 4 * kSecond;  // 4s before the end
+  OpGraph& g = plan.AddGraph();
+  OpSpec& scan = g.AddOp(OpKind::kScan);
+  scan.Set("ns", "ev");
+  uint32_t scan_id = scan.id;
+  OpSpec& res = g.AddOp(OpKind::kResult);
+  g.Connect(scan_id, res.id, 0);
+
+  QueryPlan meta = plan;
+  meta.graphs.clear();
+  QueryExecutor* exec = net.qp(1)->executor();
+  ASSERT_TRUE(exec->StartGraphs(meta, plan.graphs).ok());
+  ASSERT_TRUE(exec->HasQuery(4242));
+  net.RunFor(2 * kSecond);
+  EXPECT_TRUE(exec->HasQuery(4242)) << "still inside the remaining lifetime";
+  net.RunFor(4 * kSecond);
+  EXPECT_FALSE(exec->HasQuery(4242))
+      << "the close timer must fire at the absolute deadline, not at "
+         "swap time + full timeout";
+}
+
+// ---------------------------------------------------------------------------
 // Continuous-query lifecycle: rewindow, swap, auto-replan
 // ---------------------------------------------------------------------------
 
