@@ -21,6 +21,12 @@
 //
 // The bench FAILS (nonzero exit) if replan-auto never swaps, or if its tail
 // cost is strictly the worst of the three query configurations.
+//
+// E10b (appended): swap-time catch-up. A running flat continuous query over
+// a table with history is plan-swapped mid-stream; the swapped-in Scans
+// re-read live soft state, and without the swap-time high-water mark the
+// first post-swap window re-counts the whole table. The bench FAILS unless
+// the first post-swap window's count matches the steady-state window count.
 
 #include <cstdio>
 #include <limits>
@@ -131,6 +137,100 @@ Outcome RunConfig(const std::string& config, uint64_t seed) {
   return out;
 }
 
+/// E10b — swap-time catch-up suppression, measured on tumbling windows
+/// (flat aggregation both sides of the swap, so per-window counts are
+/// directly comparable; hier's cumulative refinement would not be).
+int RunCatchupCheck(uint64_t seed) {
+  bench::Title("E10b: swap-time catch-up — first post-swap window");
+  constexpr int kHistory = 400;
+  constexpr TimeUs kWindow = 3 * kSecond;
+  constexpr int kPerWindow = 9;  // steady stream: 3 tuples/s
+
+  SimPier::Options popts;
+  popts.sim.seed = seed;
+  popts.settle_time = 8 * kSecond;
+  constexpr uint32_t kCheckNodes = 16;
+  SimPier net(kCheckNodes, popts);
+  net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+  net.RunFor(1 * kSecond);
+  int64_t next_id = 0;
+  auto publish_one = [&]() {
+    int64_t id = next_id++;
+    Tuple e("ev");
+    e.Append("id", Value::Int64(id));
+    e.Append("cat", Value::String("c" + std::to_string(id % 4)));
+    Status ps =
+        net.client(static_cast<uint32_t>(id % kCheckNodes))->Publish("ev", e);
+    if (!ps.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n", ps.ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  const char* text =
+      "SELECT cat, count(*) AS cnt FROM ev GROUP BY cat "
+      "TIMEOUT 90s WINDOW 3s CONTINUOUS";
+  auto q = net.client(0)->Query(Sql(text).WithAggStrategy("flat"));
+  QueryHandle handle = bench::Check(q, "catch-up query");
+  std::map<int64_t, int64_t> window_sums;  // 3s virtual-time buckets
+  handle.OnTuple([&](const Tuple& t) {
+    const Value* cnt = t.Get("cnt");
+    if (cnt != nullptr)
+      window_sums[net.loop()->now() / kWindow] += cnt->int64_unchecked();
+  });
+
+  // History, fully counted by the pre-swap windows.
+  for (int i = 0; i < kHistory; ++i) publish_one();
+  net.RunFor(9 * kSecond);
+
+  // Steady stream, one window of which calibrates "steady state".
+  auto stream_windows = [&](int n) {
+    for (int i = 0; i < n * kPerWindow; ++i) {
+      publish_one();
+      net.RunFor(kWindow / kPerWindow);
+    }
+  };
+  stream_windows(3);
+  // The newest complete bucket is a typical stream window — the yardstick
+  // the post-swap windows are held to.
+  int64_t last_full = window_sums.empty() ? 0 : window_sums.rbegin()->second;
+
+  // The swap: same strategy, new generation — the swapped-in Scans re-read
+  // every live tuple unless the high-water mark stops them.
+  auto fresh = net.client(0)->Compile(Sql(text).WithAggStrategy("flat"));
+  QueryPlan plan = bench::Check(fresh, "recompile");
+  Status s = net.qp(0)->SwapQuery(handle.id(), std::move(plan));
+  if (!s.ok()) {
+    std::fprintf(stderr, "FAIL: SwapQuery: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  int64_t swap_bucket = net.loop()->now() / kWindow;
+  stream_windows(3);
+
+  int64_t worst_post = 0;
+  for (const auto& [bucket, sum] : window_sums) {
+    if (bucket >= swap_bucket) worst_post = std::max(worst_post, sum);
+  }
+  std::vector<int> w = {26, 12};
+  bench::Row({"history at swap", std::to_string(next_id - 3 * kPerWindow)},
+             w);
+  bench::Row({"steady window (pre-swap)", std::to_string(last_full)}, w);
+  bench::Row({"worst window post-swap", std::to_string(worst_post)}, w);
+
+  // Self-check: the first post-swap window must look like a steady window
+  // (one window's arrivals, plus the swap-boundary sliver), nowhere near
+  // the table's history.
+  if (worst_post > 3 * kPerWindow + kPerWindow) {
+    std::fprintf(stderr,
+                 "FAIL: first post-swap window counted %lld tuples — "
+                 "swapped-in scans re-read history (steady window is ~%d)\n",
+                 static_cast<long long>(worst_post), kPerWindow);
+    return 1;
+  }
+  bench::Note("ok: post-swap windows match steady state (no double-count)");
+  return 0;
+}
+
 int Run() {
   bench::Title("E10: continuous-query replanning under a cardinality shift");
   bench::Note("query submitted over a near-empty table (flat aggregation is "
@@ -191,6 +291,7 @@ int Run() {
       "cost-ratio threshold and then tracks frozen-hier's tail cost; "
       "frozen-hier is the post-shift oracle (but was the wrong plan for the "
       "sparse start).");
+  failures += RunCatchupCheck(709);
   return failures;
 }
 

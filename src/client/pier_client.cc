@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qp/ufl.h"
+#include "util/logging.h"
 
 namespace pier {
 
@@ -76,8 +77,14 @@ QueryHandle& QueryHandle::OnDone(std::function<void()> fn) {
   return *this;
 }
 
-void QueryHandle::Cancel() {
-  if (!state_ || state_->stats.done) return;
+Status QueryHandle::Cancel() {
+  if (!state_) return Status::InvalidArgument("empty query handle");
+  if (state_->stats.done) return Status::Ok();  // idempotent
+  // An orphaned query has no proxy record to cancel through: the proxy died
+  // (and no successor adopted it, or this handle never re-attached). There
+  // is no round-trip to block on — tear down locally, complete the handle,
+  // and say so.
+  bool proxied = state_->qp->HasClientQuery(state_->id);
   state_->qp->CancelQuery(state_->id);
   state_->stats.cancelled = true;
   state_->stats.done = true;
@@ -87,6 +94,26 @@ void QueryHandle::Cancel() {
   std::function<void()> done = std::move(state_->on_done);
   state_->on_done = nullptr;
   if (done) done();
+  return proxied ? Status::Ok()
+                 : Status::Unavailable(
+                       "query is orphaned (its proxy record is gone); "
+                       "local execution torn down");
+}
+
+Status QueryHandle::Reattach(PierClient* via) {
+  if (!state_) return Status::InvalidArgument("empty query handle");
+  if (via == nullptr) return Status::InvalidArgument("null client");
+  if (state_->stats.done)
+    return Status::InvalidArgument("query already completed");
+  QueryProcessor* qp = via->qp();
+  // Bind THIS handle's existing state to the adopting proxy: the same
+  // callbacks Submit installs, so stats/buffering/backpressure carry over
+  // seamlessly (buffered answers the new proxy held replay immediately).
+  PIER_RETURN_IF_ERROR(qp->AttachClient(state_->id,
+                                        PierClient::MakeOnTuple(state_),
+                                        PierClient::MakeOnDone(state_)));
+  state_->qp = qp;
+  return Status::Ok();
 }
 
 Status QueryHandle::Rewindow(TimeUs window) {
@@ -372,7 +399,21 @@ Status PierClient::ShipBatch(const TableSpec& spec,
                                &items);
       }
     }
-    qp_->PublishBatch(std::move(items));
+    qp_->PublishBatch(
+        std::move(items),
+        [this, table = spec.name](const Status& first,
+                                  std::vector<Dht::PutGroupStatus> groups) {
+          if (first.ok()) return;
+          size_t dropped = 0;
+          for (const Dht::PutGroupStatus& g : groups) {
+            if (!g.status.ok()) dropped += g.indices.size();
+          }
+          publish_failures_.failed_batches++;
+          publish_failures_.dropped_items += dropped;
+          publish_failures_.last_error = first;
+          PIER_LOG(kWarn) << "batch publish into '" << table << "' dropped "
+                          << dropped << " index entries: " << first.ToString();
+        });
     // PHT trie inserts are multi-step protocols; they stay per tuple.
     for (const RangeIndexSpec& idx : spec.range_indexes) {
       for (size_t i = 0; i < tuples.size(); ++i)
@@ -416,6 +457,7 @@ Result<QueryPlan> PierClient::CompileSqlPinned(const Sql& sql,
   options.default_timeout = sql.default_timeout;
   options.query_id = query_id;
   Optimizer optimizer(stats_, CostModel(cost_params_));
+  optimizer.set_now(qp_->vri()->Now());
   options.optimizer = &optimizer;
   return CompileSql(sql.text, options, explain);
 }
@@ -433,6 +475,7 @@ Result<ExplainResult> PierClient::Explain(const Sql& sql) const {
   ExplainResult out;
   PIER_ASSIGN_OR_RETURN(out.plan, Compile(sql, &out.detail));
   Optimizer optimizer(stats_, CostModel(cost_params_));
+  optimizer.set_now(qp_->vri()->Now());
   optimizer.CostPlan(out.plan, &out.detail);
   return out;
 }
@@ -441,6 +484,7 @@ Result<ExplainResult> PierClient::Explain(const Ufl& ufl) const {
   ExplainResult out;
   PIER_ASSIGN_OR_RETURN(out.plan, Compile(ufl));
   Optimizer optimizer(stats_, CostModel(cost_params_));
+  optimizer.set_now(qp_->vri()->Now());
   optimizer.CostPlan(out.plan, &out.detail);
   return out;
 }
@@ -454,6 +498,8 @@ Result<QueryHandle> PierClient::Query(const Sql& sql) {
   PIER_ASSIGN_OR_RETURN(QueryPlan plan, Compile(sql, &explain));
   bool auto_replan = sql.replan == "auto" && plan.continuous;
   plan.replan = auto_replan;
+  plan.successors = sql.successors;
+  plan.lease_period_us = sql.lease_period;
   QueryPlan submitted;
   if (auto_replan) submitted = plan;  // Submit consumes the original
   PIER_ASSIGN_OR_RETURN(QueryHandle h, Submit(std::move(plan)));
@@ -513,6 +559,7 @@ void PierClient::ReplanTick(uint64_t query_id) {
   Result<QueryPlan> fresh = CompileSqlPinned(task.sql, query_id, &explain);
   if (fresh.ok()) {
     Replanner replanner(stats_, CostModel(cost_params_), replan_options_);
+    replanner.set_now(qp_->vri()->Now());
     ReplanDecision d =
         replanner.Consider(task.current, task.fingerprint, *fresh, explain);
     if (d.swap) {
@@ -593,6 +640,39 @@ Result<QueryHandle> PierClient::QueryByIndex(const std::string& table,
   return Submit(std::move(plan));
 }
 
+QueryProcessor::TupleCallback PierClient::MakeOnTuple(
+    std::shared_ptr<QueryHandle::State> state) {
+  return [state](const Tuple& t) {
+    // Answers can still be in flight (queued router messages, a
+    // flush loop mid-emission) when Cancel() completes the handle;
+    // a done handle must ignore them instead of mutating the
+    // buffer or re-invoking on_tuple.
+    if (state->stats.done) return;
+    state->stats.tuples++;
+    TimeUs latency = state->qp->vri()->Now() - state->stats.submitted_at;
+    if (state->stats.first_tuple_latency < 0)
+      state->stats.first_tuple_latency = latency;
+    state->stats.last_tuple_latency = latency;
+    if (state->on_tuple && !state->paused) {
+      state->on_tuple(t);
+    } else if (state->buffering || state->paused) {
+      if (state->buffer.size() < state->buffer_cap) {
+        state->buffer.push_back(t);
+      } else {
+        state->stats.dropped++;
+      }
+    }
+  };
+}
+
+QueryProcessor::DoneCallback PierClient::MakeOnDone(
+    std::shared_ptr<QueryHandle::State> state) {
+  return [state]() {
+    state->stats.done = true;
+    if (state->on_done) state->on_done();
+  };
+}
+
 Result<QueryHandle> PierClient::Submit(QueryPlan plan) {
   auto state = std::make_shared<QueryHandle::State>();
   state->qp = qp_;
@@ -601,38 +681,48 @@ Result<QueryHandle> PierClient::Submit(QueryPlan plan) {
   state->done_slack = qp_->options().done_slack;
   state->stats.submitted_at = qp_->vri()->Now();
 
-  PIER_ASSIGN_OR_RETURN(
-      uint64_t qid,
-      qp_->SubmitQuery(
-          std::move(plan),
-          [state](const Tuple& t) {
-            // Answers can still be in flight (queued router messages, a
-            // flush loop mid-emission) when Cancel() completes the handle;
-            // a done handle must ignore them instead of mutating the
-            // buffer or re-invoking on_tuple.
-            if (state->stats.done) return;
-            state->stats.tuples++;
-            TimeUs latency =
-                state->qp->vri()->Now() - state->stats.submitted_at;
-            if (state->stats.first_tuple_latency < 0)
-              state->stats.first_tuple_latency = latency;
-            state->stats.last_tuple_latency = latency;
-            if (state->on_tuple && !state->paused) {
-              state->on_tuple(t);
-            } else if (state->buffering || state->paused) {
-              if (state->buffer.size() < state->buffer_cap) {
-                state->buffer.push_back(t);
-              } else {
-                state->stats.dropped++;
-              }
-            }
-          },
-          [state]() {
-            state->stats.done = true;
-            if (state->on_done) state->on_done();
-          }));
+  PIER_ASSIGN_OR_RETURN(uint64_t qid,
+                        qp_->SubmitQuery(std::move(plan), MakeOnTuple(state),
+                                         MakeOnDone(state)));
   state->id = qid;
   return QueryHandle(std::move(state));
+}
+
+Result<QueryHandle> PierClient::Attach(uint64_t query_id) {
+  auto state = std::make_shared<QueryHandle::State>();
+  state->qp = qp_;
+  state->run = run_;
+  state->done_slack = qp_->options().done_slack;
+  state->stats.submitted_at = qp_->vri()->Now();
+  state->id = query_id;
+
+  QueryPlan plan;
+  PIER_RETURN_IF_ERROR(qp_->AttachClient(query_id, MakeOnTuple(state),
+                                         MakeOnDone(state), &plan));
+  // Wait()/Collect() pace themselves off `timeout` from `submitted_at`; for
+  // an attached handle that is the REMAINING lifetime, not the original.
+  state->timeout =
+      plan.deadline_us > 0
+          ? std::max<TimeUs>(0, plan.deadline_us - qp_->vri()->Now())
+          : plan.timeout;
+  return QueryHandle(std::move(state));
+}
+
+Result<QueryHandle> PierClient::Attach(uint64_t query_id,
+                                       const Sql& replan_sql) {
+  PIER_ASSIGN_OR_RETURN(QueryHandle h, Attach(query_id));
+  if (replan_sql.replan != "auto") return h;
+  // Resume auto-replanning at the adopted proxy: the original proxy's
+  // replan loop died with it. Today's compile is the new baseline — the
+  // first tick only swaps if the optimizer disagrees with it enough.
+  PlanExplain explain;
+  Result<QueryPlan> current =
+      CompileSqlPinned(replan_sql, query_id, &explain);
+  if (current.ok() && current->continuous) {
+    current->replan = true;
+    EnableAutoReplan(h, replan_sql, std::move(*current), explain);
+  }
+  return h;
 }
 
 }  // namespace pier

@@ -31,6 +31,8 @@
 
 namespace pier {
 
+class PierClient;
+
 /// A SQL query plus the per-query compiler knobs (everything table-shaped
 /// comes from the catalog instead).
 struct Sql {
@@ -47,6 +49,15 @@ struct Sql {
   /// InvalidArgument.
   std::string replan = "off";
   TimeUs default_timeout = 20 * kSecond;
+  /// Ordered proxy-successor chain for continuous queries: if the proxy
+  /// (the node this query is submitted at) dies mid-run, executors fail
+  /// answer routing over to these nodes in order and the first live one
+  /// adopts the proxy role; re-attach a handle through it with
+  /// PierClient::Attach / QueryHandle::Reattach. Ignored for snapshots.
+  std::vector<NetAddress> successors;
+  /// Proxy lease period (0 = executor default, 10s): how fast executors
+  /// notice a dead proxy, and how fast orphans are reaped.
+  TimeUs lease_period = 0;
 
   Sql() = default;
   explicit Sql(std::string query) : text(std::move(query)) {}
@@ -60,6 +71,14 @@ struct Sql {
   }
   Sql& WithDefaultTimeout(TimeUs t) {
     default_timeout = t;
+    return *this;
+  }
+  Sql& WithSuccessors(std::vector<NetAddress> s) {
+    successors = std::move(s);
+    return *this;
+  }
+  Sql& WithLeasePeriod(TimeUs p) {
+    lease_period = p;
     return *this;
   }
 };
@@ -111,11 +130,21 @@ class QueryHandle {
   QueryHandle& OnTuple(std::function<void(const Tuple&)> fn);
   QueryHandle& OnDone(std::function<void()> fn);
 
-  /// Stop delivery and tear down local execution (remote opgraphs drain via
-  /// their own timeouts; there is no recall protocol). Completes the handle:
-  /// a registered OnDone callback fires once, synchronously. Answers still
-  /// in flight are ignored — a done handle never invokes on_tuple again.
-  void Cancel();
+  /// Stop delivery and tear down execution. At a live proxy this cancels
+  /// the query properly (continuous queries broadcast a tombstone; remote
+  /// executors reap within a lease period) and returns Ok. On an already-
+  /// ORPHANED query — the proxy-side record is gone, so there is no proxy
+  /// round-trip to make — it tears down locally, completes the handle, and
+  /// returns Unavailable instead of leaving the handle hanging until the
+  /// deadline. Either way the handle completes: a registered OnDone fires
+  /// once, synchronously, and answers still in flight are ignored.
+  Status Cancel();
+
+  /// Re-bind this handle (keeping its stats, buffer and callbacks) to the
+  /// query's CURRENT proxy — after failover, the successor that adopted it.
+  /// `via` must be a client on the adopting node. Answers the new proxy
+  /// buffered while the query had no client are replayed synchronously.
+  Status Reattach(PierClient* via);
 
   // --- Continuous-query lifecycle --------------------------------------------
 
@@ -257,6 +286,17 @@ class PierClient {
   /// Publish pacing: one sys.stats row per table per this many tuples.
   static constexpr uint64_t kStatsPublishEvery = 64;
 
+  /// Partial-failure accounting for the batched publish path. A batch whose
+  /// destinations PARTIALLY fail (one owner dead, the rest fine) used to
+  /// collapse into one error; Dht::PutBatch now reports per-group status,
+  /// and every index entry that never reached an owner is counted here.
+  struct PublishFailures {
+    uint64_t failed_batches = 0;  // batches with at least one failed group
+    uint64_t dropped_items = 0;   // index entries (tuples/secondaries) lost
+    Status last_error = Status::Ok();
+  };
+  const PublishFailures& publish_failures() const { return publish_failures_; }
+
   /// Start the background statistics refresh: a CONTINUOUS query over
   /// `sys.stats` whose answers are auto-folded into this client's registry
   /// (own-origin rows are skipped), replacing by-hand StatsRegistry::Fold
@@ -279,6 +319,19 @@ class PierClient {
   Result<QueryHandle> Query(const Ufl& ufl);
   /// Native plans: query_id (if 0) and proxy are filled in on submission.
   Result<QueryHandle> Query(QueryPlan plan);
+
+  /// Bind a fresh handle to a query THIS node proxies — the re-attach path
+  /// after this node adopted an orphaned continuous query via proxy
+  /// failover (it also works on the original proxy). Answers buffered while
+  /// the query had no client are replayed into the handle. NotFound if this
+  /// node does not proxy the query.
+  Result<QueryHandle> Attach(uint64_t query_id);
+
+  /// Attach AND resume auto-replanning: recompiles `replan_sql` (the
+  /// query's logical text) against this node's statistics as the new
+  /// baseline, so the replanner keeps driving swaps through the ADOPTED
+  /// proxy — the original proxy's replan loop died with it.
+  Result<QueryHandle> Attach(uint64_t query_id, const Sql& replan_sql);
 
   /// Compile SQL against the catalog (or parse UFL) without submitting —
   /// plan inspection for tests and EXPLAIN-style tooling. The returned plan
@@ -304,6 +357,8 @@ class PierClient {
                                    TimeUs timeout = 10 * kSecond);
 
  private:
+  friend class QueryHandle;  // Reattach reuses the shared callback makers
+
   /// One query being auto-replanned: the logical description to recompile,
   /// the running physical plan (for recosting) and its strategy fingerprint.
   struct ReplanTask {
@@ -324,6 +379,13 @@ class PierClient {
   };
 
   Result<QueryHandle> Submit(QueryPlan plan);
+  /// The qp-facing callbacks every handle uses, shared by Submit, Attach
+  /// and Reattach so an attached handle behaves exactly like a submitted
+  /// one (stats, buffering, backpressure, done-guard).
+  static QueryProcessor::TupleCallback MakeOnTuple(
+      std::shared_ptr<QueryHandle::State> state);
+  static QueryProcessor::DoneCallback MakeOnDone(
+      std::shared_ptr<QueryHandle::State> state);
   /// Shared validation for Publish/PublishBatch: the catalog-driven checks
   /// that reject tuples the index fan-out would mis-key or drop.
   Status ValidateAgainstSpec(const TableSpec& spec, const Tuple& t) const;
@@ -355,6 +417,7 @@ class PierClient {
   Replanner::Options replan_options_;
   TimeUs replan_period_ = 0;  // 0: one check per query window
   std::map<uint64_t, ReplanTask> replans_;
+  PublishFailures publish_failures_;
   /// Auto-batching state: 0 max_tuples = off (the default).
   size_t publish_batch_max_ = 0;
   TimeUs publish_batch_delay_ = 0;

@@ -74,13 +74,19 @@ Result<std::vector<JoinStep>> DefaultJoinSteps(
   return steps;
 }
 
+TableStats Optimizer::SnapshotFor(const std::string& table) const {
+  // Read as of now_ when set: idle tables' arrival rates decay toward zero
+  // instead of advertising traffic that no longer exists.
+  return stats_->SnapshotAt(table, now_);
+}
+
 bool Optimizer::HasUsableStats(const std::string& table) const {
   if (stats_ == nullptr || !stats_->Has(table)) return false;
-  return stats_->Snapshot(table).tuples >= model_.params().min_sample_tuples;
+  return SnapshotFor(table).tuples >= model_.params().min_sample_tuples;
 }
 
 TableStats Optimizer::StatsFor(const JoinInput& input) const {
-  TableStats st = stats_->Snapshot(input.table);
+  TableStats st = SnapshotFor(input.table);
   if (input.filtered) {
     // A pushed-down selection of unknown selectivity shrinks the side.
     double sel = model_.params().default_selectivity;
@@ -244,7 +250,7 @@ AggDecision Optimizer::ChooseAggStrategy(const std::string& table,
                                          bool group_is_partition_key) const {
   AggDecision d;
   if (!HasUsableStats(table)) return d;
-  TableStats st = stats_->Snapshot(table);
+  TableStats st = SnapshotFor(table);
   double groups =
       num_group_cols == 0
           ? 1.0
@@ -352,7 +358,7 @@ void Optimizer::CostPlan(const QueryPlan& plan, PlanExplain* out) const {
             out_r = pit->second.first;
             out_b = pit->second.second;
           } else if (stats_ != nullptr && stats_->Has(ns)) {
-            TableStats st = stats_->Snapshot(ns);
+            TableStats st = SnapshotFor(ns);
             out_r = static_cast<double>(st.tuples);
             out_b = st.mean_bytes;
           } else {
@@ -387,7 +393,7 @@ void Optimizer::CostPlan(const QueryPlan& plan, PlanExplain* out) const {
         case OpKind::kFetchMatches: {
           std::string table = op->GetString("table");
           if (stats_ != nullptr && stats_->Has(table)) {
-            TableStats st = stats_->Snapshot(table);
+            TableStats st = SnapshotFor(table);
             double m =
                 static_cast<double>(st.tuples) / std::max(1.0, st.distinct);
             cost = model_.DhtGet(in_r, m * st.mean_bytes);

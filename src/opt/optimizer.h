@@ -109,6 +109,12 @@ class Optimizer {
   const StatsRegistry* stats() const { return stats_; }
   const CostModel& model() const { return model_; }
 
+  /// The instant statistics are read "as of": arrival rates decay toward
+  /// zero for tables that stopped publishing before `now`
+  /// (StatsRegistry::SnapshotAt), so replanning stops chasing dead traffic.
+  /// 0 (the default) reads raw, undecayed statistics.
+  void set_now(TimeUs now) { now_ = now; }
+
   /// True when `table` has enough observed tuples to trust.
   bool HasUsableStats(const std::string& table) const;
 
@@ -132,9 +138,11 @@ class Optimizer {
 
  private:
   TableStats StatsFor(const JoinInput& input) const;
+  TableStats SnapshotFor(const std::string& table) const;
 
   const StatsRegistry* stats_;
   CostModel model_;
+  TimeUs now_ = 0;
 };
 
 }  // namespace pier

@@ -49,6 +49,11 @@ class Replanner {
 
   const Options& options() const { return options_; }
 
+  /// Statistics-read instant for recosting (see Optimizer::set_now): idle
+  /// tables decay, so the replanner stops swapping toward plans tuned for
+  /// traffic that dried up.
+  void set_now(TimeUs now) { optimizer_.set_now(now); }
+
   /// The strategy fingerprint of a planned query: join order + per-join
   /// strategy + aggregation strategy, as recorded in the compile-time
   /// PlanExplain. Cost numbers are deliberately excluded.

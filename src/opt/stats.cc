@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 
 #include "util/hash.h"
 #include "util/wire.h"
@@ -130,6 +131,11 @@ void StatsRegistry::Accumulate(const Entry& e, TableStats* out,
 }
 
 TableStats StatsRegistry::Snapshot(const std::string& table) const {
+  return SnapshotAt(table, 0);
+}
+
+TableStats StatsRegistry::SnapshotAt(const std::string& table,
+                                     TimeUs now) const {
   TableStats out;
   KmvSketch merged;
   TimeUs first = 0, last = 0;
@@ -145,6 +151,14 @@ TableStats StatsRegistry::Snapshot(const std::string& table) const {
   if (last > first && out.tuples > 1) {
     out.rate_per_sec = static_cast<double>(out.tuples - 1) * kSecond /
                        static_cast<double>(last - first);
+    // Idle decay: silence past the last observation halves the rate every
+    // kRateHalfLife, so a stream that dried up converges on rate 0 instead
+    // of advertising its historical average forever.
+    if (now > last) {
+      out.rate_per_sec *=
+          std::exp2(-static_cast<double>(now - last) /
+                    static_cast<double>(kRateHalfLife));
+    }
   }
   return out;
 }

@@ -109,6 +109,17 @@ class StatsRegistry {
 
   bool Has(const std::string& table) const;
   TableStats Snapshot(const std::string& table) const;
+
+  /// Snapshot with the arrival rate decayed to `now`: a table that STOPPED
+  /// publishing must not keep its last rate forever (the replanner would
+  /// keep steering toward a plan tuned for traffic that no longer exists).
+  /// The rate observed over [first, last] halves for every kRateHalfLife of
+  /// silence past `last`, decaying toward zero between observations.
+  /// now <= last_observation (or 0) applies no decay — identical to
+  /// Snapshot.
+  TableStats SnapshotAt(const std::string& table, TimeUs now) const;
+  static constexpr TimeUs kRateHalfLife = 30 * kSecond;
+
   std::vector<std::string> Tables() const;
 
   /// True once every `every` observations of `table` since the last call

@@ -137,8 +137,21 @@ void Dht::Put(const std::string& ns, const std::string& key, const std::string& 
 }
 
 void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
+  // Legacy single-status form: collapse the per-group report back into the
+  // first error.
+  BatchCallback wrapped = nullptr;
+  if (done) {
+    wrapped = [done = std::move(done)](const Status& first,
+                                       std::vector<PutGroupStatus>) {
+      done(first);
+    };
+  }
+  PutBatch(std::move(items), std::move(wrapped));
+}
+
+void Dht::PutBatch(std::vector<DhtPutItem> items, BatchCallback done) {
   if (items.empty()) {
-    if (done) done(Status::Ok());
+    if (done) done(Status::Ok(), {});
     return;
   }
   stats_.puts += items.size();
@@ -156,13 +169,16 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
 
   // Shared completion state: the owners arrive asynchronously, one Lookup
   // per distinct id; once all resolved, one wire message goes to each
-  // distinct destination.
+  // distinct destination. Every group's outcome is kept — a partial failure
+  // (one dead owner in a multi-owner batch) reports exactly which items
+  // were dropped rather than only the first error.
   struct BatchState {
     std::map<NetAddress, std::vector<size_t>> by_owner;
+    std::vector<PutGroupStatus> groups;
     size_t pending_lookups = 0;
     size_t pending_sends = 0;
     Status first_error = Status::Ok();
-    DoneCallback done;
+    BatchCallback done;
 
     void NoteError(const Status& s) {
       if (!s.ok() && first_error.ok()) first_error = s;
@@ -170,9 +186,9 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
     void FinishIfIdle() {
       if (pending_lookups > 0 || pending_sends > 0) return;
       if (done) {
-        DoneCallback cb = std::move(done);
+        BatchCallback cb = std::move(done);
         done = nullptr;
-        cb(first_error);
+        cb(first_error, std::move(groups));
       }
     }
   };
@@ -185,17 +201,26 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
     // frame cap the receiver enforces). All sends are registered before the
     // first one goes out, so a synchronously-failing send cannot complete
     // the batch while later chunks are still unsent.
-    std::map<NetAddress, std::vector<size_t>> groups;
-    groups.swap(st->by_owner);
+    std::map<NetAddress, std::vector<size_t>> owners;
+    owners.swap(st->by_owner);
     struct Frame {
-      NetAddress owner;
+      size_t group;  // index into st->groups
       std::string wire;
     };
     std::vector<Frame> frames;
-    for (auto& [owner, indices] : groups) {
+    for (auto& [owner, indices] : owners) {
       for (size_t start = 0; start < indices.size();
            start += kMaxBatchEntriesPerFrame) {
         size_t n = std::min(kMaxBatchEntriesPerFrame, indices.size() - start);
+        // One status group PER WIRE FRAME (an oversized destination chunks
+        // into several), so a lost chunk reports exactly its own items as
+        // dropped, never its sibling chunks' delivered ones.
+        size_t group = st->groups.size();
+        st->groups.push_back(PutGroupStatus{
+            owner,
+            std::vector<size_t>(indices.begin() + start,
+                                indices.begin() + start + n),
+            Status::Ok()});
         WireWriter w;
         if (n == 1) {
           // Singleton group: the plain put frame, byte-identical to Put().
@@ -214,13 +239,16 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
           stats_.batched_puts += n;
           stats_.batch_msgs++;
         }
-        frames.push_back(Frame{owner, std::move(w).data()});
+        frames.push_back(Frame{group, std::move(w).data()});
       }
     }
     st->pending_sends = frames.size();
     for (Frame& f : frames) {
-      router_->SendFramed(f.owner, std::move(f.wire), [st](const Status& s) {
+      NetAddress owner = st->groups[f.group].owner;
+      size_t group = f.group;
+      router_->SendFramed(owner, std::move(f.wire), [st, group](const Status& s) {
         st->NoteError(s);
+        if (!s.ok()) st->groups[group].status = s;
         st->pending_sends--;
         st->FinishIfIdle();
       });
@@ -235,7 +263,10 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
         std::vector<size_t>& group = st->by_owner[owner.value()];
         group.insert(group.end(), indices.begin(), indices.end());
       } else {
+        // The whole group is undeliverable: no owner could be resolved.
         st->NoteError(owner.status());
+        st->groups.push_back(
+            PutGroupStatus{NetAddress{}, indices, owner.status()});
       }
       if (--st->pending_lookups == 0) ship();
     });
@@ -341,6 +372,12 @@ void Dht::LocalScan(const std::string& ns,
                     const std::function<void(const ObjectName&, std::string_view)>& fn) {
   objects_->Scan(ns, [&fn](const ObjectManager::Object& obj) {
     fn(obj.name, obj.value);
+  });
+}
+
+void Dht::LocalScan(const std::string& ns, const TimedScanFn& fn) {
+  objects_->Scan(ns, [&fn](const ObjectManager::Object& obj) {
+    fn(obj.name, obj.value, obj.stored_at);
   });
 }
 

@@ -80,6 +80,23 @@ class Dht {
   void Put(const std::string& ns, const std::string& key, const std::string& suffix,
            std::string&& value, TimeUs lifetime, DoneCallback done = nullptr);
 
+  /// One delivery group's outcome in a PutBatch: the items (by position in
+  /// the submitted vector) that rode one wire frame to a responsible node,
+  /// and how that delivery went. An oversized destination chunks into
+  /// several groups with the same owner, so a lost chunk names exactly its
+  /// own items. A failed lookup yields a group with a null owner.
+  struct PutGroupStatus {
+    NetAddress owner;
+    std::vector<size_t> indices;
+    Status status;
+  };
+  /// Per-group completion report: `first_error` keeps the old single-status
+  /// contract (Ok iff every group delivered); `groups` says exactly which
+  /// items were dropped and why, so callers can surface partial failures
+  /// instead of collapsing them into one error.
+  using BatchCallback = std::function<void(const Status& first_error,
+                                           std::vector<PutGroupStatus> groups)>;
+
   /// Batched put: the batch is grouped by responsible node (one Lookup per
   /// distinct routing id, one wire message per destination — a multi-object
   /// kMsgPutBatch frame, or a plain kMsgPut when a destination gets exactly
@@ -88,6 +105,11 @@ class Dht {
   /// (ns, key) arrive in batch order. `done` (may be null) fires once after
   /// every group's delivery resolved, with the first error if any failed.
   void PutBatch(std::vector<DhtPutItem> items, DoneCallback done = nullptr);
+
+  /// PutBatch with per-group status: a batch whose destinations PARTIALLY
+  /// fail (one owner dead, the rest fine) reports every group's outcome
+  /// rather than the first error only.
+  void PutBatch(std::vector<DhtPutItem> items, BatchCallback done);
 
   /// send(...): like put, but routed hop-by-hop through the overlay so
   /// intermediate nodes receive upcalls (§3.2.4, Figure 6). The payload is
@@ -113,6 +135,14 @@ class Dht {
   /// localScan: visit all objects of `ns` stored at this node (handleLScan).
   void LocalScan(const std::string& ns,
                  const std::function<void(const ObjectName&, std::string_view)>& fn);
+
+  /// localScan variant that also reports each object's local store time, so
+  /// catch-up consumers (a swapped-in Scan honoring a catch-up high-water
+  /// mark) can skip history without a second metadata lookup.
+  using TimedScanFn =
+      std::function<void(const ObjectName&, std::string_view value,
+                         TimeUs stored_at)>;
+  void LocalScan(const std::string& ns, const TimedScanFn& fn);
 
   /// newData: subscribe to objects newly stored at this node in `ns`
   /// (handleNewData). Returns a subscription token.

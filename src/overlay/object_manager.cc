@@ -24,6 +24,7 @@ void ObjectManager::Put(ObjectName name, std::string value, TimeUs lifetime) {
   obj.name = name;
   obj.value = std::move(value);
   obj.expires_at = vri_->Now() + lifetime;
+  obj.stored_at = vri_->Now();
   Object& slot = store_[name.ns][name.key][name.suffix];
   slot = std::move(obj);
   if (insert_hook_) insert_hook_(slot);

@@ -33,6 +33,9 @@ class ObjectManager {
     ObjectName name;
     std::string value;
     TimeUs expires_at = 0;
+    /// When this node stored the object (local clock). Lets catch-up scans
+    /// skip history older than a swapped-in plan's high-water mark.
+    TimeUs stored_at = 0;
   };
 
   ObjectManager(Vri* vri, Options options);

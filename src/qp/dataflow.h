@@ -40,6 +40,12 @@ class ExecContext {
   /// Remaining lifetime of the query from the moment the graph started here;
   /// operators use it as the soft-state lifetime for published state.
   TimeUs query_lifetime = 30 * kSecond;
+  /// Catch-up high-water mark for swapped-in plans (QueryPlan's
+  /// catchup_floor_us, tightened to the local quiesce instant on a swap):
+  /// access methods skip soft state stored before this instant during their
+  /// catch-up scan — the predecessor generation already counted it. 0 = no
+  /// suppression (first dissemination reads everything, §3.3.4).
+  TimeUs catchup_floor_us = 0;
 
   /// Forward an answer tuple to the proxy (wired up by the QueryProcessor).
   std::function<void(const Tuple&)> emit_result;

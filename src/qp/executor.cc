@@ -81,6 +81,7 @@ QueryExecutor::~QueryExecutor() {
     for (uint64_t t : rq.flush_timers) vri_->CancelEvent(t);
     if (rq.window_timer) vri_->CancelEvent(rq.window_timer);
     if (rq.close_timer) vri_->CancelEvent(rq.close_timer);
+    if (rq.lease_timer) vri_->CancelEvent(rq.lease_timer);
     for (auto& inst : rq.instances) inst->Close();
   }
 }
@@ -95,8 +96,22 @@ TimeUs QueryExecutor::EffectiveWindow(const QueryPlan& meta) {
   return std::max(meta.window, kMinWindow);
 }
 
+TimeUs QueryExecutor::EffectiveLease(const QueryPlan& meta) {
+  if (meta.lease_period_us <= 0) return kDefaultLeasePeriod;
+  return std::max(meta.lease_period_us, kMinLeasePeriod);
+}
+
 Status QueryExecutor::StartGraphs(const QueryPlan& meta,
                                   const std::vector<OpGraph>& graphs) {
+  // A cancel tombstone: the proxy ended the query on purpose. Tear down
+  // without starting the successor walk; stale tombstones from a superseded
+  // generation are ignored.
+  if (meta.cancelled) {
+    auto cit = queries_.find(meta.query_id);
+    if (cit != queries_.end() && meta.generation >= cit->second.generation)
+      DoStop(meta.query_id);
+    return Status::Ok();
+  }
   // Metadata-only refreshes (rewindowing broadcasts) must never instantiate
   // a query on nodes that do not run it.
   if (graphs.empty() && queries_.count(meta.query_id) == 0)
@@ -108,13 +123,35 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
     rq.meta.graphs.clear();
     rq.start_time = vri_->Now();
     rq.generation = meta.generation;
+    RefreshLease(&rq);
     ArmQueryTimers(&rq);
+  } else if (meta.generation > rq.generation && graphs.empty()) {
+    // A metadata-only refresh from a generation this node never received:
+    // the swap broadcast was lost (the tree is what churn breaks first).
+    // Keep the stale generation's instances running — their answers are
+    // still correct, just produced by the superseded physical plan — renew
+    // the (live, clearly newer) proxy's lease, and fetch the missed plan
+    // point-to-point. The fetched plan arrives as an ordinary higher-
+    // generation dissemination WITH graphs and swaps normally.
+    if (meta.proxy_epoch >= rq.meta.proxy_epoch) {
+      rq.meta.proxy = meta.proxy;
+      rq.meta.proxy_epoch = meta.proxy_epoch;
+      rq.meta.successors = meta.successors;
+      rq.meta.lease_period_us = meta.lease_period_us;
+      rq.meta.window = meta.window;
+      rq.forward_failures = 0;
+      rq.stray_answers = 0;
+      RefreshLease(&rq);
+    }
+    if (plan_fetcher_) plan_fetcher_(meta.query_id, meta.proxy);
+    return Status::Ok();
   } else if (meta.generation > rq.generation) {
     // Plan swap: the old instances emit their current window's blocking
     // state (the final flush — windows are the quiesce points, so no
     // operator state needs to migrate), then tear down. The new generation
     // runs under the same query id, start time and close timer; only the
     // window/flush metadata is adopted from the new plan.
+    bool had_instances = !rq.instances.empty();
     for (auto& inst : rq.instances) inst->Flush();
     for (auto& inst : rq.instances) inst->Close();
     rq.instances.clear();
@@ -125,14 +162,41 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
     rq.meta = meta;
     rq.meta.graphs.clear();
     rq.meta.timeout = timeout;
+    // The final flush above IS this node's quiesce point: everything stored
+    // before this instant was counted by the generation that just flushed,
+    // so the proxy-stamped catch-up floor can only be tightened by it. A
+    // node whose FIRST sight is this generation keeps the wire floor as is
+    // (its predecessor ran elsewhere; the proxy's stamp is the best bound).
+    if (had_instances)
+      rq.meta.catchup_floor_us =
+          std::max(rq.meta.catchup_floor_us, vri_->Now());
+    rq.forward_failures = 0;
+    rq.stray_answers = 0;
+    RefreshLease(&rq);
     // The repeating window tick re-reads the window at each boundary, so an
     // already-armed timer needs no rearming; a query that only now became
     // continuous does.
     if (rq.meta.continuous && rq.window_timer == 0) ArmWindowTimer(&rq);
+    if (rq.meta.continuous && rq.lease_timer == 0) ArmLeaseTimer(&rq);
   } else if (meta.generation == rq.generation) {
     // Same-generation refresh: adopt a changed window (rewindowing); it
     // takes effect at the next window boundary.
     rq.meta.window = meta.window;
+    // Proxy identity moves only FORWARD along the failover chain: a refresh
+    // from the current proxy (same epoch, same address) renews its lease, a
+    // refresh announcing a later-epoch successor re-targets answer routing,
+    // and a late refresh from a superseded proxy is ignored.
+    if (meta.proxy_epoch > rq.meta.proxy_epoch ||
+        (meta.proxy_epoch == rq.meta.proxy_epoch &&
+         meta.proxy == rq.meta.proxy)) {
+      rq.meta.proxy = meta.proxy;
+      rq.meta.proxy_epoch = meta.proxy_epoch;
+      rq.meta.successors = meta.successors;
+      rq.meta.lease_period_us = meta.lease_period_us;
+      rq.forward_failures = 0;
+      rq.stray_answers = 0;
+      RefreshLease(&rq);
+    }
   } else {
     return Status::Ok();  // stale re-dissemination of a superseded generation
   }
@@ -156,10 +220,19 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
         meta.deadline_us > 0
             ? std::max<TimeUs>(kMillisecond, meta.deadline_us - vri_->Now())
             : meta.timeout;
+    // The RunningQuery's floor, not the raw wire one: a swap tightened it to
+    // this node's quiesce instant above.
+    cx.catchup_floor_us = rq.meta.catchup_floor_us;
     uint64_t qid = meta.query_id;
-    NetAddress proxy = meta.proxy;
-    cx.emit_result = [this, qid, proxy](const Tuple& t) {
-      if (result_sink_) result_sink_(qid, proxy, t);
+    // The answer target is read at EMIT time, not instantiation time: when
+    // the proxy dies mid-run, failover re-points rq.meta.proxy at a
+    // successor and every already-running instance follows without a
+    // re-instantiation.
+    cx.emit_result = [this, qid](const Tuple& t) {
+      if (!result_sink_) return;
+      auto qit = queries_.find(qid);
+      if (qit == queries_.end()) return;  // racing teardown: drop
+      result_sink_(qid, qit->second.meta.proxy, t);
     };
     cx.request_stop = [this, qid]() { StopQuery(qid); };
     cx.observe_publish = publish_observer_;
@@ -189,7 +262,10 @@ void QueryExecutor::ArmQueryTimers(RunningQuery* rq) {
   if (rq->meta.deadline_us > 0)
     delay = std::max<TimeUs>(0, rq->meta.deadline_us - vri_->Now());
   rq->close_timer = vri_->ScheduleEvent(delay, [this, qid]() { DoStop(qid); });
-  if (rq->meta.continuous) ArmWindowTimer(rq);
+  if (rq->meta.continuous) {
+    ArmWindowTimer(rq);
+    ArmLeaseTimer(rq);
+  }
 }
 
 void QueryExecutor::ArmWindowTimer(RunningQuery* rq) {
@@ -207,6 +283,192 @@ void QueryExecutor::ArmWindowTimer(RunningQuery* rq) {
   };
   rq->window_timer =
       vri_->ScheduleEvent(EffectiveWindow(rq->meta), rq->window_tick);
+}
+
+void QueryExecutor::RefreshLease(RunningQuery* rq) {
+  rq->lease_expires = vri_->Now() + EffectiveLease(rq->meta);
+}
+
+void QueryExecutor::ArmLeaseTimer(RunningQuery* rq) {
+  // A repeating proxy-liveness check, re-reading the lease period from the
+  // query's metadata each tick (a swap can change it). The check is a no-op
+  // while this node IS the proxy — a proxy cannot orphan itself; its local
+  // teardown goes through CancelQuery.
+  uint64_t qid = rq->meta.query_id;
+  rq->lease_tick = [this, qid]() {
+    auto it = queries_.find(qid);
+    if (it == queries_.end()) return;
+    RunningQuery& q = it->second;
+    q.lease_timer = 0;
+    if (q.meta.continuous && !q.stopping && !q.probe_inflight &&
+        q.meta.proxy != dht_->local_address() && !q.meta.proxy.IsNull() &&
+        vri_->Now() >= q.lease_expires) {
+      OnLeaseExpired(&q);
+      if (queries_.count(qid) == 0) return;  // reaped (proberless path)
+    }
+    // Re-find: OnLeaseExpired may mutate the map (orphan reap, adoption).
+    auto again = queries_.find(qid);
+    if (again == queries_.end()) return;
+    again->second.lease_timer = vri_->ScheduleEvent(
+        std::max<TimeUs>(kMinLeasePeriod / 4,
+                         EffectiveLease(again->second.meta) / 4),
+        again->second.lease_tick);
+  };
+  rq->lease_timer = vri_->ScheduleEvent(EffectiveLease(rq->meta) / 4,
+                                        rq->lease_tick);
+}
+
+void QueryExecutor::OnLeaseExpired(RunningQuery* rq) {
+  if (!proxy_prober_) {
+    FailoverStep(rq, "proxy lease expired");
+    return;
+  }
+  // The lease travels over the distribution tree, which is exactly what
+  // churn breaks first — so corroborate point-to-point before declaring
+  // death. Verdicts are staled by the (epoch, target) they were sent under;
+  // a local timeout at lease/2 keeps a slow transport give-up from
+  // stretching detection.
+  uint64_t qid = rq->meta.query_id;
+  NetAddress target = rq->meta.proxy;
+  uint32_t epoch = rq->meta.proxy_epoch;
+  uint64_t seq = ++rq->probe_seq;
+  rq->probe_inflight = true;
+  auto resolve = [this, qid, target, epoch, seq](ProbeVerdict v) {
+    auto it = queries_.find(qid);
+    if (it == queries_.end()) return;
+    RunningQuery& q = it->second;
+    if (!q.probe_inflight || q.probe_seq != seq ||
+        q.meta.proxy_epoch != epoch || q.meta.proxy != target) {
+      return;  // stale verdict: the query moved on meanwhile
+    }
+    q.probe_inflight = false;
+    switch (v) {
+      case ProbeVerdict::kProxying:
+        // The proxy is up and owns the query; the refresh channel just
+        // hasn't healed yet. Renew and keep listening.
+        q.probe_strikes = 0;
+        RefreshLease(&q);
+        break;
+      case ProbeVerdict::kNotProxying:
+        // Reachable, but it does not own the query: an un-adopted successor
+        // (give it one short grace re-probe — adoption may be mid-flight),
+        // or a proxy whose record ended on purpose (a missed cancel
+        // tombstone). Either way, renewing a full lease forever would park
+        // the walk on a node that will never answer.
+        if (++q.probe_strikes >= 2) {
+          q.probe_strikes = 0;
+          FailoverStep(&q, "node is alive but does not own the query");
+        } else {
+          q.lease_expires = vri_->Now() + EffectiveLease(q.meta) / 2;
+        }
+        break;
+      case ProbeVerdict::kDead:
+        // A lost probe must not override fresher evidence: an answer-
+        // forward ACK may have renewed the lease while the probe was out.
+        if (vri_->Now() < q.lease_expires) return;
+        FailoverStep(&q, "proxy lease expired and probe failed");
+        break;
+    }
+  };
+  // The timeout is armed BEFORE the prober runs and touches nothing via rq:
+  // a transport that fails synchronously makes the prober resolve kDead
+  // inline, and a chain-exhausted resolve reaps the query — erasing the map
+  // entry rq points into. Nothing may dereference rq after this call.
+  vri_->ScheduleEvent(EffectiveLease(rq->meta) / 2,
+                      [resolve]() { resolve(ProbeVerdict::kDead); });
+  proxy_prober_(qid, target, resolve);
+}
+
+bool QueryExecutor::FailoverStep(RunningQuery* rq, const std::string& reason) {
+  uint64_t qid = rq->meta.query_id;
+  uint32_t next = rq->meta.proxy_epoch;  // index of the next successor
+  if (next >= rq->meta.successors.size()) {
+    // Chain exhausted (or never configured): the query is an orphan. Reap
+    // it — opgraphs torn down, timers cancelled — instead of letting every
+    // executor forward answers into a void until the deadline.
+    stats_.orphan_reaps++;
+    stats_.last_orphan_reason =
+        reason + "; no proxy successor remains for query " +
+        std::to_string(qid);
+    PIER_LOG(kInfo) << "reaping orphaned query " << qid << ": " << reason;
+    DoStop(qid);
+    return false;
+  }
+  rq->meta.proxy = rq->meta.successors[next];
+  rq->meta.proxy_epoch = next + 1;
+  rq->forward_failures = 0;
+  rq->stray_answers = 0;
+  // The candidate gets one full lease period to adopt and start refreshing
+  // before the walk advances past it.
+  RefreshLease(rq);
+  stats_.proxy_failovers++;
+  PIER_LOG(kInfo) << "query " << qid << " proxy failover (" << reason
+                  << "): answers now target " << rq->meta.proxy.ToString()
+                  << " (epoch " << rq->meta.proxy_epoch << ")";
+  if (rq->meta.proxy == dht_->local_address() && adopt_handler_) {
+    // This node is next in line: adopt the proxy role. The handler runs
+    // synchronously (it creates the proxy-side record and re-broadcasts the
+    // announcement); it may re-enter StartGraphs, which only mutates fields
+    // of this std::map entry — rq stays valid.
+    adopt_handler_(rq->meta);
+  }
+  return true;
+}
+
+void QueryExecutor::NoteAnswerForwardFailure(uint64_t query_id,
+                                             const NetAddress& target) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  RunningQuery& rq = it->second;
+  stats_.forward_failures++;
+  // Only failures against the CURRENT proxy count: give-ups on a proxy this
+  // query already failed away from are stale news.
+  if (!rq.meta.continuous || rq.stopping || target != rq.meta.proxy) return;
+  if (++rq.forward_failures < kForwardFailuresBeforeFailover) return;
+  // Deferred: a synchronously-failing transport reports from inside the
+  // send call, which can sit under an operator's Flush — and a failover
+  // that reaps the query would close that operator mid-emission. The event
+  // re-checks that the failed target is still the proxy (a refresh or an
+  // earlier step may have moved it meanwhile).
+  vri_->ScheduleEvent(0, [this, query_id, target]() {
+    auto qit = queries_.find(query_id);
+    if (qit == queries_.end()) return;
+    RunningQuery& q = qit->second;
+    if (!q.meta.continuous || q.stopping || target != q.meta.proxy) return;
+    if (q.forward_failures < kForwardFailuresBeforeFailover) return;
+    FailoverStep(&q, "answer forwarding failed");
+  });
+}
+
+void QueryExecutor::NoteAnswerForwardSuccess(uint64_t query_id,
+                                             const NetAddress& target) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  RunningQuery& rq = it->second;
+  if (!rq.meta.continuous || target != rq.meta.proxy) return;
+  rq.forward_failures = 0;
+  RefreshLease(&rq);
+}
+
+void QueryExecutor::NoteStrayAnswer(uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  RunningQuery& rq = it->second;
+  if (!rq.meta.continuous || rq.stopping) return;
+  NetAddress local = dht_->local_address();
+  if (rq.meta.proxy == local) return;  // already adopted; record raced away
+  uint32_t next = rq.meta.proxy_epoch;
+  if (next >= rq.meta.successors.size() || rq.meta.successors[next] != local)
+    return;  // not next in the chain: the lease walk will get there
+  stats_.stray_answers++;
+  rq.stray_answers++;
+  // Another executor is already routing answers here, so the proxy is dead
+  // from ITS vantage point. Adopt once the local evidence agrees (our lease
+  // also ran out) or the signal repeats.
+  if (rq.stray_answers >= kStrayAnswersBeforeAdopt ||
+      vri_->Now() >= rq.lease_expires) {
+    FailoverStep(&rq, "answers forwarded here for a dead proxy");
+  }
 }
 
 void QueryExecutor::ArmInstanceFlush(RunningQuery* rq, OpGraphInstance* inst,
@@ -241,8 +503,20 @@ void QueryExecutor::DoStop(uint64_t query_id) {
   for (uint64_t t : rq.flush_timers) vri_->CancelEvent(t);
   if (rq.window_timer) vri_->CancelEvent(rq.window_timer);
   if (rq.close_timer) vri_->CancelEvent(rq.close_timer);
+  if (rq.lease_timer) vri_->CancelEvent(rq.lease_timer);
   for (auto& inst : rq.instances) inst->Close();
   queries_.erase(it);
+}
+
+std::vector<OpGraph> QueryExecutor::BroadcastGraphs(uint64_t query_id) const {
+  std::vector<OpGraph> out;
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return out;
+  for (const auto& inst : it->second.instances) {
+    if (inst->graph().dissem == DissemKind::kBroadcast)
+      out.push_back(inst->graph());
+  }
+  return out;
 }
 
 Operator* QueryExecutor::FindOp(uint64_t query_id, uint32_t graph_id,

@@ -42,6 +42,7 @@ class OpGraphInstance {
 
   Operator* FindOp(uint32_t op_id);
   uint32_t graph_id() const { return graph_.id; }
+  const OpGraph& graph() const { return graph_; }
   ExecContext* context() { return &cx_; }
 
  private:
@@ -84,10 +85,28 @@ class QueryExecutor {
   static constexpr TimeUs kMinWindow = 10 * kMillisecond;
   static constexpr TimeUs kDefaultWindow = 5 * kSecond;
 
+  /// Proxy-lease bounds for continuous queries executing for a REMOTE proxy:
+  /// the proxy re-broadcasts a metadata refresh every EffectiveLease/3; an
+  /// executor that heard nothing for a full lease period presumes the proxy
+  /// dead and either fails over to the next successor or reaps the query.
+  static constexpr TimeUs kMinLeasePeriod = 500 * kMillisecond;
+  static constexpr TimeUs kDefaultLeasePeriod = 10 * kSecond;
+  /// UdpCc give-ups needed on the current proxy before failing over (one
+  /// give-up is already 4 retransmits; two keeps a single congestion
+  /// collapse from usurping a live proxy).
+  static constexpr uint32_t kForwardFailuresBeforeFailover = 2;
+  /// Answer tuples forwarded HERE for a query this node does not proxy — the
+  /// fast adoption signal: other executors already declared the proxy dead
+  /// and this node is next in the successor chain.
+  static constexpr uint32_t kStrayAnswersBeforeAdopt = 2;
+
   /// The flush period a continuous query described by `meta` actually runs
   /// with (re-read at every window boundary, so rewindowing a running query
   /// takes effect at the next tick).
   static TimeUs EffectiveWindow(const QueryPlan& meta);
+
+  /// The proxy-lease period `meta` actually runs with.
+  static TimeUs EffectiveLease(const QueryPlan& meta);
 
   /// Instantiate `graphs` of the query described by `meta` on this node.
   /// The first arrival arms the flush/close timers; later arrivals (more
@@ -105,8 +124,82 @@ class QueryExecutor {
   /// call from inside an operator (deferred to a zero-delay event).
   void StopQuery(uint64_t query_id);
 
+  // --- Churn: proxy failover and orphan reaping --------------------------------
+  // A continuous query's proxy can die mid-run. Executors detect it two
+  // ways — the proxy's lease (refreshed by metadata re-broadcasts) expires,
+  // or forwarding answers to it fails — then walk the plan's ordered
+  // successor list: answer routing re-targets successors[epoch], each
+  // failed candidate granting the next one a fresh lease. The node that
+  // finds ITSELF next in the chain adopts the proxy role through the adopt
+  // handler (the QueryProcessor installs it). When the chain is exhausted
+  // the query is reaped locally: opgraphs torn down, timers cancelled, the
+  // orphan-abort reason recorded in stats().
+
+  /// Invoked (synchronously) when this node becomes a query's proxy via
+  /// failover; receives the query's metadata (graphs cleared, proxy =
+  /// local, proxy_epoch advanced).
+  using AdoptHandler = std::function<void(const QueryPlan& meta)>;
+  void set_adopt_handler(AdoptHandler h) { adopt_handler_ = std::move(h); }
+
+  /// What a point-to-point proxy probe learned: the node is gone, it
+  /// answers and owns the query, or it answers but does NOT own it (an
+  /// un-adopted successor, or a proxy whose record ended — a missed cancel
+  /// tombstone). The distinction matters: reachability alone must not park
+  /// the failover walk on a successor that will never adopt.
+  enum class ProbeVerdict : uint8_t { kDead = 0, kProxying = 1,
+                                      kNotProxying = 2 };
+
+  /// Point-to-point proxy probe, installed by the QueryProcessor. An
+  /// expired lease alone is weak evidence — the refresh channel (the
+  /// distribution tree) is itself broken right after churn — so before
+  /// acting the executor probes the proxy directly. Without a prober
+  /// installed, expiry fails over immediately.
+  using ProxyProber =
+      std::function<void(uint64_t query_id, const NetAddress& target,
+                         std::function<void(ProbeVerdict)>)>;
+  void set_proxy_prober(ProxyProber p) { proxy_prober_ = std::move(p); }
+
+  /// Missed-swap repair, installed by the QueryProcessor: when a lease
+  /// refresh reveals a generation this node never received (the swap
+  /// broadcast was lost to a mid-repair tree), the executor keeps the stale
+  /// generation running — answers beat silence — and asks the proxy for the
+  /// current plan point-to-point.
+  using PlanFetcher =
+      std::function<void(uint64_t query_id, const NetAddress& proxy)>;
+  void set_plan_fetcher(PlanFetcher f) { plan_fetcher_ = std::move(f); }
+
+  /// Report that forwarding an answer of `query_id` to `target` failed
+  /// (UdpCc gave up). Stale reports about a proxy this query already failed
+  /// away from are ignored.
+  void NoteAnswerForwardFailure(uint64_t query_id, const NetAddress& target);
+
+  /// Report that an answer forward to `target` was ACKed. An ack from the
+  /// current proxy refreshes its lease: the answer path is live proof of
+  /// liveness, so a busy query never reaps just because the distribution
+  /// tree (the lease-refresh channel) is mid-repair after churn.
+  void NoteAnswerForwardSuccess(uint64_t query_id, const NetAddress& target);
+
+  /// Report an answer tuple that arrived here for a query this node does
+  /// not proxy. If this node runs the query and is next in its successor
+  /// chain, this counts toward adoption (and may adopt synchronously).
+  void NoteStrayAnswer(uint64_t query_id);
+
+  struct Stats {
+    uint64_t proxy_failovers = 0;  // answer routing re-targeted a successor
+    uint64_t orphan_reaps = 0;     // queries torn down with no live proxy
+    uint64_t forward_failures = 0; // UdpCc give-ups on answer forwards
+    uint64_t stray_answers = 0;    // answers received for un-proxied queries
+    std::string last_orphan_reason;
+  };
+  const Stats& stats() const { return stats_; }
+
   bool HasQuery(uint64_t query_id) const { return queries_.count(query_id) > 0; }
   size_t num_active() const { return queries_.size(); }
+
+  /// The broadcast-disseminated opgraphs this node runs for `query_id` — an
+  /// adopting proxy rebuilds its stored plan from these, so it can serve
+  /// missed-swap plan fetches and future re-disseminations.
+  std::vector<OpGraph> BroadcastGraphs(uint64_t query_id) const;
 
   /// Introspection for tests and benches.
   Operator* FindOp(uint64_t query_id, uint32_t graph_id, uint32_t op_id);
@@ -133,19 +226,51 @@ class QueryExecutor {
     TimeUs start_time = 0;
     uint32_t generation = 0;
     bool stopping = false;
+    /// Proxy-lease state (continuous queries with a remote proxy). The
+    /// repeating check lives in its own tick function for the same
+    /// leak-free reason as window_tick.
+    TimeUs lease_expires = 0;
+    std::function<void()> lease_tick;
+    uint64_t lease_timer = 0;
+    uint32_t forward_failures = 0;
+    uint32_t stray_answers = 0;
+    /// An expired-lease probe is in flight (with its own shorter timeout);
+    /// late verdicts are staled by the sequence number and the (epoch,
+    /// target) they were sent under. `probe_strikes` counts consecutive
+    /// reachable-but-not-proxying verdicts before the walk moves on.
+    bool probe_inflight = false;
+    uint64_t probe_seq = 0;
+    uint32_t probe_strikes = 0;
   };
 
   void ArmQueryTimers(RunningQuery* rq);
   void ArmWindowTimer(RunningQuery* rq);
+  void ArmLeaseTimer(RunningQuery* rq);
+  /// Lease expired: probe the proxy (if a prober is installed) and fail
+  /// over on a dead verdict or probe timeout; fail over immediately without
+  /// a prober.
+  void OnLeaseExpired(RunningQuery* rq);
   void ArmInstanceFlush(RunningQuery* rq, OpGraphInstance* inst,
                         int32_t stage);
   void DoStop(uint64_t query_id);
+  /// Grant the current proxy a fresh lease (any dissemination or metadata
+  /// refresh for the query counts as hearing from it).
+  void RefreshLease(RunningQuery* rq);
+  /// Advance the failover chain one step: re-target answers at the next
+  /// successor (adopting locally if that is us), or reap the query as an
+  /// orphan when the chain is exhausted. Returns false iff reaped (the
+  /// RunningQuery is gone).
+  bool FailoverStep(RunningQuery* rq, const std::string& reason);
 
   Vri* vri_;
   Dht* dht_;
   ResultSink result_sink_;
   PublishObserver publish_observer_;
+  AdoptHandler adopt_handler_;
+  ProxyProber proxy_prober_;
+  PlanFetcher plan_fetcher_;
   std::map<uint64_t, RunningQuery> queries_;
+  Stats stats_;
 };
 
 }  // namespace pier

@@ -29,6 +29,7 @@ class ScanOp : public Operator {
     ns_ = spec_.GetString("ns");
     if (ns_.empty()) return Status::InvalidArgument("scan needs ns");
     watch_ = spec_.GetInt("watch", 1) != 0;
+    floor_ = cx->catchup_floor_us;
     return Status::Ok();
   }
 
@@ -42,8 +43,17 @@ class ScanOp : public Operator {
     }
     timer_ = cx_->vri->ScheduleEvent(0, [this]() {
       timer_ = 0;
+      // The catch-up scan honors the swap-time high-water mark: objects the
+      // predecessor generation already counted are skipped, not re-emitted.
+      // The newData subscription above is untouched — it only ever sees
+      // stores later than this instant.
       cx_->dht->LocalScan(
-          ns_, [this](const ObjectName& name, std::string_view value) {
+          ns_, [this](const ObjectName& name, std::string_view value,
+                      TimeUs stored_at) {
+            if (floor_ > 0 && stored_at < floor_) {
+              suppressed_++;
+              return;
+            }
             Deliver(name, value);
           });
     });
@@ -56,6 +66,11 @@ class ScanOp : public Operator {
     sub_ = 0;
     if (timer_) cx_->vri->CancelEvent(timer_);
     timer_ = 0;
+  }
+
+  int64_t Metric(const std::string& name) const override {
+    if (name == "suppressed") return static_cast<int64_t>(suppressed_);
+    return -1;
   }
 
  private:
@@ -79,6 +94,8 @@ class ScanOp : public Operator {
   uint64_t sub_ = 0;
   uint64_t timer_ = 0;
   uint64_t malformed_ = 0;
+  uint64_t suppressed_ = 0;
+  TimeUs floor_ = 0;
   std::unordered_set<uint64_t> seen_;
 };
 
@@ -95,6 +112,7 @@ class NewDataOp : public Operator {
     ns_ = spec_.GetString("ns");
     if (ns_.empty()) return Status::InvalidArgument("newdata needs ns");
     catchup_ = spec_.GetInt("catchup", 1) != 0;
+    floor_ = cx->catchup_floor_us;
     return Status::Ok();
   }
 
@@ -106,8 +124,20 @@ class NewDataOp : public Operator {
     if (catchup_) {
       timer_ = cx_->vri->ScheduleEvent(0, [this]() {
         timer_ = 0;
+        // Rendezvous namespaces outlive plan generations (they are keyed by
+        // query id), so a swapped-in consumer's catch-up must skip the
+        // partials its predecessor already folded — same high-water mark as
+        // the base-table scan. (For JOIN rendezvous this trades lost
+        // old-side matches for no re-emitted ones; the replanner only swaps
+        // when the strategy changes, which abandons the old namespace
+        // anyway, so the trade only bites hand-driven same-shape swaps.)
         cx_->dht->LocalScan(
-            ns_, [this](const ObjectName& name, std::string_view value) {
+            ns_, [this](const ObjectName& name, std::string_view value,
+                        TimeUs stored_at) {
+              if (floor_ > 0 && stored_at < floor_) {
+                suppressed_++;
+                return;
+              }
               Deliver(name, value);
             });
       });
@@ -121,6 +151,11 @@ class NewDataOp : public Operator {
     sub_ = 0;
     if (timer_) cx_->vri->CancelEvent(timer_);
     timer_ = 0;
+  }
+
+  int64_t Metric(const std::string& name) const override {
+    if (name == "suppressed") return static_cast<int64_t>(suppressed_);
+    return -1;
   }
 
  private:
@@ -137,6 +172,8 @@ class NewDataOp : public Operator {
   bool catchup_ = true;
   uint64_t sub_ = 0;
   uint64_t timer_ = 0;
+  uint64_t suppressed_ = 0;
+  TimeUs floor_ = 0;
   std::unordered_set<uint64_t> seen_;
 };
 

@@ -124,8 +124,14 @@ class HierAggOp : public Operator {
     catchup_timer_ = cx_->vri->ScheduleEvent(0, [this, alive]() {
       if (alive.expired()) return;
       catchup_timer_ = 0;
+      // Like every catch-up scan, honor the swap-time high-water mark:
+      // partials the superseded generation already folded and answered
+      // must not re-enter the root accumulation.
       cx_->dht->LocalScan(
-          ns_, [this](const ObjectName& name, std::string_view value) {
+          ns_, [this](const ObjectName& name, std::string_view value,
+                      TimeUs stored_at) {
+            if (cx_->catchup_floor_us > 0 && stored_at < cx_->catchup_floor_us)
+              return;
             AbsorbRootObject(name, value);
           });
     });
@@ -380,6 +386,10 @@ class HierJoinOp : public Operator {
     catchup_timer_ = cx_->vri->ScheduleEvent(0, [this, alive]() {
       if (alive.expired()) return;
       catchup_timer_ = 0;
+      // Deliberately NOT floor-suppressed on swaps: owner records are the
+      // join's durable lookup state (tuples still waiting to be matched),
+      // not already-counted deltas — a swapped-in instance needs all of
+      // them or old-side × new-side matches are silently lost.
       cx_->dht->LocalScan(
           ns_, [this](const ObjectName& name, std::string_view value) {
             ProcessOwnerRecord(name, value);

@@ -154,6 +154,14 @@ Status QueryPlan::Validate() const {
   if (timeout <= 0) return Status::InvalidArgument("non-positive timeout");
   if (deadline_us < 0) return Status::InvalidArgument("negative deadline");
   if (window < 0) return Status::InvalidArgument("negative window");
+  if (catchup_floor_us < 0)
+    return Status::InvalidArgument("negative catch-up floor");
+  if (lease_period_us < 0)
+    return Status::InvalidArgument("negative lease period");
+  if (successors.size() > kMaxSuccessors)
+    return Status::InvalidArgument("too many proxy successors");
+  if (proxy_epoch > successors.size())
+    return Status::InvalidArgument("proxy epoch past the successor chain");
   return Status::Ok();
 }
 
@@ -168,6 +176,15 @@ void QueryPlan::EncodeTo(WireWriter* w) const {
   w->PutI64(window);
   w->PutU32(generation);
   w->PutU8(replan ? 1 : 0);
+  w->PutVarint(successors.size());
+  for (const NetAddress& s : successors) {
+    w->PutU32(s.host);
+    w->PutU16(s.port);
+  }
+  w->PutU32(proxy_epoch);
+  w->PutI64(catchup_floor_us);
+  w->PutI64(lease_period_us);
+  w->PutU8(cancelled ? 1 : 0);
   w->PutVarint(graphs.size());
   for (const OpGraph& g : graphs) {
     w->PutU32(g.id);
@@ -219,6 +236,22 @@ Result<QueryPlan> QueryPlan::Decode(std::string_view wire) {
   uint8_t replan;
   PIER_RETURN_IF_ERROR(r.GetU8(&replan));
   plan.replan = replan != 0;
+  uint64_t nsucc;
+  PIER_RETURN_IF_ERROR(r.GetVarint(&nsucc));
+  if (nsucc > QueryPlan::kMaxSuccessors)
+    return Status::Corruption("absurd successor count");
+  for (uint64_t si = 0; si < nsucc; ++si) {
+    NetAddress a;
+    PIER_RETURN_IF_ERROR(r.GetU32(&a.host));
+    PIER_RETURN_IF_ERROR(r.GetU16(&a.port));
+    plan.successors.push_back(a);
+  }
+  PIER_RETURN_IF_ERROR(r.GetU32(&plan.proxy_epoch));
+  PIER_RETURN_IF_ERROR(r.GetI64(&plan.catchup_floor_us));
+  PIER_RETURN_IF_ERROR(r.GetI64(&plan.lease_period_us));
+  uint8_t cancelled;
+  PIER_RETURN_IF_ERROR(r.GetU8(&cancelled));
+  plan.cancelled = cancelled != 0;
   uint64_t ngraphs;
   PIER_RETURN_IF_ERROR(r.GetVarint(&ngraphs));
   if (ngraphs > 1000) return Status::Corruption("absurd graph count");
@@ -278,7 +311,18 @@ std::string QueryPlan::ToString() const {
                   (deadline_us > 0
                        ? " deadline_us=" + std::to_string(deadline_us)
                        : "") +
-                  "\n";
+                  (catchup_floor_us > 0
+                       ? " catchup_floor_us=" + std::to_string(catchup_floor_us)
+                       : "");
+  if (!successors.empty()) {
+    s += " successors=";
+    for (size_t i = 0; i < successors.size(); ++i) {
+      if (i > 0) s += ",";
+      s += successors[i].ToString();
+    }
+    s += " epoch=" + std::to_string(proxy_epoch);
+  }
+  s += "\n";
   for (const OpGraph& g : graphs) {
     s += "  graph " + std::to_string(g.id) + " [";
     switch (g.dissem) {

@@ -127,6 +127,9 @@ struct OpGraph {
 
 /// A full query: metadata plus opgraphs.
 struct QueryPlan {
+  /// Longest accepted proxy-successor chain (sanity bound on the wire).
+  static constexpr size_t kMaxSuccessors = 32;
+
   uint64_t query_id = 0;
   /// Node that owns the query and receives answer tuples (§3.3.2).
   NetAddress proxy;
@@ -155,6 +158,42 @@ struct QueryPlan {
   /// SQL/UFL). The executor ignores it; PierClient periodically re-optimizes
   /// and swaps the plan when the chosen strategy changed enough.
   bool replan = false;
+  /// Ordered proxy-successor list for continuous queries: when executing
+  /// nodes decide the proxy died (its lease expired, or forwarding answers
+  /// to it failed), they fail answer routing over to successors[0], then
+  /// successors[1], ... — and the named node adopts the proxy role (owns
+  /// rewindow/swap/replan/cancel; the client's QueryHandle re-attaches
+  /// through it). Empty means "no failover": executors reap the query when
+  /// the proxy's lease runs out.
+  std::vector<NetAddress> successors;
+  /// Position of the CURRENT proxy in the failover chain: 0 = the original
+  /// proxy, k = successors[k-1] adopted. Executors accept a proxy change
+  /// from a same-generation metadata refresh only when it advances the
+  /// epoch, so a late refresh from a superseded proxy cannot roll the query
+  /// back to a dead node.
+  uint32_t proxy_epoch = 0;
+  /// Catch-up high-water mark (proxy clock, microseconds): a swapped-in Scan
+  /// (or catch-up NewData) must skip soft state stored before this instant —
+  /// the predecessor generation already counted that history in its windows,
+  /// and re-reading it double-counts the first post-swap window. Stamped by
+  /// SwapQuery at swap time and carried on the wire; 0 = no suppression
+  /// (first dissemination: catch-up reads everything, as §3.3.4 requires).
+  TimeUs catchup_floor_us = 0;
+  /// Proxy lease period for continuous queries. The proxy re-broadcasts a
+  /// metadata-only refresh every lease_period/3 through the distribution
+  /// tree (the existing soft-state refresh idiom); an executor that has not
+  /// heard one for a full period presumes the proxy dead and starts the
+  /// successor walk above. 0 = the executor's default (10s).
+  TimeUs lease_period_us = 0;
+  /// Cancel tombstone: a metadata-only re-dissemination with this set (and a
+  /// bumped generation) tells executors the proxy ended the query ON
+  /// PURPOSE — tear down now, do NOT start the successor walk. Without it a
+  /// cancelled query with successors would look exactly like a dead proxy
+  /// and be adopted. Executors that miss the broadcast converge through the
+  /// DURABLE tombstone the cancel also stores in the DHT ("!qtomb"): a
+  /// successor that adopts via lease starvation checks it and un-adopts;
+  /// the absolute deadline bounds everything else.
+  bool cancelled = false;
 
   std::vector<OpGraph> graphs;
 

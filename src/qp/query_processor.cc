@@ -16,6 +16,109 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
         ForwardAnswer(qid, proxy, t);
       });
 
+  // Proxy failover: when the executor's successor walk lands on this node,
+  // it adopts the proxy role here.
+  executor_->set_adopt_handler(
+      [this](const QueryPlan& meta) { AdoptQuery(meta); });
+
+  // Expired-lease corroboration: lease refreshes ride the distribution
+  // tree, which is exactly what churn breaks first, so before an executor
+  // acts on an expired lease it asks the proxy point-to-point whether it
+  // still owns the query. A reachable node that does NOT own it (a
+  // successor that never adopted because it runs none of the query's
+  // graphs, or a proxy whose record ended — a missed cancel tombstone)
+  // must not be leased forever: the executor's walk moves past it.
+  executor_->set_proxy_prober(
+      [this](uint64_t qid, const NetAddress& target,
+             std::function<void(QueryExecutor::ProbeVerdict)> verdict) {
+        pending_probes_[qid] =
+            PendingProbe{target, std::move(verdict)};  // latest probe wins
+        // Expire the entry if nothing ever resolves it (the executor's own
+        // probe timeout resolves kDead without telling us): the map must
+        // not accumulate one stale closure per dead query forever.
+        vri_->ScheduleEvent(30 * kSecond, [this, qid, target]() {
+          auto it = pending_probes_.find(qid);
+          if (it != pending_probes_.end() && it->second.target == target)
+            pending_probes_.erase(it);
+        });
+        WireWriter w = OverlayRouter::FrameMessage(kMsgLeaseProbe);
+        w.PutU64(qid);
+        dht_->router()->SendFramed(
+            target, std::move(w).data(), [this, qid, target](const Status& s) {
+              if (s.ok()) return;  // delivered; the response resolves it
+              auto it = pending_probes_.find(qid);
+              if (it == pending_probes_.end() || it->second.target != target)
+                return;  // a newer probe took over
+              auto cb = std::move(it->second.verdict);
+              pending_probes_.erase(it);
+              cb(QueryExecutor::ProbeVerdict::kDead);
+            });
+      });
+  dht_->router()->RegisterDirectType(
+      kMsgLeaseProbe, [this](const NetAddress& from, std::string_view body) {
+        WireReader r(body);
+        uint64_t qid;
+        if (!r.GetU64(&qid).ok()) return;
+        WireWriter w = OverlayRouter::FrameMessage(kMsgLeaseProbeResp);
+        w.PutU64(qid);
+        w.PutU8(clients_.count(qid) > 0 ? 1 : 0);
+        dht_->router()->SendFramed(from, std::move(w).data());
+      });
+  dht_->router()->RegisterDirectType(
+      kMsgLeaseProbeResp, [this](const NetAddress& from,
+                                 std::string_view body) {
+        WireReader r(body);
+        uint64_t qid;
+        uint8_t proxying;
+        if (!r.GetU64(&qid).ok() || !r.GetU8(&proxying).ok()) return;
+        auto it = pending_probes_.find(qid);
+        // Only the CURRENT probe's target may resolve it: a straggler
+        // response from a node probed in an earlier epoch must not vouch
+        // for (or strike against) whoever is being probed now.
+        if (it == pending_probes_.end() || it->second.target != from) return;
+        auto cb = std::move(it->second.verdict);
+        pending_probes_.erase(it);
+        cb(proxying ? QueryExecutor::ProbeVerdict::kProxying
+                    : QueryExecutor::ProbeVerdict::kNotProxying);
+      });
+
+  // Missed-swap repair: executors that learn of a newer generation from a
+  // metadata-only lease refresh fetch the full plan directly.
+  executor_->set_plan_fetcher([this](uint64_t qid, const NetAddress& proxy) {
+    WireWriter w = OverlayRouter::FrameMessage(kMsgPlanFetch);
+    w.PutU64(qid);
+    dht_->router()->SendFramed(proxy, std::move(w).data());
+  });
+  dht_->router()->RegisterDirectType(
+      kMsgPlanFetch, [this](const NetAddress& from, std::string_view body) {
+        WireReader r(body);
+        uint64_t qid;
+        if (!r.GetU64(&qid).ok()) return;
+        auto it = clients_.find(qid);
+        if (it == clients_.end() || !it->second.plan_stored) return;
+        // Only the broadcast graphs: equality/range/local graphs belong to
+        // specific nodes and must not be instantiated at a fetcher.
+        QueryPlan push = it->second.plan;
+        std::vector<OpGraph> bcast;
+        for (OpGraph& g : push.graphs) {
+          if (g.dissem == DissemKind::kBroadcast) bcast.push_back(std::move(g));
+        }
+        // Never push a graph-less plan: the fetcher's missed-swap branch
+        // would just fetch again, ping-ponging at RTT rate. An unanswered
+        // fetch retries at the lease-refresh cadence instead.
+        if (bcast.empty()) return;
+        push.graphs = std::move(bcast);
+        WireWriter w = OverlayRouter::FrameMessage(kMsgPlanPush);
+        push.EncodeTo(&w);
+        dht_->router()->SendFramed(from, std::move(w).data());
+      });
+  dht_->router()->RegisterDirectType(
+      kMsgPlanPush, [this](const NetAddress&, std::string_view body) {
+        // The pushed plan re-enters the ordinary dissemination path: a
+        // higher generation with graphs swaps, anything stale is ignored.
+        HandleDisseminationBlob(body);
+      });
+
   // Broadcast dissemination arrives through the distribution tree.
   tree_->set_broadcast_handler([this](std::string_view payload) {
     HandleDisseminationBlob(payload);
@@ -38,6 +141,7 @@ QueryProcessor::~QueryProcessor() {
   if (dissem_sub_) dht_->CancelNewData(dissem_sub_);
   for (auto& [qid, c] : clients_) {
     if (c.done_timer) vri_->CancelEvent(c.done_timer);
+    if (c.lease_timer) vri_->CancelEvent(c.lease_timer);
   }
 }
 
@@ -99,8 +203,9 @@ void QueryProcessor::MakeSecondaryItem(
   MakePublishItem(index_table, {index_attr}, entry, lifetime, items);
 }
 
-void QueryProcessor::PublishBatch(std::vector<DhtPutItem> items) {
-  dht_->PutBatch(std::move(items));
+void QueryProcessor::PublishBatch(std::vector<DhtPutItem> items,
+                                  Dht::BatchCallback done) {
+  dht_->PutBatch(std::move(items), std::move(done));
 }
 
 Pht* QueryProcessor::PhtFor(const std::string& table, int key_bits) {
@@ -150,6 +255,9 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
     if (plan.query_id == 0) plan.query_id = 1;
   }
   plan.proxy = dht_->local_address();
+  // A freshly submitted query starts the failover chain at its original
+  // proxy, whatever a recycled plan object carried.
+  plan.proxy_epoch = 0;
   // Fix the query's end as an absolute instant: every re-dissemination (plan
   // swaps above all) carries it, so a node that first sees a later
   // generation arms a close timer for the REMAINING lifetime, not a fresh
@@ -164,19 +272,13 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
     client.on_tuple = std::make_shared<const TupleCallback>(std::move(on_tuple));
   client.on_done = std::move(on_done);
   uint64_t qid = plan.query_id;
-  client.done_timer = vri_->ScheduleEvent(
-      plan.timeout + options_.done_slack, [this, qid]() {
-        auto it = clients_.find(qid);
-        if (it == clients_.end()) return;
-        DoneCallback done = std::move(it->second.on_done);
-        clients_.erase(it);
-        if (done) done();
-      });
+  client.done_timer = ArmDoneTimer(qid, plan.timeout);
   if (plan.continuous) {
     client.plan = plan;
     client.plan_stored = true;
   }
   clients_[qid] = std::move(client);
+  if (plan.continuous) StartLeaseRefresh(qid);
 
   Disseminate(plan);
   return qid;
@@ -220,13 +322,138 @@ Status QueryProcessor::SwapQuery(uint64_t query_id, QueryPlan new_plan) {
   // carries the query text's original window, and disseminating that would
   // silently undo an earlier Rewindow. Window changes go through
   // RewindowQuery only. The lifetime likewise stays fixed at submission:
-  // the original absolute deadline rides every generation.
+  // the original absolute deadline rides every generation. The failover
+  // chain and lease rhythm also survive a swap unchanged — a replan must
+  // not reset who may adopt the query.
   new_plan.window = current.window;
   new_plan.deadline_us = current.deadline_us;
+  new_plan.successors = current.successors;
+  new_plan.proxy_epoch = current.proxy_epoch;
+  new_plan.lease_period_us = current.lease_period_us;
+  // Swap-time catch-up high-water mark: the swapped-in generation's access
+  // methods skip soft state stored before this instant — the generation
+  // being replaced already counted that history in its windows, and
+  // re-reading it would double-count the first post-swap window.
+  new_plan.catchup_floor_us = vri_->Now();
   PIER_RETURN_IF_ERROR(new_plan.Validate());
   PIER_RETURN_IF_ERROR(CheckTablesKnown(new_plan));
   current = new_plan;
   Disseminate(current);
+  return Status::Ok();
+}
+
+uint64_t QueryProcessor::ArmDoneTimer(uint64_t query_id, TimeUs delay) {
+  return vri_->ScheduleEvent(
+      delay + options_.done_slack, [this, query_id]() {
+        auto it = clients_.find(query_id);
+        if (it == clients_.end()) return;
+        if (it->second.lease_timer) vri_->CancelEvent(it->second.lease_timer);
+        DoneCallback done = std::move(it->second.on_done);
+        clients_.erase(it);
+        if (done) done();
+      });
+}
+
+void QueryProcessor::StartLeaseRefresh(uint64_t query_id) {
+  auto it = clients_.find(query_id);
+  if (it == clients_.end() || !it->second.plan_stored) return;
+  if (it->second.lease_timer) return;  // already refreshing
+  ClientQuery& c = it->second;
+  c.lease_tick = [this, query_id]() {
+    auto cit = clients_.find(query_id);
+    if (cit == clients_.end()) return;
+    ClientQuery& cq = cit->second;
+    // Metadata-only re-broadcast: executors running the query renew the
+    // proxy's lease (and pick up the current window/epoch); everyone else
+    // ignores it. The local executor hears it through the tree like any
+    // other node.
+    QueryPlan meta = cq.plan;
+    meta.graphs.clear();
+    tree_->Broadcast(meta.Encode());
+    cq.lease_timer = vri_->ScheduleEvent(
+        QueryExecutor::EffectiveLease(cq.plan) / 3, cq.lease_tick);
+  };
+  c.lease_timer = vri_->ScheduleEvent(
+      QueryExecutor::EffectiveLease(c.plan) / 3, c.lease_tick);
+}
+
+void QueryProcessor::AdoptQuery(const QueryPlan& meta) {
+  if (!meta.continuous) return;
+  if (clients_.count(meta.query_id) > 0) return;  // already this node's
+  stats_.adoptions++;
+  PIER_LOG(kInfo) << "adopting proxy role for query " << meta.query_id
+                  << " (epoch " << meta.proxy_epoch << ")";
+
+  ClientQuery client;
+  client.plan = meta;
+  // The wire metadata carries no graphs, but this node RUNS the query: its
+  // own broadcast instances rebuild the plan body, so the adopted proxy can
+  // serve missed-swap plan fetches and future re-disseminations instead of
+  // owning an empty shell.
+  client.plan.graphs = executor_->BroadcastGraphs(meta.query_id);
+  client.plan.proxy = dht_->local_address();
+  client.plan_stored = true;
+  uint64_t qid = meta.query_id;
+  // The query's lifetime is unchanged by adoption: the done timer fires at
+  // the ORIGINAL absolute deadline (plus slack), exactly like the dead
+  // proxy's would have.
+  TimeUs remaining = meta.deadline_us > 0
+                         ? std::max<TimeUs>(0, meta.deadline_us - vri_->Now())
+                         : meta.timeout;
+  client.done_timer = ArmDoneTimer(qid, remaining);
+  clients_[qid] = std::move(client);
+
+  // Adoption is optimistic; the durable cancel tombstone is the correction.
+  // A cancelled query's executors normally die of the broadcast tombstone
+  // or lease starvation, but a successor that missed the broadcast reaches
+  // here through that very starvation — so check the DHT-stored tombstone
+  // and un-adopt (best effort: an unreachable tombstone owner just means
+  // the query drains at its deadline, as before).
+  dht_->Get(kTombNs, std::to_string(qid),
+            [this, qid](const Status& s, std::vector<DhtItem> items) {
+              if (!s.ok() || items.empty()) return;
+              PIER_LOG(kInfo) << "un-adopting query " << qid
+                              << ": a cancel tombstone exists";
+              CancelQuery(qid);
+            });
+
+  // Announce the succession: a same-generation metadata refresh with the
+  // advanced proxy_epoch re-targets every executor's answer routing at this
+  // node (executors that independently walked further ignore it as stale),
+  // and from now on this node refreshes the lease.
+  QueryPlan announce = clients_[qid].plan;
+  announce.graphs.clear();
+  tree_->Broadcast(announce.Encode());
+  StartLeaseRefresh(qid);
+}
+
+Status QueryProcessor::AttachClient(uint64_t query_id, TupleCallback on_tuple,
+                                    DoneCallback on_done,
+                                    QueryPlan* plan_out) {
+  auto it = clients_.find(query_id);
+  if (it == clients_.end())
+    return Status::NotFound("this node does not proxy query " +
+                            std::to_string(query_id));
+  ClientQuery& c = it->second;
+  // Re-attach is a continuous-query failover affordance; snapshot records
+  // keep no plan, so an attached handle could not even learn the real
+  // deadline (and rebinding would silently orphan the submitting handle).
+  if (!c.plan_stored)
+    return Status::NotSupported("only continuous queries support re-attach");
+  if (on_tuple)
+    c.on_tuple = std::make_shared<const TupleCallback>(std::move(on_tuple));
+  else
+    c.on_tuple = nullptr;
+  c.on_done = std::move(on_done);
+  if (plan_out) *plan_out = c.plan;
+  // Replay what arrived while the query had no client. The backlog is
+  // swapped out first: the callback may Cancel() and erase the entry.
+  if (c.on_tuple && !c.pending.empty()) {
+    std::vector<Tuple> backlog;
+    backlog.swap(c.pending);
+    std::shared_ptr<const TupleCallback> cb = c.on_tuple;
+    for (const Tuple& t : backlog) (*cb)(t);
+  }
   return Status::Ok();
 }
 
@@ -274,6 +501,30 @@ void QueryProcessor::CancelQuery(uint64_t query_id) {
   auto it = clients_.find(query_id);
   if (it != clients_.end()) {
     if (it->second.done_timer) vri_->CancelEvent(it->second.done_timer);
+    if (it->second.lease_timer) vri_->CancelEvent(it->second.lease_timer);
+    if (it->second.plan_stored) {
+      // A cancelled continuous query must be distinguishable from a DEAD
+      // proxy, or its successors would adopt it and keep it running to the
+      // deadline. Broadcast a tombstone (bumped generation, no graphs);
+      // executors that miss it still reap by lease starvation — the lease
+      // refresh stops with this record.
+      QueryPlan tomb = it->second.plan;
+      tomb.graphs.clear();
+      tomb.generation++;
+      tomb.cancelled = true;
+      tree_->Broadcast(tomb.Encode());
+      // And a DURABLE tombstone in the DHT: a successor that missed the
+      // broadcast adopts through lease starvation, checks this, and
+      // un-adopts. Lifetime = the query's remaining life (after that the
+      // deadline ends everything anyway).
+      TimeUs remaining =
+          it->second.plan.deadline_us > 0
+              ? std::max<TimeUs>(kMillisecond,
+                                 it->second.plan.deadline_us - vri_->Now())
+              : it->second.plan.timeout;
+      dht_->Put(kTombNs, std::to_string(query_id), "t", "1",
+                remaining + options_.done_slack);
+    }
     clients_.erase(it);
   }
   executor_->StopQuery(query_id);
@@ -367,17 +618,32 @@ void QueryProcessor::StartRangeGraph(const QueryPlan& plan, const OpGraph& g) {
       });
 }
 
+void QueryProcessor::DeliverAnswer(ClientQuery* client, const Tuple& t) {
+  stats_.answers_delivered++;
+  // The shared_ptr copy keeps the closure alive through the call even if
+  // the client Cancel()s from inside its own on_tuple (which erases the
+  // clients_ entry).
+  std::shared_ptr<const TupleCallback> cb = client->on_tuple;
+  if (cb) {
+    (*cb)(t);
+    return;
+  }
+  // No client attached (a freshly adopted query before re-attach): hold a
+  // bounded backlog so failover costs in-flight detection time, not every
+  // answer until someone attaches.
+  if (client->pending.size() < kPendingAnswerCap) {
+    client->pending.push_back(t);
+    stats_.answers_buffered++;
+  }
+}
+
 void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
                                    const Tuple& t) {
   if (proxy == dht_->local_address() || proxy.IsNull()) {
-    // This node is the proxy: deliver directly to the client. The shared_ptr
-    // copy keeps the closure alive through the call even if the client
-    // Cancel()s from inside its own on_tuple (which erases the entry).
+    // This node is the proxy: deliver directly to the client.
     auto it = clients_.find(query_id);
     if (it == clients_.end()) return;  // client cancelled or timed out
-    stats_.answers_delivered++;
-    std::shared_ptr<const TupleCallback> cb = it->second.on_tuple;
-    if (cb) (*cb)(t);
+    DeliverAnswer(&it->second, t);
     return;
   }
   stats_.answers_forwarded++;
@@ -386,7 +652,18 @@ void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
   WireWriter w = OverlayRouter::FrameMessage(kMsgAnswer);
   w.PutU64(query_id);
   t.EncodeTo(&w);
-  dht_->router()->SendFramed(proxy, std::move(w).data());
+  // A transport give-up on the proxy is the fast half of proxy-death
+  // detection (the lease is the slow half): the executor counts it and
+  // fails answer routing over to the next successor. An ACK is the
+  // opposite signal — live proof — and refreshes the proxy's lease.
+  dht_->router()->SendFramed(
+      proxy, std::move(w).data(), [this, query_id, proxy](const Status& s) {
+        if (s.ok()) {
+          executor_->NoteAnswerForwardSuccess(query_id, proxy);
+        } else {
+          executor_->NoteAnswerForwardFailure(query_id, proxy);
+        }
+      });
 }
 
 void QueryProcessor::HandleAnswerMsg(const NetAddress& from,
@@ -398,12 +675,15 @@ void QueryProcessor::HandleAnswerMsg(const NetAddress& from,
   Result<Tuple> t = Tuple::DecodeFrom(&r);
   if (!t.ok()) return;
   auto it = clients_.find(qid);
-  if (it == clients_.end()) return;  // late answer after done/cancel
-  stats_.answers_delivered++;
-  // The shared_ptr copy outlives a Cancel()-inside-the-callback erase
-  // (see ForwardAnswer).
-  std::shared_ptr<const TupleCallback> cb = it->second.on_tuple;
-  if (cb) (*cb)(*t);
+  if (it == clients_.end()) {
+    // An answer for a query this node does not proxy: either a late answer
+    // after done/cancel, or other executors already failed over to us. The
+    // executor decides (and may adopt synchronously, creating the record).
+    executor_->NoteStrayAnswer(qid);
+    it = clients_.find(qid);
+    if (it == clients_.end()) return;
+  }
+  DeliverAnswer(&it->second, *t);
 }
 
 }  // namespace pier

@@ -7,6 +7,34 @@
 // proxy itself for final collection graphs. Executing nodes forward answer
 // tuples back to the proxy, which delivers them to the client. Everything is
 // bounded by the query timeout; there is no completion protocol.
+//
+// Churn-hardening of the continuous-query lifecycle:
+//
+//   * Proxy leases. The proxy of every continuous query re-broadcasts a
+//     metadata-only refresh of the plan every EffectiveLease/3 (the same
+//     soft-state-refresh idiom the rest of the system uses). An executor
+//     that has heard nothing for a full lease period — or whose answer
+//     forwards to the proxy fail — presumes the proxy dead.
+//   * Successor adoption. QueryPlan::successors is an ordered failover
+//     chain (client-settable; carried on the wire and through UFL).
+//     Executors that declare the proxy dead re-target answer forwarding at
+//     successors[proxy_epoch], advancing the epoch; the node that finds
+//     itself next in the chain adopts the proxy role (AdoptQuery): it
+//     creates the proxy-side record, re-broadcasts the plan announcing
+//     itself (higher proxy_epoch wins; a late refresh from a superseded
+//     proxy is ignored), resumes lease refreshing, and from then on owns
+//     rewindow/swap/replan/cancel. Answers arriving before a client
+//     re-attaches (PierClient::Attach / QueryHandle::Reattach) are buffered,
+//     bounded, and replayed on attach. A query whose whole chain is dead is
+//     reaped at every executor within one lease period — opgraphs torn
+//     down, timers cancelled, the orphan-abort reason in executor stats.
+//   * Swap-time catch-up suppression. SwapQuery stamps the new generation
+//     with catchup_floor_us (proxy clock, carried on the wire); swapped-in
+//     Scan / catch-up NewData operators skip soft state stored before it,
+//     so the first post-swap window no longer double-counts history the
+//     previous generation already answered. On nodes that ran the previous
+//     generation the floor is tightened to the local final-flush instant
+//     (the quiesce point).
 
 #ifndef PIER_QP_QUERY_PROCESSOR_H_
 #define PIER_QP_QUERY_PROCESSOR_H_
@@ -80,8 +108,11 @@ class QueryProcessor {
                          const Tuple& t, TimeUs lifetime,
                          std::vector<DhtPutItem>* items);
 
-  /// Ship pre-built items as one DHT batch.
-  void PublishBatch(std::vector<DhtPutItem> items);
+  /// Ship pre-built items as one DHT batch. `done` (optional) receives the
+  /// per-destination-group outcome, so partial failures name exactly which
+  /// items were dropped instead of collapsing into one error.
+  void PublishBatch(std::vector<DhtPutItem> items,
+                    Dht::BatchCallback done = nullptr);
 
   /// Publish into a PHT range index keyed by integer column `key_attr`.
   /// lifetime 0 uses the default.
@@ -132,9 +163,35 @@ class QueryProcessor {
   Result<uint64_t> SubmitQuery(QueryPlan plan, TupleCallback on_tuple,
                                DoneCallback on_done = nullptr);
 
-  /// Stop delivering results and tear down local execution. Remote opgraphs
-  /// drain via their own timeouts (soft state, no recall protocol).
+  /// Stop delivering results and tear down local execution. Snapshot
+  /// queries' remote opgraphs drain via their own timeouts (soft state, no
+  /// recall protocol); a cancelled CONTINUOUS query additionally stops its
+  /// lease refresh, so remote executors reap it within one lease period.
   void CancelQuery(uint64_t query_id);
+
+  /// Is this node currently the proxy of `query_id` (submitted or adopted,
+  /// not yet done)? A handle whose query lost its proxy uses this to decide
+  /// between a proper cancel and a local-teardown-only one.
+  bool HasClientQuery(uint64_t query_id) const {
+    return clients_.count(query_id) > 0;
+  }
+
+  /// (Re-)bind client callbacks to a query this node proxies — the re-attach
+  /// path after a successor adopted an orphaned query (also works on the
+  /// original proxy). Answers buffered while the query had no client are
+  /// replayed synchronously into `on_tuple`. `plan_out` (optional) receives
+  /// the stored plan metadata (graphs cleared) so the caller can recover the
+  /// deadline. NotFound if this node does not proxy the query.
+  Status AttachClient(uint64_t query_id, TupleCallback on_tuple,
+                      DoneCallback on_done, QueryPlan* plan_out = nullptr);
+
+  /// Become the proxy of a continuous query this node executes (the adopt
+  /// half of proxy failover; the executor invokes this through its adopt
+  /// handler when the successor walk lands on this node). Creates the
+  /// proxy-side record from `meta`, arms the done timer from the original
+  /// deadline, starts lease refreshing and re-broadcasts the plan so every
+  /// executor re-targets its answers. Idempotent while already the proxy.
+  void AdoptQuery(const QueryPlan& meta);
 
   // --- Continuous-query lifecycle (this node must be the proxy) ---------------
 
@@ -172,12 +229,34 @@ class QueryProcessor {
     uint64_t graphs_received = 0;
     uint64_t answers_forwarded = 0;  // sent toward a remote proxy
     uint64_t answers_delivered = 0;  // handed to a local client
+    uint64_t adoptions = 0;          // proxy roles taken over via failover
+    uint64_t answers_buffered = 0;   // held for a not-yet-attached client
   };
   const Stats& stats() const { return stats_; }
 
  private:
-  /// Router direct-message type for answer tuples (16-20 are the DHT's).
+  /// Router direct-message type for answer tuples (16-21 are the DHT's).
   static constexpr uint8_t kMsgAnswer = 32;
+  /// Namespace of durable cancel tombstones: CancelQuery of a continuous
+  /// query stores one under the query id (lifetime = remaining deadline),
+  /// and AdoptQuery checks it after adopting — a successor that missed the
+  /// tombstone BROADCAST still un-adopts a cancelled query.
+  static constexpr const char* kTombNs = "!qtomb";
+  /// Proxy probe (expired-lease corroboration): the request carries the
+  /// query id; the probed node answers kMsgLeaseProbeResp with whether it
+  /// still proxies the query. "Reachable but not proxying" matters: it is
+  /// how the failover walk moves past a successor that never adopts (it
+  /// does not run the query) and how executors that missed a cancel
+  /// tombstone eventually converge.
+  static constexpr uint8_t kMsgLeaseProbe = 33;
+  static constexpr uint8_t kMsgLeaseProbeResp = 36;
+  /// Missed-swap repair: an executor that learned of a newer generation from
+  /// a metadata-only refresh asks the proxy for the full plan (kMsgPlanFetch,
+  /// body = query id); the proxy replies with its stored plan's broadcast
+  /// graphs (kMsgPlanPush, body = encoded plan) which re-enters the normal
+  /// dissemination path.
+  static constexpr uint8_t kMsgPlanFetch = 34;
+  static constexpr uint8_t kMsgPlanPush = 35;
   /// Namespace that carries targeted (equality) dissemination objects.
   static constexpr const char* kDissemNs = "!dissem";
 
@@ -194,9 +273,30 @@ class QueryProcessor {
     /// after dissemination as before.
     QueryPlan plan;
     bool plan_stored = false;
+    /// Answers that arrived while no client was attached (an adopted query
+    /// before re-attach). Bounded by kPendingAnswerCap; replayed on
+    /// AttachClient.
+    std::vector<Tuple> pending;
+    /// The proxy-lease refresh tick for continuous queries (metadata-only
+    /// re-broadcast every EffectiveLease/3). Same leak-free pattern as the
+    /// executor's window tick.
+    std::function<void()> lease_tick;
+    uint64_t lease_timer = 0;
   };
 
+  /// Most answers an un-attached (freshly adopted) query buffers before
+  /// dropping: enough to bridge a re-attach, never unbounded.
+  static constexpr size_t kPendingAnswerCap = 4096;
+
   Status CheckTablesKnown(const QueryPlan& plan) const;
+  void StartLeaseRefresh(uint64_t query_id);
+  /// Arm the proxy-side completion timer: at `delay` + done_slack the
+  /// client record is torn down and on_done fires. Shared by SubmitQuery
+  /// and AdoptQuery so the two teardown paths cannot drift apart.
+  uint64_t ArmDoneTimer(uint64_t query_id, TimeUs delay);
+  /// Hand one answer to the local client record: the attached callback if
+  /// any, the bounded pending buffer otherwise.
+  void DeliverAnswer(ClientQuery* client, const Tuple& t);
   void Disseminate(const QueryPlan& plan);
   void HandleDisseminationBlob(std::string_view blob);
   void HandleAnswerMsg(const NetAddress& from, std::string_view body);
@@ -215,6 +315,16 @@ class QueryProcessor {
 
   std::map<std::string, std::unique_ptr<Pht>> phts_;
   std::map<uint64_t, ClientQuery> clients_;
+  /// One outstanding proxy probe: who was asked, and how to resolve it.
+  /// The target is checked against the responder — a LATE response from a
+  /// previous probe's (different) target must not resolve the current one.
+  struct PendingProbe {
+    NetAddress target;
+    std::function<void(QueryExecutor::ProbeVerdict)> verdict;
+  };
+  /// Outstanding proxy probes by query id (latest wins): resolved by the
+  /// probed node's kMsgLeaseProbeResp, or by a transport give-up.
+  std::map<uint64_t, PendingProbe> pending_probes_;
   TableResolver table_resolver_;
   uint64_t table_resolver_epoch_ = 0;
   uint64_t dissem_sub_ = 0;

@@ -165,6 +165,33 @@ class UflParser {
     return n * mult;
   }
 
+  /// An absolute instant in raw microseconds (deadline_us, catchup_floor_us
+  /// — no unit suffix: these are instants, not durations).
+  Result<TimeUs> Instant(const std::string& key, const std::string& v) {
+    char* end = nullptr;
+    errno = 0;
+    long long n = std::strtoll(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 0 || errno == ERANGE)
+      return Err("bad " + key + " '" + v + "'");
+    return static_cast<TimeUs>(n);
+  }
+
+  Status ParseAddress(const std::string& v, NetAddress* out) {
+    size_t colon = v.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= v.size())
+      return Err("successor must be host:port, got '" + v + "'");
+    char* end = nullptr;
+    unsigned long long host = std::strtoull(v.c_str(), &end, 10);
+    if (end != v.c_str() + colon || host > 0xffffffffULL)
+      return Err("bad successor host in '" + v + "'");
+    unsigned long long port = std::strtoull(v.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || port > 0xffffULL)
+      return Err("bad successor port in '" + v + "'");
+    out->host = static_cast<uint32_t>(host);
+    out->port = static_cast<uint16_t>(port);
+    return Status::Ok();
+  }
+
   Status ParseQueryBlock() {
     PIER_RETURN_IF_ERROR(Expect('{'));
     while (!Peek('}')) {
@@ -179,15 +206,26 @@ class UflParser {
         if (key == "timeout") {
           PIER_ASSIGN_OR_RETURN(plan_.timeout, Duration(value));
         } else if (key == "deadline_us") {
-          // Absolute end of life in raw microseconds (no unit suffix: this
-          // is an instant, not a duration). Normally stamped by SubmitQuery;
-          // exposed here so serialized plans round-trip through UFL.
-          char* end = nullptr;
-          errno = 0;
-          long long n = std::strtoll(value.c_str(), &end, 10);
-          if (end == nullptr || *end != '\0' || n < 0 || errno == ERANGE)
-            return Err("bad deadline_us '" + value + "'");
-          plan_.deadline_us = n;
+          // Normally stamped by SubmitQuery; exposed here so serialized
+          // plans round-trip through UFL.
+          PIER_ASSIGN_OR_RETURN(plan_.deadline_us, Instant(key, value));
+        } else if (key == "catchup_floor_us") {
+          // Normally stamped by SwapQuery; exposed for the same reason.
+          PIER_ASSIGN_OR_RETURN(plan_.catchup_floor_us, Instant(key, value));
+        } else if (key == "lease") {
+          PIER_ASSIGN_OR_RETURN(plan_.lease_period_us, Duration(value));
+        } else if (key == "successors") {
+          // Comma-separated host:port failover chain, in adoption order.
+          for (;;) {
+            NetAddress a;
+            PIER_RETURN_IF_ERROR(ParseAddress(value, &a));
+            plan_.successors.push_back(a);
+            if (!Peek(',')) break;
+            PIER_RETURN_IF_ERROR(Expect(','));
+            PIER_RETURN_IF_ERROR(ParamValue(&value));
+          }
+          if (plan_.successors.size() > QueryPlan::kMaxSuccessors)
+            return Err("too many successors");
         } else if (key == "window") {
           PIER_ASSIGN_OR_RETURN(plan_.window, Duration(value));
         } else if (key == "flush_after") {

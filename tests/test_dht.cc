@@ -153,6 +153,74 @@ TEST(DhtBatch, SingletonGroupsAreByteIdenticalToPlainPuts) {
       << "singleton groups must not use the batch frame";
 }
 
+TEST(DhtBatch, PartialFailureReportsPerGroupStatus) {
+  SimOverlay net(16, SeededOptions(77));
+  // Two keys with distinct owners; then the second owner dies, so the batch
+  // PARTIALLY fails — the report must say exactly which items were dropped,
+  // not collapse everything into the first error.
+  std::string key_a = "a0", key_b;
+  int owner_a = OwnerOf(&net, "pf", key_a);
+  ASSERT_GE(owner_a, 0);
+  int owner_b = -1;
+  for (int i = 1; i < 64 && key_b.empty(); ++i) {
+    std::string candidate = "b" + std::to_string(i);
+    int owner = OwnerOf(&net, "pf", candidate);
+    if (owner > 0 && owner != owner_a) {
+      key_b = candidate;
+      owner_b = owner;
+    }
+  }
+  ASSERT_FALSE(key_b.empty()) << "no second owner found in 64 candidates";
+  uint32_t sender = 0;
+  while (static_cast<int>(sender) == owner_a ||
+         static_cast<int>(sender) == owner_b)
+    sender++;
+
+  net.harness()->FailNode(static_cast<uint32_t>(owner_b));
+
+  bool reported = false;
+  Status first = Status::Ok();
+  std::vector<Dht::PutGroupStatus> groups;
+  net.dht(sender)->PutBatch(
+      {Item("pf", key_a, "s1", "v1"), Item("pf", key_b, "s2", "v2"),
+       Item("pf", key_a, "s3", "v3")},
+      [&](const Status& s, std::vector<Dht::PutGroupStatus> g) {
+        reported = true;
+        first = s;
+        groups = std::move(g);
+      });
+  // Give the transport time to exhaust its retries against the dead owner.
+  net.RunFor(60 * kSecond);
+
+  ASSERT_TRUE(reported);
+  EXPECT_FALSE(first.ok()) << "the legacy first-error contract still holds";
+  ASSERT_EQ(groups.size(), 2u);
+  size_t ok_items = 0, failed_items = 0;
+  for (const Dht::PutGroupStatus& g : groups) {
+    for (size_t idx : g.indices) {
+      if (g.status.ok()) {
+        ok_items++;
+        EXPECT_TRUE(idx == 0 || idx == 2) << "ok group must be the a-items";
+      } else {
+        failed_items++;
+        EXPECT_EQ(idx, 1u) << "dropped group must be the b-item";
+      }
+    }
+  }
+  EXPECT_EQ(ok_items, 2u);
+  EXPECT_EQ(failed_items, 1u);
+
+  // The live owner's items made it regardless of the dead group.
+  std::vector<DhtItem> got_a;
+  net.dht(sender)->Get("pf", key_a,
+                       [&](const Status& s, std::vector<DhtItem> items) {
+                         ASSERT_TRUE(s.ok());
+                         got_a = std::move(items);
+                       });
+  net.RunFor(5 * kSecond);
+  EXPECT_EQ(got_a.size(), 2u);
+}
+
 TEST(DhtCoalesce, MergesSendsAndUnframesTransparently) {
   SimOverlay net(12, SeededOptions(33, /*coalesce_window=*/1000));
   // A burst of puts within one coalescing window: same-destination wire

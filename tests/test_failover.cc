@@ -1,0 +1,420 @@
+// Churn-hardened continuous-query lifecycle: proxy failover to successors,
+// orphan reaping by lease expiry, deadline preservation across failover,
+// cancel semantics on orphaned handles, the cancel tombstone, and swap-time
+// catch-up suppression.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qp/sim_pier.h"
+
+namespace pier {
+namespace {
+
+SimPier::Options PierOptions(uint64_t seed = 7) {
+  SimPier::Options opts;
+  opts.sim.seed = seed;
+  opts.seed_routing = true;
+  opts.settle_time = 8 * kSecond;
+  return opts;
+}
+
+constexpr TimeUs kLease = 2 * kSecond;
+
+/// The continuous counting query used throughout: GROUP BY over a
+/// non-partition column, so every data-holding node participates.
+Sql CountingQuery(SimPier* net, std::vector<uint32_t> successor_nodes,
+                  const std::string& timeout = "60s") {
+  std::vector<NetAddress> succ;
+  for (uint32_t n : successor_nodes)
+    succ.push_back(net->dht(n)->local_address());
+  return Sql("SELECT src, count(*) AS cnt FROM ev GROUP BY src TIMEOUT " +
+             timeout + " WINDOW 2s CONTINUOUS")
+      .WithSuccessors(std::move(succ))
+      .WithLeasePeriod(kLease);
+}
+
+void RegisterEv(SimPier* net) {
+  ASSERT_TRUE(
+      net->catalog()->Register(TableSpec("ev").PartitionBy({"id"})).ok());
+}
+
+/// Publish one ev row (unique id = spreads across nodes; fixed src = the
+/// group key) from a LIVE node.
+void PublishEv(SimPier* net, int64_t* next_id) {
+  Tuple e("ev");
+  e.Append("id", Value::Int64((*next_id)++));
+  e.Append("src", Value::String("live"));
+  for (uint32_t n = 0; n < net->size(); ++n) {
+    uint32_t pub = static_cast<uint32_t>((*next_id + n) % net->size());
+    if (!net->harness()->IsAlive(pub)) continue;
+    ASSERT_TRUE(net->client(pub)->Publish("ev", e).ok());
+    return;
+  }
+}
+
+size_t LiveExecutorsRunning(SimPier* net, uint64_t qid) {
+  size_t running = 0;
+  for (uint32_t i = 0; i < net->size(); ++i) {
+    if (!net->harness()->IsAlive(i)) continue;
+    if (net->qp(i)->executor()->HasQuery(qid)) running++;
+  }
+  return running;
+}
+
+TEST(Failover, ProxyKillFailsOverToSuccessorAndAnswersResume) {
+  SimPier net(10, PierOptions(211));
+  RegisterEv(&net);
+  int64_t next_id = 0;
+
+  auto q = net.client(1)->Query(CountingQuery(&net, {2}));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  size_t before_kill = 0;
+  q->OnTuple([&](const Tuple&) { before_kill++; });
+
+  for (int i = 0; i < 10; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  EXPECT_GT(before_kill, 0u) << "steady answers before the kill";
+  ASSERT_EQ(net.qp(2)->stats().adoptions, 0u);
+
+  net.harness()->FailNode(1);
+
+  // Keep the stream alive; executors detect the dead proxy (lease expiry /
+  // answer-forward give-ups) and node 2 — first in the chain — adopts.
+  for (int i = 0; i < 12; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  EXPECT_EQ(net.qp(2)->stats().adoptions, 1u) << "successor adopted the query";
+  for (uint32_t i = 3; i < net.size(); ++i) {
+    EXPECT_GT(net.qp(i)->executor()->stats().proxy_failovers +
+                  net.qp(i)->executor()->stats().orphan_reaps,
+              0u)
+        << "node " << i << " never noticed the proxy died";
+    EXPECT_EQ(net.qp(i)->executor()->stats().orphan_reaps, 0u)
+        << "node " << i << " reaped despite a live successor";
+  }
+
+  // Re-attach through the adopting node: the backlog it buffered while the
+  // query had no client replays, and the stream continues.
+  auto attached = net.client(2)->Attach(qid);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  size_t after_attach = 0;
+  attached->OnTuple([&](const Tuple&) { after_attach++; });
+  size_t replayed = after_attach;
+  EXPECT_GT(net.qp(2)->stats().answers_buffered, 0u)
+      << "the adopted proxy held answers for the missing client";
+  EXPECT_GT(replayed, 0u) << "buffered answers replay on attach";
+
+  for (int i = 0; i < 8; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  EXPECT_GT(after_attach, replayed) << "live answers resume after re-attach";
+  EXPECT_FALSE(attached->done());
+
+  // Attaching a query this node does NOT proxy stays an error.
+  EXPECT_EQ(net.client(3)->Attach(qid).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Failover, NoSuccessorsMeansExecutorsReapByLeaseExpiry) {
+  SimPier net(8, PierOptions(223));
+  RegisterEv(&net);
+  int64_t next_id = 0;
+
+  auto q = net.client(1)->Query(CountingQuery(&net, {}));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  for (int i = 0; i < 5; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  ASSERT_GT(LiveExecutorsRunning(&net, qid), 1u)
+      << "the query must be running remotely before the kill";
+
+  net.harness()->FailNode(1);
+  // One lease period for the lease to starve, plus the check-tick and the
+  // point-to-point probe corroboration (lease/2 timeout): every surviving
+  // executor reaps the orphan — opgraphs gone, timers cancelled.
+  net.RunFor(2 * kLease + kLease / 2);
+  EXPECT_EQ(LiveExecutorsRunning(&net, qid), 0u)
+      << "orphaned opgraphs must not outlive the lease";
+  bool reason_seen = false;
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    if (!net.harness()->IsAlive(i)) continue;
+    const QueryExecutor::Stats& st = net.qp(i)->executor()->stats();
+    if (st.orphan_reaps > 0) {
+      reason_seen = true;
+      EXPECT_NE(st.last_orphan_reason.find("no proxy successor"),
+                std::string::npos)
+          << st.last_orphan_reason;
+    }
+  }
+  EXPECT_TRUE(reason_seen) << "at least one executor recorded the abort reason";
+}
+
+TEST(Failover, DeadlineIsHonoredAcrossFailover) {
+  SimPier net(8, PierOptions(227));
+  RegisterEv(&net);
+  int64_t next_id = 0;
+
+  auto q = net.client(1)->Query(CountingQuery(&net, {2}, "14s"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  for (int i = 0; i < 4; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+
+  net.harness()->FailNode(1);
+  for (int i = 0; i < 4; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  ASSERT_EQ(net.qp(2)->stats().adoptions, 1u);
+
+  auto attached = net.client(2)->Attach(qid);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  // The adopted query ends at the ORIGINAL absolute deadline (14s from
+  // submission), not a fresh timeout from adoption: the remaining lifetime
+  // the attached handle reports must be well under the original.
+  EXPECT_LT(attached->timeout(), 9 * kSecond);
+  bool done_fired = false;
+  attached->OnDone([&] { done_fired = true; });
+
+  net.RunFor(9 * kSecond);  // past deadline + slack
+  EXPECT_TRUE(done_fired) << "done fires at the original deadline";
+  EXPECT_TRUE(attached->done());
+  EXPECT_EQ(LiveExecutorsRunning(&net, qid), 0u)
+      << "executors close at the absolute deadline, failover or not";
+}
+
+TEST(Failover, SwapDrivenByTheAdoptedProxySurvivesTheRace) {
+  SimPier net(8, PierOptions(229));
+  RegisterEv(&net);
+  int64_t next_id = 0;
+
+  const char* text =
+      "SELECT src, count(*) AS cnt FROM ev GROUP BY src "
+      "TIMEOUT 60s WINDOW 2s CONTINUOUS";
+  Sql query = Sql(text).WithAggStrategy("flat").WithSuccessors(
+      {net.dht(2)->local_address()});
+  query.WithLeasePeriod(kLease);
+  auto q = net.client(1)->Query(query);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+
+  for (int i = 0; i < 6; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  net.harness()->FailNode(1);
+  for (int i = 0; i < 6; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  ASSERT_EQ(net.qp(2)->stats().adoptions, 1u);
+
+  // Before adoption completes everywhere, some executors may still be
+  // walking their failover chain — the adopted proxy swaps the plan anyway.
+  auto hier = net.client(2)->Compile(Sql(text).WithAggStrategy("hier"));
+  ASSERT_TRUE(hier.ok()) << hier.status().ToString();
+  uint32_t hier_gid = hier->graphs[0].id;
+  uint32_t hier_op = 0;
+  for (const OpSpec& op : hier->graphs[0].ops) {
+    if (op.kind == OpKind::kHierAgg) hier_op = op.id;
+  }
+  ASSERT_NE(hier_op, 0u);
+  ASSERT_TRUE(net.qp(2)->SwapQuery(qid, std::move(*hier)).ok())
+      << "the ADOPTED proxy owns the swap";
+  net.RunFor(2 * kSecond);
+
+  Operator* op = net.qp(4)->executor()->FindOp(qid, hier_gid, hier_op);
+  ASSERT_NE(op, nullptr) << "swapped generation reached remote executors";
+  EXPECT_EQ(op->spec().kind, OpKind::kHierAgg);
+
+  auto attached = net.client(2)->Attach(qid);
+  ASSERT_TRUE(attached.ok());
+  size_t answers = 0;
+  attached->OnTuple([&](const Tuple&) { answers++; });
+  for (int i = 0; i < 6; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  EXPECT_GT(answers, 0u) << "the swapped plan answers through the new proxy";
+}
+
+TEST(Failover, SuccessorThatDoesNotRunTheQueryIsWalkedPastAndReaped) {
+  // An equality-disseminated continuous query runs on ONE partition owner.
+  // If its configured successor is some other node, that node can never
+  // adopt (it has no RunningQuery, so stray answers are no-ops) — the probe
+  // must report "alive but not proxying" so the walk moves past it to a
+  // reap, instead of leasing the silent successor until the deadline.
+  SimPier net(10, PierOptions(251));
+  ASSERT_TRUE(
+      net.catalog()->Register(TableSpec("ev").PartitionBy({"src"})).ok());
+  const char* text =
+      "SELECT * FROM ev WHERE src = 'x' TIMEOUT 60s WINDOW 2s CONTINUOUS";
+
+  // Find the partition owner this query's opgraph will land on.
+  auto compiled = net.client(1)->Compile(Sql(text));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_EQ(compiled->graphs[0].dissem, DissemKind::kEquality);
+  Id target = RoutingId(compiled->graphs[0].dissem_ns,
+                        compiled->graphs[0].dissem_key);
+  uint32_t owner = 0;
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    if (net.dht(i)->router()->protocol()->IsOwner(target)) owner = i;
+  }
+  uint32_t successor = 2;
+  while (successor == owner || successor == 1) successor++;
+
+  Sql query = Sql(text).WithSuccessors({net.dht(successor)->local_address()});
+  query.WithLeasePeriod(kLease);
+  auto q = net.client(1)->Query(query);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  net.RunFor(4 * kSecond);
+  ASSERT_TRUE(net.qp(owner)->executor()->HasQuery(qid));
+  ASSERT_FALSE(net.qp(successor)->executor()->HasQuery(qid))
+      << "test premise: the successor must not run the query";
+
+  net.harness()->FailNode(1);
+  // Walk: dead-proxy probe fails -> successor leased -> two consecutive
+  // alive-but-not-proxying verdicts -> chain exhausted -> reap.
+  net.RunFor(8 * kLease);
+  EXPECT_FALSE(net.qp(owner)->executor()->HasQuery(qid))
+      << "the owner kept executing for a successor that can never adopt";
+  EXPECT_EQ(net.qp(successor)->stats().adoptions, 0u);
+  EXPECT_GT(net.qp(owner)->executor()->stats().orphan_reaps, 0u);
+}
+
+TEST(Failover, CancelOnAnOrphanedHandleTearsDownLocallyAndSaysUnavailable) {
+  SimPier net(6, PierOptions(233));
+  RegisterEv(&net);
+
+  auto q = net.client(0)->Query(CountingQuery(&net, {}));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  net.RunFor(2 * kSecond);
+
+  // Orphan the handle: the proxy-side record disappears underneath it (the
+  // executor-driven reap path does exactly this when the chain is dead).
+  net.qp(0)->CancelQuery(qid);
+
+  bool done_fired = false;
+  q->OnDone([&] { done_fired = true; });
+  Status s = q->Cancel();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  EXPECT_TRUE(q->done()) << "the handle completes instead of hanging";
+  EXPECT_TRUE(done_fired);
+  EXPECT_TRUE(q->Cancel().ok()) << "second cancel is an idempotent no-op";
+}
+
+TEST(Failover, CancelTombstoneStopsExecutorsAndPreventsAdoption) {
+  SimPier net(8, PierOptions(239));
+  RegisterEv(&net);
+  int64_t next_id = 0;
+
+  auto q = net.client(1)->Query(CountingQuery(&net, {2}));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  for (int i = 0; i < 5; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  ASSERT_GT(LiveExecutorsRunning(&net, qid), 1u);
+
+  EXPECT_TRUE(q->Cancel().ok());
+  net.RunFor(2 * kSecond);  // tombstone broadcast fan-out
+  EXPECT_EQ(LiveExecutorsRunning(&net, qid), 0u)
+      << "cancel reaches executors without waiting out the lease";
+  net.RunFor(2 * kLease);
+  EXPECT_EQ(net.qp(2)->stats().adoptions, 0u)
+      << "a cancelled query must not be adopted by its successor";
+}
+
+TEST(Failover, DurableTombstoneUnadoptsASuccessorThatMissedTheBroadcast) {
+  SimPier net(8, PierOptions(257));
+  RegisterEv(&net);
+  auto q = net.client(1)->Query(CountingQuery(&net, {2}));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  net.RunFor(4 * kSecond);
+  ASSERT_TRUE(q->Cancel().ok());
+  net.RunFor(2 * kSecond);  // broadcast tombstone + durable DHT put settle
+
+  // Simulate a successor that MISSED the tombstone broadcast and adopted
+  // through lease starvation: force the adoption directly with the stale
+  // metadata such an executor would hold.
+  QueryPlan meta;
+  meta.query_id = qid;
+  meta.continuous = true;
+  meta.timeout = 60 * kSecond;
+  meta.deadline_us = net.loop()->now() + 50 * kSecond;
+  meta.proxy = net.dht(2)->local_address();
+  meta.proxy_epoch = 1;
+  meta.successors = {net.dht(2)->local_address()};
+  meta.lease_period_us = kLease;
+  meta.window = 2 * kSecond;
+  net.qp(2)->AdoptQuery(meta);
+  EXPECT_TRUE(net.qp(2)->HasClientQuery(qid)) << "adoption is optimistic";
+
+  net.RunFor(3 * kSecond);  // the tombstone Get round-trip corrects it
+  EXPECT_FALSE(net.qp(2)->HasClientQuery(qid))
+      << "the durable tombstone must un-adopt a cancelled query";
+}
+
+// ---------------------------------------------------------------------------
+// Swap-time catch-up suppression
+// ---------------------------------------------------------------------------
+
+TEST(Failover, SwapDoesNotDoubleCountHistoryInTheFirstWindow) {
+  SimPier net(8, PierOptions(241));
+  RegisterEv(&net);
+  int64_t next_id = 0;
+
+  const char* text =
+      "SELECT src, count(*) AS cnt FROM ev GROUP BY src "
+      "TIMEOUT 120s WINDOW 2s CONTINUOUS";
+  auto q = net.client(0)->Query(Sql(text).WithAggStrategy("flat"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+
+  int64_t total = 0;
+  q->OnTuple([&](const Tuple& t) {
+    total += t.Get("cnt")->int64_unchecked();
+  });
+
+  // 40 rows of history, fully counted across the pre-swap windows.
+  for (int i = 0; i < 40; ++i) PublishEv(&net, &next_id);
+  net.RunFor(8 * kSecond);
+  EXPECT_EQ(total, 40) << "every historical row counted exactly once";
+
+  // Swap the physical plan. The swapped-in Scans re-read live soft state —
+  // all 40 rows are still there — but the swap-time high-water mark makes
+  // them skip history the previous generation already answered.
+  auto hier = net.client(0)->Compile(Sql(text).WithAggStrategy("hier"));
+  ASSERT_TRUE(hier.ok()) << hier.status().ToString();
+  ASSERT_TRUE(net.qp(0)->SwapQuery(qid, std::move(*hier)).ok());
+  int64_t at_swap = total;
+  net.RunFor(8 * kSecond);
+  EXPECT_LE(total - at_swap, 2)
+      << "the first post-swap window re-counted history";
+
+  // New arrivals after the swap still count normally. (The hier root's
+  // monotone refinement may re-emit a refined total for the same window, so
+  // the bound allows a small overshoot — the failure mode under test is the
+  // ~40-row history re-count, not off-by-a-refinement.)
+  for (int i = 0; i < 5; ++i) PublishEv(&net, &next_id);
+  net.RunFor(6 * kSecond);
+  EXPECT_GE(total - at_swap, 5) << "post-swap arrivals still flow";
+  EXPECT_LE(total - at_swap, 12) << "post-swap total stays history-free";
+}
+
+}  // namespace
+}  // namespace pier

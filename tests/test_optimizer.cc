@@ -83,6 +83,40 @@ void Seed(StatsRegistry* reg, const std::string& table, int n, int distinct,
   }
 }
 
+TEST(Stats, ArrivalRateDecaysForIdleTables) {
+  StatsRegistry reg;
+  // 101 tuples over 100s (Seed stamps 1s..101s): ~1 tuple/sec.
+  Seed(&reg, "t", 101, 10);
+  const TimeUs last = 101 * kSecond;
+
+  double raw = reg.Snapshot("t").rate_per_sec;
+  EXPECT_NEAR(raw, 1.0, 0.05);
+
+  // Reading "as of" an instant at or before the last observation applies no
+  // decay; neither does the now-less Snapshot.
+  EXPECT_DOUBLE_EQ(reg.SnapshotAt("t", 0).rate_per_sec, raw);
+  EXPECT_DOUBLE_EQ(reg.SnapshotAt("t", last).rate_per_sec, raw);
+  EXPECT_DOUBLE_EQ(reg.SnapshotAt("t", last - kSecond).rate_per_sec, raw);
+
+  // One half-life of silence halves the rate; a long dry spell drives it
+  // toward zero instead of advertising the historical average forever.
+  double one_hl =
+      reg.SnapshotAt("t", last + StatsRegistry::kRateHalfLife).rate_per_sec;
+  EXPECT_NEAR(one_hl, raw / 2, 0.02);
+  double five_hl =
+      reg.SnapshotAt("t", last + 5 * StatsRegistry::kRateHalfLife)
+          .rate_per_sec;
+  EXPECT_LT(five_hl, raw / 25);
+  EXPECT_GT(five_hl, 0.0);
+
+  // Everything except the rate is time-invariant.
+  TableStats decayed = reg.SnapshotAt("t", last + StatsRegistry::kRateHalfLife);
+  TableStats fresh = reg.Snapshot("t");
+  EXPECT_EQ(decayed.tuples, fresh.tuples);
+  EXPECT_DOUBLE_EQ(decayed.distinct, fresh.distinct);
+  EXPECT_DOUBLE_EQ(decayed.mean_bytes, fresh.mean_bytes);
+}
+
 TEST(Stats, PublishTimeAccrualThroughClient) {
   SimPier::Options opts;
   opts.sim.seed = 3;

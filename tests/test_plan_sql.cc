@@ -77,6 +77,10 @@ TEST(QueryPlan, WireRoundTrip) {
   plan.generation = 4;
   plan.replan = true;
   plan.deadline_us = 99 * kSecond;  // absolute instant, rides every hop
+  plan.successors = {NetAddress{7, 5000}, NetAddress{9, 5000}};
+  plan.proxy_epoch = 1;
+  plan.catchup_floor_us = 55 * kSecond;
+  plan.lease_period_us = 2 * kSecond;
   OpGraph& g = plan.AddGraph();
   g.dissem = DissemKind::kEquality;
   g.dissem_ns = "t";
@@ -99,6 +103,13 @@ TEST(QueryPlan, WireRoundTrip) {
   EXPECT_EQ(back->generation, 4u);
   EXPECT_TRUE(back->replan);
   EXPECT_EQ(back->deadline_us, 99 * kSecond);
+  ASSERT_EQ(back->successors.size(), 2u);
+  EXPECT_EQ(back->successors[0], (NetAddress{7, 5000}));
+  EXPECT_EQ(back->successors[1], (NetAddress{9, 5000}));
+  EXPECT_EQ(back->proxy_epoch, 1u);
+  EXPECT_EQ(back->catchup_floor_us, 55 * kSecond);
+  EXPECT_EQ(back->lease_period_us, 2 * kSecond);
+  EXPECT_FALSE(back->cancelled);
   ASSERT_EQ(back->graphs.size(), 1u);
   const OpGraph& bg = back->graphs[0];
   EXPECT_EQ(bg.dissem, DissemKind::kEquality);
@@ -372,6 +383,38 @@ TEST(Ufl, DeadlineRoundTrips) {
   EXPECT_FALSE(Client()
                    ->Compile(Ufl(R"(
     query { timeout = 5s; deadline_us = -3; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"))
+                   .ok());
+}
+
+TEST(Ufl, SuccessorsLeaseAndCatchupFloorRoundTrip) {
+  // The churn-lifecycle fields ride UFL like deadline_us does: successors
+  // as a host:port chain (adoption order), lease as a duration, the
+  // catch-up floor as a raw instant.
+  auto plan = Client()->Compile(Ufl(R"(
+    query { timeout = 5s; continuous; window = 1s;
+            successors = 7:5000, 9:5001; lease = 2s;
+            catchup_floor_us = 777; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->successors.size(), 2u);
+  EXPECT_EQ(plan->successors[0], (NetAddress{7, 5000}));
+  EXPECT_EQ(plan->successors[1], (NetAddress{9, 5001}));
+  EXPECT_EQ(plan->lease_period_us, 2 * kSecond);
+  EXPECT_EQ(plan->catchup_floor_us, 777);
+
+  // Malformed successors fail the parse, not the network.
+  EXPECT_FALSE(Client()
+                   ->Compile(Ufl(R"(
+    query { timeout = 5s; successors = nonsense; }
+    graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
+  )"))
+                   .ok());
+  EXPECT_FALSE(Client()
+                   ->Compile(Ufl(R"(
+    query { timeout = 5s; successors = 7:99999; }
     graph g broadcast { s: scan [ns=events]; o: result; s -> o; }
   )"))
                    .ok());
