@@ -16,11 +16,24 @@
 //     (measured against a no-kill control run on the same schedule);
 //   * with no successors, the bench FAILS unless every surviving executor
 //     reaps the orphaned opgraphs within ~one lease period.
-// PIER_BENCH_SMOKE=1 shrinks the E14 sweep for CI; E14b always runs whole
-// (it IS the regression gate).
+//
+// E15 (appended, self-checking): replicated soft state under node kills.
+// 200 rows are published once, then repeated snapshot scans straddle one
+// node kill per round. With k=3 successor-set replication the handoff
+// repair keeps the answer set whole; with k=1 every kill permanently loses
+// the victim's partition. The bench FAILS unless the final k=3 round loses
+// < 1% of answers, k=1 loses strictly more, and the churn-free runs return
+// exactly 200 rows at BOTH factors (the scan-time replica merge must never
+// double-count). PIER_BENCH_JSON=<path> additionally writes the E15 metrics
+// as JSON (virtual-time deterministic; CI diffs it against the committed
+// BENCH_churn.json).
+//
+// PIER_BENCH_SMOKE=1 shrinks the E14 sweep for CI; E14b and E15 always run
+// whole (they ARE the regression gates).
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "bench/bench_common.h"
 #include "overlay/sim_overlay.h"
@@ -316,6 +329,190 @@ int RunFailoverCheck() {
   return failures;
 }
 
+// ---------------------------------------------------------------------------
+// E15: replicated soft state — node kills with k-way replication
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kRNodes = 20;
+constexpr int kRIds = 200;
+constexpr int kRRounds = 3;
+
+struct ReplicationOutcome {
+  uint64_t rows_final = 0;      // raw answer rows in the final round
+  size_t distinct_final = 0;    // distinct ids in the final round
+  size_t distinct_min = 0;      // worst round
+  // Replication health, summed across all nodes (dead ones frozen at death).
+  uint64_t replica_stores = 0;
+  uint64_t promotions = 0;
+  uint64_t handoff_pulls = 0;
+  uint64_t read_failovers = 0;
+  uint64_t suppressed_scan_rows = 0;
+  double LossPct() const {
+    return 100.0 * (kRIds - static_cast<double>(distinct_final)) / kRIds;
+  }
+};
+
+/// One E15 run: publish kRIds rows once, then kRRounds snapshot scans, each
+/// straddling one node kill (`kill`). Node 0 always proxies and never dies;
+/// each round's victim is the highest-index live node, so the kill schedule
+/// is identical at every replication factor.
+ReplicationOutcome MeasureReplication(int k, bool kill, uint64_t seed) {
+  SimPier::Options popts;
+  popts.sim.seed = seed;
+  popts.seed_routing = true;
+  popts.settle_time = 8 * kSecond;
+  popts.dht.replication_factor = k;
+  SimPier net(kRNodes, popts);
+  net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+  net.RunFor(1 * kSecond);
+
+  for (int i = 0; i < kRIds; ++i) {
+    Tuple e("ev");
+    e.Append("id", Value::Int64(i));
+    e.Append("src", Value::String("live"));
+    Status s = net.client(static_cast<uint32_t>(i) % kRNodes)->Publish("ev", e);
+    if (!s.ok()) {
+      std::fprintf(stderr, "E15 publish failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  net.RunFor(2 * kSecond);
+
+  ReplicationOutcome out;
+  out.distinct_min = kRIds;
+  for (int round = 0; round < kRRounds; ++round) {
+    auto q = net.client(0)->Query(Sql("SELECT * FROM ev TIMEOUT 6s"));
+    QueryHandle handle = bench::Check(q, "E15 snapshot scan");
+    uint64_t rows = 0;
+    std::set<int64_t> ids;
+    handle.OnTuple([&](const Tuple& t) {
+      rows++;
+      ids.insert(t.Get("id")->int64_unchecked());
+    });
+    net.RunFor(500 * kMillisecond);
+    if (kill) {
+      uint32_t victim = net.size() - 1;
+      while (victim > 0 && !net.harness()->IsAlive(victim)) victim--;
+      net.harness()->FailNode(victim);
+    }
+    // To the query's end, plus slack for stabilization and handoff repair
+    // before the next round scans.
+    net.RunFor(8 * kSecond);
+    out.rows_final = rows;
+    out.distinct_final = ids.size();
+    out.distinct_min = std::min(out.distinct_min, ids.size());
+  }
+  for (uint32_t i = 0; i < net.size(); ++i) {
+    Dht::Stats s = net.dht(i)->stats();
+    out.replica_stores += s.replica_stores;
+    out.promotions += s.promotions;
+    out.handoff_pulls += s.handoff_pulls;
+    out.read_failovers += s.read_failovers;
+    out.suppressed_scan_rows += s.suppressed_scan_rows;
+  }
+  return out;
+}
+
+int RunReplicationCheck() {
+  bench::Title("E15: node kills vs k-way replicated soft state");
+  bench::Note("N=" + std::to_string(kRNodes) + " ids=" + std::to_string(kRIds) +
+              " rounds=" + std::to_string(kRRounds) +
+              ", one kill per round straddling a snapshot scan");
+  struct Config {
+    int k;
+    bool kill;
+    ReplicationOutcome out;
+  };
+  std::vector<Config> configs = {{1, false, {}}, {1, true, {}},
+                                 {3, false, {}}, {3, true, {}}};
+  for (Config& c : configs) c.out = MeasureReplication(c.k, c.kill, 501);
+
+  std::vector<int> w = {10, 8, 12, 14, 12, 10, 12, 10};
+  bench::Row({"config", "rows", "distinct", "distinct_min", "loss%",
+              "stores", "promotions", "pulls"},
+             w);
+  for (const Config& c : configs) {
+    bench::Row({"k=" + std::to_string(c.k) + (c.kill ? " kill" : ""),
+                std::to_string(c.out.rows_final),
+                std::to_string(c.out.distinct_final),
+                std::to_string(c.out.distinct_min),
+                bench::Fmt(c.out.LossPct(), 2),
+                std::to_string(c.out.replica_stores),
+                std::to_string(c.out.promotions),
+                std::to_string(c.out.handoff_pulls)},
+               w);
+  }
+
+  int failures = 0;
+  const ReplicationOutcome& k1 = configs[0].out;
+  const ReplicationOutcome& k1_kill = configs[1].out;
+  const ReplicationOutcome& k3 = configs[2].out;
+  const ReplicationOutcome& k3_kill = configs[3].out;
+  if (k3_kill.LossPct() >= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: k=3 lost %.2f%% of answers across %d node kills "
+                 "(budget: < 1%%)\n",
+                 k3_kill.LossPct(), kRRounds);
+    failures++;
+  }
+  if (k1_kill.distinct_final >= k3_kill.distinct_final) {
+    std::fprintf(stderr,
+                 "FAIL: k=1 kept %zu answers vs %zu at k=3 — replication "
+                 "never paid for itself\n",
+                 k1_kill.distinct_final, k3_kill.distinct_final);
+    failures++;
+  }
+  for (const ReplicationOutcome* o : {&k1, &k3}) {
+    if (o->rows_final != kRIds || o->distinct_min != kRIds) {
+      std::fprintf(stderr,
+                   "FAIL: a churn-free scan returned %llu rows / %zu distinct "
+                   "(want exactly %d — the replica merge double- or "
+                   "under-counted)\n",
+                   static_cast<unsigned long long>(o->rows_final),
+                   o->distinct_min, kRIds);
+      failures++;
+    }
+  }
+  if (failures == 0)
+    bench::Note("ok: k=3 survives the kills whole, k=1 pays for every one, "
+                "and replication never changes a churn-free answer");
+
+  if (const char* path = std::getenv("PIER_BENCH_JSON")) {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", path);
+      return failures + 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"churn_replication\",\n");
+    std::fprintf(f, "  \"nodes\": %u, \"ids\": %d, \"rounds\": %d,\n", kRNodes,
+                 kRIds, kRRounds);
+    std::fprintf(f, "  \"configs\": [\n");
+    for (size_t i = 0; i < configs.size(); ++i) {
+      const Config& c = configs[i];
+      std::fprintf(
+          f,
+          "    {\"k\": %d, \"kill\": %s, \"rows_final\": %llu, "
+          "\"distinct_final\": %zu, \"distinct_min\": %zu, "
+          "\"loss_final_pct\": %.2f, \"replica_stores\": %llu, "
+          "\"promotions\": %llu, \"handoff_pulls\": %llu, "
+          "\"read_failovers\": %llu, \"suppressed_scan_rows\": %llu}%s\n",
+          c.k, c.kill ? "true" : "false",
+          static_cast<unsigned long long>(c.out.rows_final),
+          c.out.distinct_final, c.out.distinct_min, c.out.LossPct(),
+          static_cast<unsigned long long>(c.out.replica_stores),
+          static_cast<unsigned long long>(c.out.promotions),
+          static_cast<unsigned long long>(c.out.handoff_pulls),
+          static_cast<unsigned long long>(c.out.read_failovers),
+          static_cast<unsigned long long>(c.out.suppressed_scan_rows),
+          i + 1 < configs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    bench::Note(std::string("wrote ") + path);
+  }
+  return failures;
+}
+
 int Run() {
   bench::Title("E14: churn — get success under live join/fail (no oracle)");
   bench::Note("N=" + std::to_string(kNodes) + " run=" +
@@ -341,7 +538,7 @@ int Run() {
       "expected shape: success degrades gracefully as churn accelerates; "
       "most misses come from objects whose owner died inside a republish "
       "window, not from routing failures (dead ends stay low).");
-  return RunFailoverCheck();
+  return RunFailoverCheck() + RunReplicationCheck();
 }
 
 }  // namespace

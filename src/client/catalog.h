@@ -62,6 +62,11 @@ struct TableSpec {
   bool local_only = false;
   /// Default publish lifetime; 0 uses the query processor's default.
   TimeUs default_lifetime = 0;
+  /// Copies per published object (k-way successor-set replication): the
+  /// owner plus replicas-1 of its successors. 0 = the DHT's configured
+  /// default. Validated against the overlay's successor capacity at publish
+  /// time. Applies to the primary index AND every secondary-index entry.
+  int replicas = 0;
 
   TableSpec() = default;
   explicit TableSpec(std::string table_name) : name(std::move(table_name)) {}
@@ -92,6 +97,10 @@ struct TableSpec {
     default_lifetime = lifetime;
     return *this;
   }
+  TableSpec& Replicas(int k) {
+    replicas = k;
+    return *this;
+  }
 
   const SecondaryIndexSpec* FindSecondaryIndex(const std::string& attr) const;
 
@@ -99,7 +108,7 @@ struct TableSpec {
     return name == o.name && partition_attrs == o.partition_attrs &&
            secondary_indexes == o.secondary_indexes &&
            range_indexes == o.range_indexes && local_only == o.local_only &&
-           default_lifetime == o.default_lifetime;
+           default_lifetime == o.default_lifetime && replicas == o.replicas;
   }
 };
 

@@ -258,11 +258,24 @@ Status PierClient::ValidateAgainstSpec(const TableSpec& spec,
   return Status::Ok();
 }
 
+Status PierClient::CheckReplicas(const TableSpec& spec) const {
+  if (spec.replicas < 0)
+    return Status::InvalidArgument("table '" + spec.name +
+                                   "' declares a negative replication factor");
+  int max = qp_->dht()->max_replication_factor();
+  if (spec.replicas > max)
+    return Status::InvalidArgument(
+        "table '" + spec.name + "' wants " + std::to_string(spec.replicas) +
+        " replicas but the overlay can place at most " + std::to_string(max));
+  return Status::Ok();
+}
+
 Status PierClient::Publish(const std::string& table, const Tuple& t,
                            TimeUs lifetime) {
   const TableSpec* spec = catalog_->Find(table);
   if (spec == nullptr)
     return Status::NotFound("table '" + table + "' is not in the catalog");
+  PIER_RETURN_IF_ERROR(CheckReplicas(*spec));
   if (lifetime <= 0) lifetime = spec->default_lifetime;
 
   // Publish-time statistics accrual (sys.stats rows themselves excepted),
@@ -305,10 +318,11 @@ Status PierClient::Publish(const std::string& table, const Tuple& t,
     return Status::Ok();
   }
 
-  size_t bytes = qp_->Publish(table, spec->partition_attrs, t, lifetime);
+  size_t bytes = qp_->Publish(table, spec->partition_attrs, t, lifetime,
+                              spec->replicas);
   for (const SecondaryIndexSpec& idx : spec->secondary_indexes) {
     qp_->PublishSecondary(idx.table, idx.attr, table, spec->partition_attrs, t,
-                          lifetime);
+                          lifetime, spec->replicas);
   }
   for (const RangeIndexSpec& idx : spec->range_indexes) {
     qp_->PublishRange(idx.table, idx.attr, t, idx.key_bits, lifetime);
@@ -323,6 +337,7 @@ Status PierClient::PublishBatch(const std::string& table,
   const TableSpec* spec = catalog_->Find(table);
   if (spec == nullptr)
     return Status::NotFound("table '" + table + "' is not in the catalog");
+  PIER_RETURN_IF_ERROR(CheckReplicas(*spec));
   if (lifetime <= 0) lifetime = spec->default_lifetime;
   if (tuples.empty()) return Status::Ok();
 
@@ -392,17 +407,26 @@ Status PierClient::ShipBatch(const TableSpec& spec,
     items.reserve(tuples.size() * (1 + spec.secondary_indexes.size()));
     for (size_t i = 0; i < tuples.size(); ++i) {
       total_bytes += qp_->MakePublishItem(spec.name, spec.partition_attrs,
-                                          tuples[i], lifetimes[i], &items);
+                                          tuples[i], lifetimes[i], &items,
+                                          spec.replicas);
       for (const SecondaryIndexSpec& idx : spec.secondary_indexes) {
         qp_->MakeSecondaryItem(idx.table, idx.attr, spec.name,
                                spec.partition_attrs, tuples[i], lifetimes[i],
-                               &items);
+                               &items, spec.replicas);
       }
     }
     qp_->PublishBatch(
         std::move(items),
         [this, table = spec.name](const Status& first,
                                   std::vector<Dht::PutGroupStatus> groups) {
+          // Degraded groups (owner reached, replica copies lost) are counted
+          // even when every owner delivery succeeded: the batch is fine as a
+          // whole but under-replicated until repair catches up.
+          size_t degraded = 0;
+          for (const Dht::PutGroupStatus& g : groups) {
+            if (g.degraded()) degraded += g.indices.size();
+          }
+          publish_failures_.degraded_items += degraded;
           if (first.ok()) return;
           size_t dropped = 0;
           for (const Dht::PutGroupStatus& g : groups) {

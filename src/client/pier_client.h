@@ -293,6 +293,10 @@ class PierClient {
   struct PublishFailures {
     uint64_t failed_batches = 0;  // batches with at least one failed group
     uint64_t dropped_items = 0;   // index entries (tuples/secondaries) lost
+    /// Index entries whose OWNER copy landed but which lost replica copies:
+    /// the data is live yet under-replicated until the repair tick heals it
+    /// — a different (softer) report than dropped.
+    uint64_t degraded_items = 0;
     Status last_error = Status::Ok();
   };
   const PublishFailures& publish_failures() const { return publish_failures_; }
@@ -389,6 +393,9 @@ class PierClient {
   /// Shared validation for Publish/PublishBatch: the catalog-driven checks
   /// that reject tuples the index fan-out would mis-key or drop.
   Status ValidateAgainstSpec(const TableSpec& spec, const Tuple& t) const;
+  /// Reject a spec whose replication factor exceeds what the overlay's
+  /// routing protocol can place (chord: its successor-list length).
+  Status CheckReplicas(const TableSpec& spec) const;
   /// Ship one batch (validated tuples) through the whole index fan-out.
   Status ShipBatch(const TableSpec& spec, const std::vector<Tuple>& tuples,
                    const std::vector<TimeUs>& lifetimes);

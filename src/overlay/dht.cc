@@ -11,6 +11,17 @@ namespace pier {
 Dht::Dht(Vri* vri, Options options) : vri_(vri), options_(options) {
   router_ = std::make_unique<OverlayRouter>(vri_, options_.router);
   objects_ = std::make_unique<ObjectManager>(vri_, options_.objects);
+  // A factor the protocol cannot place is a deployment error: fail at
+  // startup, not silently at placement time.
+  PIER_CHECK(options_.replication_factor >= 1);
+  PIER_CHECK(options_.replication_factor <=
+             router_->protocol()->MaxReplicationFactor());
+  ReplicationManager::Options ropts;
+  ropts.replication_factor = options_.replication_factor;
+  ropts.max_objects_per_frame = kMaxBatchEntriesPerFrame;
+  repl_ = std::make_unique<ReplicationManager>(vri_, router_.get(),
+                                               objects_.get(), ropts);
+  repl_->set_primary_store_hook([this]() { stats_.store_requests++; });
 
   objects_->set_insert_hook([this](const ObjectManager::Object& obj) {
     auto it = subs_by_ns_.find(obj.name.ns);
@@ -44,6 +55,12 @@ Dht::Dht(Vri* vri, Options options) : vri_(vri), options_(options) {
   });
   router_->RegisterDirectType(kMsgRenewResp, [this](const NetAddress& f, std::string_view b) {
     HandleRenewResp(f, b);
+  });
+  router_->RegisterDirectType(kMsgGetReqEx, [this](const NetAddress& f, std::string_view b) {
+    HandleGetReqEx(f, b);
+  });
+  router_->RegisterDirectType(kMsgGetRespEx, [this](const NetAddress& f, std::string_view b) {
+    HandleGetRespEx(f, b);
   });
 }
 
@@ -113,10 +130,22 @@ void Dht::StoreFromView(const WireObjectView& v) {
 // Inter-node operations
 // ---------------------------------------------------------------------------
 
+int Dht::EffectiveReplicas(int replicas) const {
+  int k = replicas > 0 ? replicas : options_.replication_factor;
+  return std::min(k, max_replication_factor());
+}
+
 void Dht::Put(const std::string& ns, const std::string& key, const std::string& suffix,
-              std::string&& value, TimeUs lifetime, DoneCallback done) {
+              std::string&& value, TimeUs lifetime, DoneCallback done,
+              int replicas) {
   stats_.puts++;
   ObjectName name{ns, key, suffix};
+  int k = EffectiveReplicas(replicas);
+  if (k > 1) {
+    PutReplicated(std::move(name), std::move(value), lifetime, k,
+                  std::move(done));
+    return;
+  }
   Id target = name.routing_id();
   // The complete kMsgPut frame is built exactly once, here; the lookup
   // callback moves it straight down to the transport (no re-framing copy).
@@ -134,6 +163,48 @@ void Dht::Put(const std::string& ns, const std::string& key, const std::string& 
                           if (done) done(s);
                         });
   });
+}
+
+void Dht::PutReplicated(ObjectName name, std::string&& value, TimeUs lifetime,
+                        int replicas, DoneCallback done) {
+  Id target = name.routing_id();
+  TimeUs remaining = EffectiveLifetime(lifetime);
+  router_->LookupEx(
+      target, static_cast<size_t>(replicas - 1),
+      [this, name = std::move(name), value = std::move(value), remaining,
+       replicas, done = std::move(done)](
+          const Result<NetAddress>& owner, Id owner_id,
+          std::vector<NetAddress> succs) mutable {
+        if (!owner.ok()) {
+          if (done) done(owner.status());
+          return;
+        }
+        uint8_t k = static_cast<uint8_t>(replicas);
+        // Primary copy at the owner: index 0, fires newData there exactly
+        // like a plain put, and records the desired factor for repair.
+        WireWriter w = ReplicationManager::FrameReplicate(
+            0, ReplicationManager::Origin::kWrite, owner_id, 1);
+        ReplicationManager::EncodeReplicaObject(&w, name, remaining, 0, k,
+                                                value);
+        router_->SendFramed(owner.value(), std::move(w).data(),
+                            [done = std::move(done)](const Status& s) {
+                              if (done) done(s);
+                            });
+        // Replica copies at the owner's first k-1 successors (best-effort;
+        // the repair tick heals whatever these miss).
+        uint8_t index = 1;
+        for (const NetAddress& succ : succs) {
+          if (index >= k) break;
+          if (succ == owner.value() || succ.IsNull()) continue;
+          WireWriter rw = ReplicationManager::FrameReplicate(
+              index, ReplicationManager::Origin::kWrite, owner_id, 1);
+          ReplicationManager::EncodeReplicaObject(&rw, name, remaining, 0, k,
+                                                  value);
+          router_->SendFramed(succ, std::move(rw).data(), nullptr);
+          repl_->NoteReplicaCopiesSent(1);
+          index++;
+        }
+      });
 }
 
 void Dht::PutBatch(std::vector<DhtPutItem> items, DoneCallback done) {
@@ -167,6 +238,13 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, BatchCallback done) {
         .push_back(i);
   }
 
+  // The batch's replica fan-out width: per-item factors resolve against the
+  // configured default, and the lookups request enough of each owner's
+  // successor set to place the widest item.
+  int max_k = 1;
+  for (const DhtPutItem& it : *batch)
+    max_k = std::max(max_k, EffectiveReplicas(it.replicas));
+
   // Shared completion state: the owners arrive asynchronously, one Lookup
   // per distinct id; once all resolved, one wire message goes to each
   // distinct destination. Every group's outcome is kept — a partial failure
@@ -174,6 +252,10 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, BatchCallback done) {
   // were dropped rather than only the first error.
   struct BatchState {
     std::map<NetAddress, std::vector<size_t>> by_owner;
+    // Successor-set replication places every replica at the OWNER's
+    // successors, so the sets are per owner, not per key.
+    std::map<NetAddress, std::vector<NetAddress>> succs_by_owner;
+    std::map<NetAddress, Id> id_by_owner;
     std::vector<PutGroupStatus> groups;
     size_t pending_lookups = 0;
     size_t pending_sends = 0;
@@ -205,6 +287,8 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, BatchCallback done) {
     owners.swap(st->by_owner);
     struct Frame {
       size_t group;  // index into st->groups
+      bool replica = false;  // replica copies: failure = degraded, not dropped
+      NetAddress dest;
       std::string wire;
     };
     std::vector<Frame> frames;
@@ -221,8 +305,62 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, BatchCallback done) {
             std::vector<size_t>(indices.begin() + start,
                                 indices.begin() + start + n),
             Status::Ok()});
+        int chunk_k = 1;
+        for (size_t j = start; j < start + n; ++j)
+          chunk_k = std::max(
+              chunk_k, EffectiveReplicas((*batch)[indices[j]].replicas));
         WireWriter w;
-        if (n == 1) {
+        if (chunk_k > 1) {
+          // Replicated chunk: the owner takes one primary replicate frame
+          // (index 0 — stores and fires newData exactly like a put, plus
+          // records each item's desired factor for repair) ...
+          Id owner_id = st->id_by_owner[owner];
+          w = ReplicationManager::FrameReplicate(
+              0, ReplicationManager::Origin::kWrite, owner_id, n);
+          for (size_t j = start; j < start + n; ++j) {
+            const DhtPutItem& it = (*batch)[indices[j]];
+            ReplicationManager::EncodeReplicaObject(
+                &w, ObjectName{it.ns, it.key, it.suffix},
+                EffectiveLifetime(it.lifetime), 0,
+                static_cast<uint8_t>(EffectiveReplicas(it.replicas)),
+                it.value);
+          }
+          if (n > 1) {
+            stats_.batched_puts += n;
+            stats_.batch_msgs++;
+          }
+          // ... and each of the owner's first chunk_k-1 successors takes one
+          // replica frame per chunk with the items wide enough to reach it —
+          // replicating per destination group, not per item.
+          const std::vector<NetAddress>& succs = st->succs_by_owner[owner];
+          for (int rep = 1; rep < chunk_k; ++rep) {
+            size_t si = static_cast<size_t>(rep - 1);
+            if (si >= succs.size()) break;
+            const NetAddress& dest = succs[si];
+            if (dest.IsNull() || dest == owner) continue;
+            std::vector<size_t> rep_items;
+            for (size_t j = start; j < start + n; ++j) {
+              if (EffectiveReplicas((*batch)[indices[j]].replicas) > rep)
+                rep_items.push_back(indices[j]);
+            }
+            if (rep_items.empty()) continue;
+            WireWriter rw = ReplicationManager::FrameReplicate(
+                static_cast<uint8_t>(rep),
+                ReplicationManager::Origin::kWrite, owner_id,
+                rep_items.size());
+            for (size_t idx : rep_items) {
+              const DhtPutItem& it = (*batch)[idx];
+              ReplicationManager::EncodeReplicaObject(
+                  &rw, ObjectName{it.ns, it.key, it.suffix},
+                  EffectiveLifetime(it.lifetime), 0,
+                  static_cast<uint8_t>(EffectiveReplicas(it.replicas)),
+                  it.value);
+            }
+            repl_->NoteReplicaCopiesSent(rep_items.size());
+            st->groups[group].replica_frames++;
+            frames.push_back(Frame{group, true, dest, std::move(rw).data()});
+          }
+        } else if (n == 1) {
           // Singleton group: the plain put frame, byte-identical to Put().
           const DhtPutItem& it = (*batch)[indices[start]];
           w = OverlayRouter::FrameMessage(kMsgPut);
@@ -239,16 +377,22 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, BatchCallback done) {
           stats_.batched_puts += n;
           stats_.batch_msgs++;
         }
-        frames.push_back(Frame{group, std::move(w).data()});
+        frames.push_back(Frame{group, false, owner, std::move(w).data()});
       }
     }
     st->pending_sends = frames.size();
     for (Frame& f : frames) {
-      NetAddress owner = st->groups[f.group].owner;
       size_t group = f.group;
-      router_->SendFramed(owner, std::move(f.wire), [st, group](const Status& s) {
-        st->NoteError(s);
-        if (!s.ok()) st->groups[group].status = s;
+      bool replica = f.replica;
+      router_->SendFramed(f.dest, std::move(f.wire),
+                          [st, group, replica](const Status& s) {
+        if (replica) {
+          // A lost replica copy degrades the group; the data itself lives.
+          if (!s.ok()) st->groups[group].replica_failures++;
+        } else {
+          st->NoteError(s);
+          if (!s.ok()) st->groups[group].status = s;
+        }
         st->pending_sends--;
         st->FinishIfIdle();
       });
@@ -256,20 +400,26 @@ void Dht::PutBatch(std::vector<DhtPutItem> items, BatchCallback done) {
     st->FinishIfIdle();
   };
 
+  size_t want_succs = static_cast<size_t>(max_k - 1);
   for (auto& [id, indices] : by_id) {
-    router_->Lookup(id, [st, ship, indices = indices](
-                            const Result<NetAddress>& owner, Id) {
-      if (owner.ok()) {
-        std::vector<size_t>& group = st->by_owner[owner.value()];
-        group.insert(group.end(), indices.begin(), indices.end());
-      } else {
-        // The whole group is undeliverable: no owner could be resolved.
-        st->NoteError(owner.status());
-        st->groups.push_back(
-            PutGroupStatus{NetAddress{}, indices, owner.status()});
-      }
-      if (--st->pending_lookups == 0) ship();
-    });
+    router_->LookupEx(
+        id, want_succs,
+        [st, ship, indices = indices](const Result<NetAddress>& owner,
+                                      Id owner_id,
+                                      std::vector<NetAddress> succs) {
+          if (owner.ok()) {
+            std::vector<size_t>& group = st->by_owner[owner.value()];
+            group.insert(group.end(), indices.begin(), indices.end());
+            st->succs_by_owner[owner.value()] = std::move(succs);
+            st->id_by_owner[owner.value()] = owner_id;
+          } else {
+            // The whole group is undeliverable: no owner could be resolved.
+            st->NoteError(owner.status());
+            st->groups.push_back(
+                PutGroupStatus{NetAddress{}, indices, owner.status()});
+          }
+          if (--st->pending_lookups == 0) ship();
+        });
   }
 }
 
@@ -289,8 +439,14 @@ void Dht::SendToId(Id target, const std::string& ns, const std::string& key,
 }
 
 void Dht::Get(const std::string& ns, const std::string& key, GetCallback cb) {
+  Get(ns, key, std::move(cb), 0);
+}
+
+void Dht::Get(const std::string& ns, const std::string& key, GetCallback cb,
+              int replicas) {
   stats_.gets++;
   Id target = RoutingId(ns, key);
+  int k = EffectiveReplicas(replicas);
   uint64_t op_id = next_op_id_++;
   PendingOp op;
   op.get_cb = std::move(cb);
@@ -303,24 +459,95 @@ void Dht::Get(const std::string& ns, const std::string& key, GetCallback cb) {
   });
   pending_[op_id] = std::move(op);
 
-  router_->Lookup(target, [this, op_id, ns, key](const Result<NetAddress>& owner, Id) {
-    auto it = pending_.find(op_id);
-    if (it == pending_.end()) return;
-    if (!owner.ok()) {
-      GetCallback cb2 = std::move(it->second.get_cb);
-      vri_->CancelEvent(it->second.timer);
-      pending_.erase(it);
-      cb2(owner.status(), {});
-      return;
-    }
-    WireWriter w;
-    w.PutU64(op_id);
-    w.PutU32(router_->local_address().host);
-    w.PutU16(router_->local_address().port);
-    w.PutBytes(ns);
-    w.PutBytes(key);
-    router_->SendDirect(owner.value(), kMsgGetReq, std::move(w).data(), nullptr);
-  });
+  if (k <= 1) {
+    // Owner-only get: the classic wire exchange, byte-identical.
+    router_->Lookup(target, [this, op_id, ns, key](const Result<NetAddress>& owner, Id) {
+      auto it = pending_.find(op_id);
+      if (it == pending_.end()) return;
+      if (!owner.ok()) {
+        GetCallback cb2 = std::move(it->second.get_cb);
+        vri_->CancelEvent(it->second.timer);
+        pending_.erase(it);
+        cb2(owner.status(), {});
+        return;
+      }
+      WireWriter w;
+      w.PutU64(op_id);
+      w.PutU32(router_->local_address().host);
+      w.PutU16(router_->local_address().port);
+      w.PutBytes(ns);
+      w.PutBytes(key);
+      router_->SendDirect(owner.value(), kMsgGetReq, std::move(w).data(), nullptr);
+    });
+    return;
+  }
+
+  // Read-any: resolve the owner AND its replica holders, then walk the
+  // candidate list until one of them answers with data (or all come back
+  // empty, which is an honest empty result).
+  router_->LookupEx(
+      target, static_cast<size_t>(k - 1),
+      [this, op_id, ns, key, k](const Result<NetAddress>& owner, Id owner_id,
+                                std::vector<NetAddress> succs) {
+        auto it = pending_.find(op_id);
+        if (it == pending_.end()) return;
+        if (!owner.ok()) {
+          GetCallback cb2 = std::move(it->second.get_cb);
+          vri_->CancelEvent(it->second.timer);
+          pending_.erase(it);
+          cb2(owner.status(), {});
+          return;
+        }
+        PendingOp& op = it->second;
+        op.ns = ns;
+        op.key = key;
+        op.owner_id = owner_id;
+        op.replicas = k;
+        op.candidates.push_back(owner.value());
+        for (const NetAddress& s : succs) {
+          if (op.candidates.size() >= static_cast<size_t>(k)) break;
+          if (s.IsNull() || s == owner.value()) continue;
+          op.candidates.push_back(s);
+        }
+        SendGetAttempt(op_id);
+      });
+}
+
+void Dht::SendGetAttempt(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  size_t attempt = op.attempt;
+  WireWriter w;
+  w.PutU64(op_id);
+  w.PutU32(router_->local_address().host);
+  w.PutU16(router_->local_address().port);
+  w.PutBytes(op.ns);
+  w.PutBytes(op.key);
+  w.PutU8(static_cast<uint8_t>(attempt));
+  router_->SendDirect(op.candidates[attempt], kMsgGetReqEx,
+                      std::move(w).data(), [this, op_id, attempt](const Status& s) {
+                        if (!s.ok()) AdvanceGet(op_id, attempt);
+                      });
+}
+
+void Dht::AdvanceGet(uint64_t op_id, size_t failed_attempt) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  if (op.attempt != failed_attempt) return;  // already moved on
+  if (op.attempt + 1 < op.candidates.size()) {
+    op.attempt++;
+    stats_.read_failovers++;
+    SendGetAttempt(op_id);
+    return;
+  }
+  // Every candidate is unreachable or empty: report an honest empty result,
+  // matching the owner-only semantics for a missing key.
+  GetCallback cb = std::move(op.get_cb);
+  vri_->CancelEvent(op.timer);
+  pending_.erase(it);
+  if (cb) cb(Status::Ok(), {});
 }
 
 void Dht::Renew(const std::string& ns, const std::string& key,
@@ -370,13 +597,17 @@ void Dht::Renew(const std::string& ns, const std::string& key,
 
 void Dht::LocalScan(const std::string& ns,
                     const std::function<void(const ObjectName&, std::string_view)>& fn) {
-  objects_->Scan(ns, [&fn](const ObjectManager::Object& obj) {
+  objects_->Scan(ns, [this, &fn](const ObjectManager::Object& obj) {
+    // Replica merge: of an object's k copies exactly one is visible to
+    // scans, so replicated tables never double-count.
+    if (!repl_->ShouldEmitInScan(obj)) return;
     fn(obj.name, obj.value);
   });
 }
 
 void Dht::LocalScan(const std::string& ns, const TimedScanFn& fn) {
-  objects_->Scan(ns, [&fn](const ObjectManager::Object& obj) {
+  objects_->Scan(ns, [this, &fn](const ObjectManager::Object& obj) {
+    if (!repl_->ShouldEmitInScan(obj)) return;
     fn(obj.name, obj.value, obj.stored_at);
   });
 }
@@ -478,6 +709,89 @@ void Dht::HandleGetResp(const NetAddress& from, std::string_view body) {
   if (cb) cb(Status::Ok(), std::move(items));
 }
 
+void Dht::HandleGetReqEx(const NetAddress& from, std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t op_id;
+  uint32_t host;
+  uint16_t port;
+  std::string_view ns, key;
+  uint8_t attempt;
+  if (!r.GetU64(&op_id).ok() || !r.GetU32(&host).ok() || !r.GetU16(&port).ok() ||
+      !r.GetBytes(&ns).ok() || !r.GetBytes(&key).ok() || !r.GetU8(&attempt).ok())
+    return;
+  // Replica copies answer too — that is the read-any contract. Remaining
+  // lifetimes ride along so the requester can read-repair the owner without
+  // extending anything past its origin-stamped expiry.
+  auto items = objects_->Get(ns, key);
+  TimeUs now = vri_->Now();
+  WireWriter w;
+  w.PutU64(op_id);
+  w.PutU8(attempt);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const auto* obj : items) {
+    w.PutBytes(obj->name.suffix);
+    w.PutBytes(obj->value);
+    w.PutU64(static_cast<uint64_t>(obj->expires_at - now));
+  }
+  router_->SendDirect(NetAddress{host, port}, kMsgGetRespEx, std::move(w).data(),
+                      nullptr);
+}
+
+void Dht::HandleGetRespEx(const NetAddress& from, std::string_view body) {
+  (void)from;
+  WireReader r(body);
+  uint64_t op_id;
+  uint8_t attempt;
+  uint32_t count;
+  if (!r.GetU64(&op_id).ok() || !r.GetU8(&attempt).ok() || !r.GetU32(&count).ok())
+    return;
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  std::vector<DhtItem> items;
+  std::vector<TimeUs> remaining;
+  items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view suffix, value;
+    uint64_t rem;
+    if (!r.GetBytes(&suffix).ok() || !r.GetBytes(&value).ok() ||
+        !r.GetU64(&rem).ok())
+      break;
+    items.push_back(DhtItem{std::string(suffix), std::string(value)});
+    remaining.push_back(static_cast<TimeUs>(rem));
+  }
+  if (items.empty()) {
+    // This candidate holds nothing: try the next one (a stale response for
+    // an attempt we already left is ignored).
+    AdvanceGet(op_id, attempt);
+    return;
+  }
+  // Data found — even a late answer from a slower candidate is accepted
+  // (read-any). A replica answering while the owner came up empty or dead
+  // also repairs the owner copy.
+  if (attempt > 0) ReadRepair(op_id, items, remaining);
+  GetCallback cb = std::move(it->second.get_cb);
+  vri_->CancelEvent(it->second.timer);
+  pending_.erase(it);
+  if (cb) cb(Status::Ok(), std::move(items));
+}
+
+void Dht::ReadRepair(uint64_t op_id, const std::vector<DhtItem>& items,
+                     const std::vector<TimeUs>& remaining) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  stats_.read_repairs++;
+  WireWriter w = ReplicationManager::FrameReplicate(
+      0, ReplicationManager::Origin::kReadRepair, op.owner_id, items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ReplicationManager::EncodeReplicaObject(
+        &w, ObjectName{op.ns, op.key, items[i].suffix}, remaining[i], 0,
+        static_cast<uint8_t>(op.replicas), items[i].value);
+  }
+  router_->SendFramed(op.candidates[0], std::move(w).data(), nullptr);
+}
+
 void Dht::HandleRenewReq(const NetAddress& from, std::string_view body) {
   (void)from;
   WireReader r(body);
@@ -492,6 +806,15 @@ void Dht::HandleRenewReq(const NetAddress& from, std::string_view body) {
     return;
   ObjectName name{std::string(ns), std::string(key), std::string(suffix)};
   Status s = objects_->Renew(name, static_cast<TimeUs>(lifetime));
+  if (s.ok()) {
+    // A renewed replicated object has drifted from its replica copies'
+    // lifetimes: re-propagate it on the next repair tick.
+    for (const ObjectManager::Object* o : objects_->Get(name.ns, name.key)) {
+      if (o->name.suffix == name.suffix && !o->is_replica() &&
+          o->desired_replicas > 1)
+        repl_->RefreshReplicas(name);
+    }
+  }
   WireWriter w;
   w.PutU64(op_id);
   w.PutU8(s.ok() ? 1 : 0);

@@ -23,6 +23,7 @@
 
 #include "overlay/object_id.h"
 #include "overlay/object_manager.h"
+#include "overlay/replication.h"
 #include "overlay/router.h"
 #include "runtime/vri.h"
 
@@ -41,6 +42,9 @@ struct DhtPutItem {
   std::string suffix;
   std::string value;
   TimeUs lifetime = 0;
+  /// Copies to place (owner + replicas - 1 successors). 0 = the Dht's
+  /// configured default replication factor.
+  int replicas = 0;
 };
 
 class Dht {
@@ -51,6 +55,12 @@ class Dht {
     TimeUs op_timeout = 10 * kSecond;
     /// Default soft-state lifetime used when callers pass lifetime = 0.
     TimeUs default_lifetime = 2LL * 60 * kSecond;
+    /// Default copies per stored object: the owner plus replication_factor-1
+    /// of its successors (k-way successor-set replication). 1 = the classic
+    /// owner-only placement. Validated against the routing protocol's
+    /// successor capacity at construction, so a misconfigured k fails loudly
+    /// at startup instead of silently at placement time.
+    int replication_factor = 1;
   };
 
   Dht(Vri* vri, Options options);
@@ -71,14 +81,24 @@ class Dht {
       std::function<void(const Status&, std::vector<DhtItem> items)>;
 
   /// get(namespace, key): fetch all objects stored under (ns, key) from the
-  /// responsible node; `cb` is the handleGet callback.
+  /// responsible node; `cb` is the handleGet callback. With replication
+  /// (`replicas` > 1, or 0 with a replicated default) the read is READ-ANY:
+  /// the owner is tried first, then its successors, and a copy found at a
+  /// replica read-repairs the missing/stale owner copy. replicas = 1 is the
+  /// classic owner-only get, byte-identical on the wire.
   void Get(const std::string& ns, const std::string& key, GetCallback cb);
+  void Get(const std::string& ns, const std::string& key, GetCallback cb,
+           int replicas);
 
   /// put(namespace, key, suffix, object, lifetime): two-phase store at the
   /// responsible node. The payload is moved down the wire path unchanged —
   /// pass an rvalue (std::move an owned buffer or hand over a temporary).
+  /// `replicas` > 1 additionally places copies at the owner's first
+  /// replicas-1 successors (0 = the configured default factor). `done`
+  /// reports the OWNER delivery; replica copies are best-effort.
   void Put(const std::string& ns, const std::string& key, const std::string& suffix,
-           std::string&& value, TimeUs lifetime, DoneCallback done = nullptr);
+           std::string&& value, TimeUs lifetime, DoneCallback done = nullptr,
+           int replicas = 0);
 
   /// One delivery group's outcome in a PutBatch: the items (by position in
   /// the submitted vector) that rode one wire frame to a responsible node,
@@ -89,6 +109,13 @@ class Dht {
     NetAddress owner;
     std::vector<size_t> indices;
     Status status;
+    /// Replica frames attempted / lost for this group. A group whose owner
+    /// delivery succeeded but which lost replica copies is DEGRADED — the
+    /// data is live but under-replicated — which is a different report than
+    /// dropped.
+    size_t replica_frames = 0;
+    size_t replica_failures = 0;
+    bool degraded() const { return status.ok() && replica_failures > 0; }
   };
   /// Per-group completion report: `first_error` keeps the old single-status
   /// contract (Ok iff every group delivered); `groups` says exactly which
@@ -179,9 +206,16 @@ class Dht {
 
   OverlayRouter* router() { return router_.get(); }
   ObjectManager* objects() { return objects_.get(); }
+  ReplicationManager* replication() { return repl_.get(); }
   Id local_id() const { return router_->local_id(); }
   NetAddress local_address() const { return router_->local_address(); }
   Vri* vri() { return vri_; }
+  int replication_factor() const { return options_.replication_factor; }
+  /// Largest factor the routing protocol can place (chord: its successor
+  /// list length).
+  int max_replication_factor() const {
+    return router_->protocol()->MaxReplicationFactor();
+  }
 
   struct Stats {
     uint64_t puts = 0;
@@ -194,10 +228,26 @@ class Dht {
     uint64_t batched_puts = 0;  // objects that rode a multi-object PutBatch frame
     uint64_t batch_msgs = 0;    // kMsgPutBatch frames sent
     uint64_t coalesced_msgs = 0;  // mirror of the router's bundle-rider count
+    // Replication health (merged from the replication manager at read).
+    uint64_t replica_puts = 0;       // replica copies shipped by this node
+    uint64_t replica_stores = 0;     // replica copies stored at this node
+    uint64_t promotions = 0;         // replicas retagged primary (owner died)
+    uint64_t handoff_pushes = 0;     // objects re-propagated to successors
+    uint64_t handoff_pulls = 0;      // objects received via range pull
+    uint64_t read_failovers = 0;     // gets answered by a replica, not the owner
+    uint64_t read_repairs = 0;       // owner copies refreshed from a replica
+    uint64_t suppressed_scan_rows = 0;  // replica rows hidden from LocalScan
   };
   Stats stats() const {
     Stats s = stats_;
     s.coalesced_msgs = router_->stats().coalesced_msgs;
+    const ReplicationManager::Stats& r = repl_->stats();
+    s.replica_puts = r.replica_copies_sent;
+    s.replica_stores = r.replica_stores;
+    s.promotions = r.promotions;
+    s.handoff_pushes = r.handoff_pushes;
+    s.handoff_pulls = r.handoff_pulls;
+    s.suppressed_scan_rows = r.suppressed_scan_rows;
     return s;
   }
 
@@ -209,6 +259,9 @@ class Dht {
   static constexpr uint8_t kMsgRenewReq = 19;
   static constexpr uint8_t kMsgRenewResp = 20;
   static constexpr uint8_t kMsgPutBatch = 21;
+  // 22 (replicate) and 23 (pull) belong to the replication manager.
+  static constexpr uint8_t kMsgGetReqEx = 24;   // read-any get (echoes attempt)
+  static constexpr uint8_t kMsgGetRespEx = 25;  // carries remaining lifetimes
   /// Largest entry count either side of the wire accepts in one
   /// kMsgPutBatch frame: the sender chunks bigger groups, the receiver
   /// drops frames past it as malformed.
@@ -229,6 +282,8 @@ class Dht {
   void HandlePutBatch(const NetAddress& from, std::string_view body);
   void HandleGetReq(const NetAddress& from, std::string_view body);
   void HandleGetResp(const NetAddress& from, std::string_view body);
+  void HandleGetReqEx(const NetAddress& from, std::string_view body);
+  void HandleGetRespEx(const NetAddress& from, std::string_view body);
   void HandleRenewReq(const NetAddress& from, std::string_view body);
   void HandleRenewResp(const NetAddress& from, std::string_view body);
   void HandleRoutedDelivery(const RouteInfo& info, std::string_view payload);
@@ -239,16 +294,37 @@ class Dht {
   TimeUs EffectiveLifetime(TimeUs lifetime) const {
     return lifetime > 0 ? lifetime : options_.default_lifetime;
   }
+  /// Resolve a per-call replica count (0 = default) against the configured
+  /// factor and the protocol's capacity.
+  int EffectiveReplicas(int replicas) const;
+  /// Replicated write path shared by Put and PutBatch's replicated groups.
+  void PutReplicated(ObjectName name, std::string&& value, TimeUs lifetime,
+                     int replicas, DoneCallback done);
+  /// Issue (or re-issue) the read-any get to the current candidate.
+  void SendGetAttempt(uint64_t op_id);
+  /// Current candidate failed or came back empty: advance or finish.
+  void AdvanceGet(uint64_t op_id, size_t failed_attempt);
+  /// Push `items` back at the owner as a fresh primary copy (read repair).
+  void ReadRepair(uint64_t op_id, const std::vector<DhtItem>& items,
+                  const std::vector<TimeUs>& remaining);
 
   Vri* vri_;
   Options options_;
   std::unique_ptr<OverlayRouter> router_;
   std::unique_ptr<ObjectManager> objects_;
+  std::unique_ptr<ReplicationManager> repl_;
 
   struct PendingOp {
     GetCallback get_cb;
     DoneCallback done_cb;
     uint64_t timer = 0;
+    // Read-any state (replicated gets only).
+    std::string ns;
+    std::string key;
+    std::vector<NetAddress> candidates;  // owner first, then its successors
+    size_t attempt = 0;
+    Id owner_id = 0;
+    int replicas = 0;
   };
   std::unordered_map<uint64_t, PendingOp> pending_;
   uint64_t next_op_id_ = 1;

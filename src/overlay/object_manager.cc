@@ -30,6 +30,57 @@ void ObjectManager::Put(ObjectName name, std::string value, TimeUs lifetime) {
   if (insert_hook_) insert_hook_(slot);
 }
 
+void ObjectManager::PutReplica(ObjectName name, std::string value,
+                               TimeUs remaining, TimeUs age,
+                               uint8_t replica_index, uint8_t desired_replicas,
+                               uint64_t owner_id) {
+  if (remaining > options_.max_lifetime) remaining = options_.max_lifetime;
+  if (remaining <= 0) return;  // origin copy already expired
+  if (age < 0) age = 0;
+  Object obj;
+  obj.name = name;
+  obj.value = std::move(value);
+  obj.expires_at = vri_->Now() + remaining;
+  obj.stored_at = vri_->Now() - age;
+  obj.replica_index = replica_index;
+  obj.desired_replicas = desired_replicas > 0 ? desired_replicas : 1;
+  obj.owner_id = owner_id;
+  Object& slot = store_[name.ns][name.key][name.suffix];
+  slot = std::move(obj);
+  if (replica_index == 0 && insert_hook_) insert_hook_(slot);
+}
+
+bool ObjectManager::Promote(const ObjectName& name) {
+  auto ns_it = store_.find(name.ns);
+  if (ns_it == store_.end()) return false;
+  auto key_it = ns_it->second.find(name.key);
+  if (key_it == ns_it->second.end()) return false;
+  auto sfx_it = key_it->second.find(name.suffix);
+  if (sfx_it == key_it->second.end()) return false;
+  Object& obj = sfx_it->second;
+  if (obj.expires_at <= vri_->Now()) {
+    key_it->second.erase(sfx_it);
+    return false;
+  }
+  if (obj.replica_index == 0) return false;
+  obj.replica_index = 0;
+  if (insert_hook_) insert_hook_(obj);
+  return true;
+}
+
+bool ObjectManager::Demote(const ObjectName& name) {
+  auto ns_it = store_.find(name.ns);
+  if (ns_it == store_.end()) return false;
+  auto key_it = ns_it->second.find(name.key);
+  if (key_it == ns_it->second.end()) return false;
+  auto sfx_it = key_it->second.find(name.suffix);
+  if (sfx_it == key_it->second.end()) return false;
+  Object& obj = sfx_it->second;
+  if (obj.replica_index != 0) return false;
+  obj.replica_index = 1;
+  return true;
+}
+
 Status ObjectManager::Renew(const ObjectName& name, TimeUs lifetime) {
   if (lifetime > options_.max_lifetime) lifetime = options_.max_lifetime;
   auto ns_it = store_.find(name.ns);
@@ -79,6 +130,24 @@ void ObjectManager::Scan(std::string_view ns,
       } else {
         fn(it->second);
         ++it;
+      }
+    }
+  }
+}
+
+void ObjectManager::ScanAll(const std::function<void(const Object&)>& fn) {
+  TimeUs now = vri_->Now();
+  for (auto& [ns, keys] : store_) {
+    (void)ns;
+    for (auto& [key, suffixes] : keys) {
+      (void)key;
+      for (auto it = suffixes.begin(); it != suffixes.end();) {
+        if (it->second.expires_at <= now) {
+          it = suffixes.erase(it);
+        } else {
+          fn(it->second);
+          ++it;
+        }
       }
     }
   }

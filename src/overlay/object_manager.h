@@ -34,8 +34,21 @@ class ObjectManager {
     std::string value;
     TimeUs expires_at = 0;
     /// When this node stored the object (local clock). Lets catch-up scans
-    /// skip history older than a swapped-in plan's high-water mark.
+    /// skip history older than a swapped-in plan's high-water mark. Replica
+    /// copies back-date this by the origin copy's age so the mark stays
+    /// meaningful across handoffs.
     TimeUs stored_at = 0;
+    /// Replica placement tags (k-way successor-set replication). Index 0 is
+    /// the primary copy at the responsible node; 1..k-1 are the copies at its
+    /// successors. Only the primary fires the insert hook, and scans suppress
+    /// replica copies unless ownership has moved here.
+    uint8_t replica_index = 0;
+    /// How many live copies the writer asked for (1 = unreplicated).
+    uint8_t desired_replicas = 1;
+    /// Routing id of the node that was responsible when the copy was placed.
+    uint64_t owner_id = 0;
+
+    bool is_replica() const { return replica_index != 0; }
   };
 
   ObjectManager(Vri* vri, Options options);
@@ -46,6 +59,27 @@ class ObjectManager {
   /// Fires the insert hook.
   void Put(ObjectName name, std::string value, TimeUs lifetime);
 
+  /// Store a replicated copy with an ORIGIN-STAMPED lifetime: the copy keeps
+  /// the remaining lifetime of the origin, not a fresh local one, so copies
+  /// placed at different times all expire together with the owner copy.
+  /// `remaining` is the origin's time left at send time and `age` how long
+  /// the origin had already lived (back-dates stored_at so catch-up marks
+  /// treat the copy like the original). Fires the insert hook only for the
+  /// primary (replica_index 0).
+  void PutReplica(ObjectName name, std::string value, TimeUs remaining,
+                  TimeUs age, uint8_t replica_index, uint8_t desired_replicas,
+                  uint64_t owner_id);
+
+  /// Retag a replica copy as the primary (ownership moved here after the
+  /// owner left) and fire the insert hook, so subscribers see the object as
+  /// newly arrived data. No-op (false) if absent, expired, or already
+  /// primary.
+  bool Promote(const ObjectName& name);
+
+  /// Retag a primary as a replica copy (ownership moved away): the copy
+  /// stays readable but stops counting as this node's data in scans.
+  bool Demote(const ObjectName& name);
+
   /// Extend the lifetime of an existing object. NotFound if absent/expired —
   /// this is the signal that tells a publisher its object moved or died.
   Status Renew(const ObjectName& name, TimeUs lifetime);
@@ -55,6 +89,9 @@ class ObjectManager {
 
   /// Visit all live objects in a namespace (localScan).
   void Scan(std::string_view ns, const std::function<void(const Object&)>& fn);
+
+  /// Visit every live object in every namespace (replica repair sweeps).
+  void ScanAll(const std::function<void(const Object&)>& fn);
 
   /// Remove one object (used by operators that consume state).
   void Remove(const ObjectName& name);

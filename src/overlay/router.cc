@@ -1,5 +1,6 @@
 #include "overlay/router.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -289,6 +290,12 @@ void OverlayRouter::HandleRoute(const NetAddress& from, std::string_view body) {
 }
 
 void OverlayRouter::Lookup(Id target, LookupCallback cb) {
+  LookupEx(target, 0,
+           [cb = std::move(cb)](const Result<NetAddress>& owner, Id owner_id,
+                                std::vector<NetAddress>) { cb(owner, owner_id); });
+}
+
+void OverlayRouter::LookupEx(Id target, size_t want_succs, LookupExCallback cb) {
   stats_.lookups_started++;
   uint64_t lookup_id = next_lookup_id_++;
   PendingLookup pending;
@@ -296,10 +303,10 @@ void OverlayRouter::Lookup(Id target, LookupCallback cb) {
   pending.timer = vri_->ScheduleEvent(options_.lookup_timeout, [this, lookup_id]() {
     auto it = pending_lookups_.find(lookup_id);
     if (it == pending_lookups_.end()) return;
-    LookupCallback cb = std::move(it->second.cb);
+    LookupExCallback cb = std::move(it->second.cb);
     pending_lookups_.erase(it);
     stats_.lookups_failed++;
-    cb(Status::TimedOut("lookup timed out"), 0);
+    cb(Status::TimedOut("lookup timed out"), 0, {});
   });
   pending_lookups_[lookup_id] = std::move(pending);
 
@@ -307,6 +314,7 @@ void OverlayRouter::Lookup(Id target, LookupCallback cb) {
   w.PutU64(lookup_id);
   w.PutU32(local_address_.host);
   w.PutU16(local_address_.port);
+  w.PutU8(static_cast<uint8_t>(std::min<size_t>(want_succs, 255)));
   // Lookups ride the routed channel in a reserved namespace with no upcalls.
   RouteInfo info;
   info.target = target;
@@ -318,11 +326,11 @@ void OverlayRouter::Lookup(Id target, LookupCallback cb) {
   if (protocol_->IsOwner(info.target) || protocol_->NextHop(info.target).IsNull()) {
     auto it = pending_lookups_.find(lookup_id);
     if (it != pending_lookups_.end()) {
-      LookupCallback cb2 = std::move(it->second.cb);
+      LookupExCallback cb2 = std::move(it->second.cb);
       vri_->CancelEvent(it->second.timer);
       pending_lookups_.erase(it);
       stats_.lookups_ok++;
-      cb2(local_address_, local_id_);
+      cb2(local_address_, local_id_, protocol_->SuccessorSet(want_succs));
     }
     return;
   }
@@ -348,12 +356,22 @@ void OverlayRouter::HandleLookupReq(const NetAddress& from, std::string_view bod
   uint16_t port;
   if (!r.GetU64(&lookup_id).ok() || !r.GetU32(&host).ok() || !r.GetU16(&port).ok())
     return;
+  // Requests older than the successor-set extension end here; treat a
+  // missing count as "owner only".
+  uint8_t want_succs = 0;
+  (void)r.GetU8(&want_succs).ok();
   WireWriter w;
   w.PutU8(kMsgLookupResp);
   w.PutU64(lookup_id);
   w.PutU64(local_id_);
   w.PutU32(local_address_.host);
   w.PutU16(local_address_.port);
+  std::vector<NetAddress> succs = protocol_->SuccessorSet(want_succs);
+  w.PutU8(static_cast<uint8_t>(succs.size()));
+  for (const NetAddress& s : succs) {
+    w.PutU32(s.host);
+    w.PutU16(s.port);
+  }
   TransportSend(NetAddress{host, port}, std::move(w).data(), nullptr);
 }
 
@@ -365,13 +383,23 @@ void OverlayRouter::HandleLookupResp(std::string_view body) {
   if (!r.GetU64(&lookup_id).ok() || !r.GetU64(&owner_id).ok() ||
       !r.GetU32(&host).ok() || !r.GetU16(&port).ok())
     return;
+  std::vector<NetAddress> succs;
+  uint8_t count = 0;
+  if (r.GetU8(&count).ok()) {
+    for (uint8_t i = 0; i < count; ++i) {
+      uint32_t sh;
+      uint16_t sp;
+      if (!r.GetU32(&sh).ok() || !r.GetU16(&sp).ok()) break;
+      succs.push_back(NetAddress{sh, sp});
+    }
+  }
   auto it = pending_lookups_.find(lookup_id);
   if (it == pending_lookups_.end()) return;  // timed out already
-  LookupCallback cb = std::move(it->second.cb);
+  LookupExCallback cb = std::move(it->second.cb);
   vri_->CancelEvent(it->second.timer);
   pending_lookups_.erase(it);
   stats_.lookups_ok++;
-  cb(NetAddress{host, port}, owner_id);
+  cb(NetAddress{host, port}, owner_id, std::move(succs));
 }
 
 }  // namespace pier

@@ -102,6 +102,16 @@ class OverlayRouter : public ProtocolHost {
 
   void Lookup(Id target, LookupCallback cb);
 
+  /// Extended lookup for replica placement: besides the owner, the response
+  /// carries up to `want_succs` of the OWNER's successors (the nodes that
+  /// hold its replicas under successor-set replication). `want_succs = 0`
+  /// degenerates to the plain lookup.
+  using LookupExCallback = std::function<void(
+      const Result<NetAddress>& owner, Id owner_id,
+      std::vector<NetAddress> successors)>;
+
+  void LookupEx(Id target, size_t want_succs, LookupExCallback cb);
+
   // --- Direct typed messages (object-layer extension point) -----------------
 
   using DirectHandler =
@@ -191,7 +201,7 @@ class OverlayRouter : public ProtocolHost {
   std::map<uint8_t, DirectHandler> direct_handlers_;
 
   struct PendingLookup {
-    LookupCallback cb;
+    LookupExCallback cb;
     uint64_t timer = 0;
   };
   std::unordered_map<uint64_t, PendingLookup> pending_lookups_;

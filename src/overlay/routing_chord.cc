@@ -197,6 +197,18 @@ std::vector<NetAddress> ChordProtocol::Neighbors() const {
   return out;
 }
 
+std::vector<NetAddress> ChordProtocol::SuccessorSet(size_t n) const {
+  std::vector<NetAddress> out;
+  for (const Peer& s : succs_) {
+    if (out.size() >= n) break;
+    if (!s.valid() || s.addr == host_->local_address()) continue;
+    bool dup = false;
+    for (const NetAddress& a : out) dup |= (a == s.addr);
+    if (!dup) out.push_back(s.addr);
+  }
+  return out;
+}
+
 void ChordProtocol::SeedRoutingState(const std::vector<Peer>& ring) {
   started_ = true;
   ready_ = true;

@@ -55,6 +55,15 @@ class ChordProtocol : public RoutingProtocol {
   void OnPeerUnreachable(const NetAddress& peer) override;
   void ObserveContact(Id id, const NetAddress& addr) override;
   std::vector<NetAddress> Neighbors() const override;
+  std::vector<NetAddress> SuccessorSet(size_t n) const override;
+  int MaxReplicationFactor() const override {
+    return options_.successor_list_len;
+  }
+  bool PredecessorId(Id* out) const override {
+    if (!pred_.valid()) return false;
+    *out = pred_.id;
+    return true;
+  }
   std::string name() const override { return "chord"; }
 
   /// Instant warm start for large static simulations: install the correct

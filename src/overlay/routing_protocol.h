@@ -69,6 +69,27 @@ class RoutingProtocol {
   /// Current neighbor set (diagnostics, tests, tree-shape experiments).
   virtual std::vector<NetAddress> Neighbors() const = 0;
 
+  /// The first `n` nodes that would inherit this node's range if it left —
+  /// the replica targets of k-way successor-set replication. Ordered by ring
+  /// distance, never containing the local node. Protocols without an ordered
+  /// successor structure return empty (replication degenerates to k = 1).
+  virtual std::vector<NetAddress> SuccessorSet(size_t n) const {
+    (void)n;
+    return {};
+  }
+
+  /// Largest replication factor this protocol can place (owner + that many
+  /// minus one successors). 1 = owner-only storage.
+  virtual int MaxReplicationFactor() const { return 1; }
+
+  /// Lower bound of this node's owned range (its predecessor's id), when the
+  /// protocol tracks one. Replica repair pulls the range (pred, self] after a
+  /// predecessor change. Returns false while unknown.
+  virtual bool PredecessorId(Id* out) const {
+    (void)out;
+    return false;
+  }
+
   virtual std::string name() const = 0;
 };
 

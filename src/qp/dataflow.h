@@ -46,6 +46,9 @@ class ExecContext {
   /// catch-up scan — the predecessor generation already counted it. 0 = no
   /// suppression (first dissemination reads everything, §3.3.4).
   TimeUs catchup_floor_us = 0;
+  /// Replication factor for state this query publishes into the DHT
+  /// (QueryPlan::replicas; 0 = the DHT default).
+  int32_t replicas = 0;
 
   /// Forward an answer tuple to the proxy (wired up by the QueryProcessor).
   std::function<void(const Tuple&)> emit_result;

@@ -223,6 +223,7 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
     // The RunningQuery's floor, not the raw wire one: a swap tightened it to
     // this node's quiesce instant above.
     cx.catchup_floor_us = rq.meta.catchup_floor_us;
+    cx.replicas = rq.meta.replicas;
     uint64_t qid = meta.query_id;
     // The answer target is read at EMIT time, not instantiation time: when
     // the proxy dies mid-run, failover re-points rq.meta.proxy at a

@@ -205,7 +205,8 @@ class PutOp : public Operator {
     if (use_send_) {
       cx_->dht->Send(ns_, key, suffix, std::move(wire), lifetime_);
     } else {
-      cx_->dht->Put(ns_, key, suffix, std::move(wire), lifetime_);
+      cx_->dht->Put(ns_, key, suffix, std::move(wire), lifetime_, nullptr,
+                    cx_->replicas);
     }
     if (cx_->observe_publish) cx_->observe_publish(ns_, key_attrs_, t, bytes);
     stats_.emitted++;

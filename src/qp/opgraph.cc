@@ -158,6 +158,7 @@ Status QueryPlan::Validate() const {
     return Status::InvalidArgument("negative catch-up floor");
   if (lease_period_us < 0)
     return Status::InvalidArgument("negative lease period");
+  if (replicas < 0) return Status::InvalidArgument("negative replicas");
   if (successors.size() > kMaxSuccessors)
     return Status::InvalidArgument("too many proxy successors");
   if (proxy_epoch > successors.size())
@@ -185,6 +186,7 @@ void QueryPlan::EncodeTo(WireWriter* w) const {
   w->PutI64(catchup_floor_us);
   w->PutI64(lease_period_us);
   w->PutU8(cancelled ? 1 : 0);
+  w->PutU32(static_cast<uint32_t>(replicas));
   w->PutVarint(graphs.size());
   for (const OpGraph& g : graphs) {
     w->PutU32(g.id);
@@ -252,6 +254,9 @@ Result<QueryPlan> QueryPlan::Decode(std::string_view wire) {
   uint8_t cancelled;
   PIER_RETURN_IF_ERROR(r.GetU8(&cancelled));
   plan.cancelled = cancelled != 0;
+  uint32_t replicas;
+  PIER_RETURN_IF_ERROR(r.GetU32(&replicas));
+  plan.replicas = static_cast<int32_t>(replicas);
   uint64_t ngraphs;
   PIER_RETURN_IF_ERROR(r.GetVarint(&ngraphs));
   if (ngraphs > 1000) return Status::Corruption("absurd graph count");

@@ -194,6 +194,11 @@ struct QueryPlan {
   /// successor that adopts via lease starvation checks it and un-adopts;
   /// the absolute deadline bounds everything else.
   bool cancelled = false;
+  /// Replication factor for the soft state this query publishes (Put
+  /// exchanges, materialized tables): each object is placed at its owner
+  /// plus replicas-1 of the owner's successors. 0 = the DHT's configured
+  /// default. Set from `replicas = k;` in UFL.
+  int32_t replicas = 0;
 
   std::vector<OpGraph> graphs;
 

@@ -147,14 +147,14 @@ QueryProcessor::~QueryProcessor() {
 
 size_t QueryProcessor::Publish(const std::string& table,
                                const std::vector<std::string>& key_attrs,
-                               const Tuple& t, TimeUs lifetime) {
+                               const Tuple& t, TimeUs lifetime, int replicas) {
   if (lifetime <= 0) lifetime = options_.publish_lifetime;
   std::string suffix = std::to_string(next_suffix_++) + "@" +
                        std::to_string(dht_->local_address().host);
   std::string wire = t.Encode();
   size_t bytes = wire.size();
   dht_->Put(table, t.PartitionKey(key_attrs), suffix, std::move(wire),
-            lifetime);
+            lifetime, nullptr, replicas);
   return bytes;
 }
 
@@ -162,20 +162,22 @@ void QueryProcessor::PublishSecondary(const std::string& index_table,
                                       const std::string& index_attr,
                                       const std::string& base_table,
                                       const std::vector<std::string>& base_key_attrs,
-                                      const Tuple& t, TimeUs lifetime) {
+                                      const Tuple& t, TimeUs lifetime,
+                                      int replicas) {
   const Value* v = t.Get(index_attr);
   if (v == nullptr) return;  // nothing to index
   Tuple entry(index_table);
   entry.Append(index_attr, *v);
   entry.Append("base_table", Value::String(base_table));
   entry.Append("base_key", Value::String(t.PartitionKey(base_key_attrs)));
-  Publish(index_table, {index_attr}, entry, lifetime);
+  Publish(index_table, {index_attr}, entry, lifetime, replicas);
 }
 
 size_t QueryProcessor::MakePublishItem(const std::string& table,
                                        const std::vector<std::string>& key_attrs,
                                        const Tuple& t, TimeUs lifetime,
-                                       std::vector<DhtPutItem>* items) {
+                                       std::vector<DhtPutItem>* items,
+                                       int replicas) {
   if (lifetime <= 0) lifetime = options_.publish_lifetime;
   DhtPutItem item;
   item.ns = table;
@@ -184,6 +186,7 @@ size_t QueryProcessor::MakePublishItem(const std::string& table,
                 std::to_string(dht_->local_address().host);
   item.value = t.Encode();
   item.lifetime = lifetime;
+  item.replicas = replicas;
   size_t bytes = item.value.size();
   items->push_back(std::move(item));
   return bytes;
@@ -193,14 +196,14 @@ void QueryProcessor::MakeSecondaryItem(
     const std::string& index_table, const std::string& index_attr,
     const std::string& base_table,
     const std::vector<std::string>& base_key_attrs, const Tuple& t,
-    TimeUs lifetime, std::vector<DhtPutItem>* items) {
+    TimeUs lifetime, std::vector<DhtPutItem>* items, int replicas) {
   const Value* v = t.Get(index_attr);
   if (v == nullptr) return;  // nothing to index
   Tuple entry(index_table);
   entry.Append(index_attr, *v);
   entry.Append("base_table", Value::String(base_table));
   entry.Append("base_key", Value::String(t.PartitionKey(base_key_attrs)));
-  MakePublishItem(index_table, {index_attr}, entry, lifetime, items);
+  MakePublishItem(index_table, {index_attr}, entry, lifetime, items, replicas);
 }
 
 void QueryProcessor::PublishBatch(std::vector<DhtPutItem> items,
@@ -264,6 +267,11 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
   // full timeout (§3.3.2's "timeout specified in the query", made absolute).
   if (plan.deadline_us == 0) plan.deadline_us = vri_->Now() + plan.timeout;
   PIER_RETURN_IF_ERROR(plan.Validate());
+  if (plan.replicas > dht_->max_replication_factor())
+    return Status::InvalidArgument(
+        "plan wants " + std::to_string(plan.replicas) +
+        " replicas but the overlay can place at most " +
+        std::to_string(dht_->max_replication_factor()));
   PIER_RETURN_IF_ERROR(CheckTablesKnown(plan));
   stats_.queries_submitted++;
 
@@ -278,10 +286,25 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
     client.plan_stored = true;
   }
   clients_[qid] = std::move(client);
-  if (plan.continuous) StartLeaseRefresh(qid);
+  if (plan.continuous) {
+    StartLeaseRefresh(qid);
+    StoreDurablePlan(plan);
+  }
 
   Disseminate(plan);
   return qid;
+}
+
+void QueryProcessor::StoreDurablePlan(const QueryPlan& plan) {
+  // The full plan (graphs included), replicated like any other soft state:
+  // an adopting successor reads it back even when the storing node is the
+  // dead proxy itself. Lifetime = the query's remaining life.
+  TimeUs remaining = plan.deadline_us > 0
+                         ? std::max<TimeUs>(kMillisecond,
+                                            plan.deadline_us - vri_->Now())
+                         : plan.timeout;
+  dht_->Put(kPlanNs, std::to_string(plan.query_id), "p", plan.Encode(),
+            remaining + options_.done_slack, nullptr, plan.replicas);
 }
 
 Status QueryProcessor::RewindowQuery(uint64_t query_id, TimeUs window) {
@@ -338,6 +361,7 @@ Status QueryProcessor::SwapQuery(uint64_t query_id, QueryPlan new_plan) {
   PIER_RETURN_IF_ERROR(new_plan.Validate());
   PIER_RETURN_IF_ERROR(CheckTablesKnown(new_plan));
   current = new_plan;
+  StoreDurablePlan(current);
   Disseminate(current);
   return Status::Ok();
 }
@@ -402,6 +426,24 @@ void QueryProcessor::AdoptQuery(const QueryPlan& meta) {
                          : meta.timeout;
   client.done_timer = ArmDoneTimer(qid, remaining);
   clients_[qid] = std::move(client);
+
+  // This node's executor only rebuilds the BROADCAST graphs; equality /
+  // range / local graphs ran elsewhere (or only at the dead proxy). Recover
+  // them from the durable replicated plan copy — a read-any Get that works
+  // even though its primary owner may be the very node whose death caused
+  // this adoption.
+  dht_->Get(kPlanNs, std::to_string(qid),
+            [this, qid](const Status& s, std::vector<DhtItem> items) {
+              if (!s.ok() || items.empty()) return;
+              auto cit = clients_.find(qid);
+              if (cit == clients_.end() || !cit->second.plan_stored) return;
+              Result<QueryPlan> stored = QueryPlan::Decode(items[0].value);
+              if (!stored.ok()) return;
+              QueryPlan& plan = cit->second.plan;
+              if (stored->generation < plan.generation) return;  // stale copy
+              if (stored->graphs.size() <= plan.graphs.size()) return;
+              plan.graphs = std::move(stored->graphs);
+            });
 
   // Adoption is optimistic; the durable cancel tombstone is the correction.
   // A cancelled query's executors normally die of the broadcast tombstone

@@ -72,10 +72,11 @@ class QueryProcessor {
   // --- Publishing (primary/secondary indexes, §3.3.3) -------------------------
 
   /// Publish a tuple into the DHT under `table`, partitioned by `key_attrs`
-  /// (the primary index). lifetime 0 uses the default. Returns the stored
-  /// object's encoded size (statistics accrual reuses it).
+  /// (the primary index). lifetime 0 uses the default; `replicas` copies are
+  /// placed (0 = the DHT's configured factor). Returns the stored object's
+  /// encoded size (statistics accrual reuses it).
   size_t Publish(const std::string& table, const std::vector<std::string>& key_attrs,
-                 const Tuple& t, TimeUs lifetime = 0);
+                 const Tuple& t, TimeUs lifetime = 0, int replicas = 0);
 
   /// Publish a secondary index entry: a (index-key, tupleID-ish) pair — a
   /// small tuple holding the indexed value and the base tuple's location
@@ -84,7 +85,7 @@ class QueryProcessor {
                         const std::string& index_attr,
                         const std::string& base_table,
                         const std::vector<std::string>& base_key_attrs,
-                        const Tuple& t, TimeUs lifetime = 0);
+                        const Tuple& t, TimeUs lifetime = 0, int replicas = 0);
 
   // --- Batched publishing ------------------------------------------------------
   // Build-then-ship: the client accumulates every index fan-out of a whole
@@ -93,11 +94,12 @@ class QueryProcessor {
   // distinct key, one wire message per destination owner.
 
   /// Append the primary-index put for `t` to `items` without sending.
-  /// Returns the encoded tuple size (statistics accrual reuses it).
+  /// `replicas` copies are placed when the batch ships (0 = the DHT's
+  /// default). Returns the encoded tuple size (statistics accrual reuses it).
   size_t MakePublishItem(const std::string& table,
                          const std::vector<std::string>& key_attrs,
                          const Tuple& t, TimeUs lifetime,
-                         std::vector<DhtPutItem>* items);
+                         std::vector<DhtPutItem>* items, int replicas = 0);
 
   /// Append a secondary-index entry for `t` to `items`; a tuple without the
   /// indexed attribute contributes nothing (sparse indexes).
@@ -106,7 +108,7 @@ class QueryProcessor {
                          const std::string& base_table,
                          const std::vector<std::string>& base_key_attrs,
                          const Tuple& t, TimeUs lifetime,
-                         std::vector<DhtPutItem>* items);
+                         std::vector<DhtPutItem>* items, int replicas = 0);
 
   /// Ship pre-built items as one DHT batch. `done` (optional) receives the
   /// per-destination-group outcome, so partial failures name exactly which
@@ -218,6 +220,15 @@ class QueryProcessor {
 
   // --- Introspection -------------------------------------------------------------
 
+  /// The stored plan of a query this node proxies (test/introspection
+  /// accessor; NotFound when this node does not proxy `query_id`).
+  Result<QueryPlan> ProxyPlan(uint64_t query_id) const {
+    auto it = clients_.find(query_id);
+    if (it == clients_.end() || !it->second.plan_stored)
+      return Status::NotFound("no stored plan for this query");
+    return it->second.plan;
+  }
+
   QueryExecutor* executor() { return executor_.get(); }
   Dht* dht() { return dht_; }
   Vri* vri() { return vri_; }
@@ -242,6 +253,13 @@ class QueryProcessor {
   /// and AdoptQuery checks it after adopting — a successor that missed the
   /// tombstone BROADCAST still un-adopts a cancelled query.
   static constexpr const char* kTombNs = "!qtomb";
+  /// Namespace of durable continuous-query plans: SubmitQuery and SwapQuery
+  /// store the full encoded plan under the query id (replicated with the
+  /// DHT's factor). An adopting successor whose own executor only ran the
+  /// query's BROADCAST graphs reads the plan back through it, so equality /
+  /// range / local graphs survive proxy failover too — even when the
+  /// original proxy (the plan's storing node) is the node that died.
+  static constexpr const char* kPlanNs = "!qplan";
   /// Proxy probe (expired-lease corroboration): the request carries the
   /// query id; the probed node answers kMsgLeaseProbeResp with whether it
   /// still proxies the query. "Reachable but not proxying" matters: it is
@@ -290,6 +308,9 @@ class QueryProcessor {
 
   Status CheckTablesKnown(const QueryPlan& plan) const;
   void StartLeaseRefresh(uint64_t query_id);
+  /// Store (or refresh) the durable replicated copy of a continuous query's
+  /// full plan under kPlanNs.
+  void StoreDurablePlan(const QueryPlan& plan);
   /// Arm the proxy-side completion timer: at `delay` + done_slack the
   /// client record is torn down and on_done fires. Shared by SubmitQuery
   /// and AdoptQuery so the two teardown paths cannot drift apart.

@@ -230,6 +230,15 @@ class UflParser {
           PIER_ASSIGN_OR_RETURN(plan_.window, Duration(value));
         } else if (key == "flush_after") {
           PIER_ASSIGN_OR_RETURN(plan_.flush_after, Duration(value));
+        } else if (key == "replicas") {
+          // Replication factor for the query's published soft state; the
+          // client validates it against the DHT's successor capacity.
+          char* end = nullptr;
+          long k = std::strtol(value.c_str(), &end, 10);
+          if (*end != '\0' || k < 0 || k > 255)
+            return Err("replicas must be a small non-negative integer, got '" +
+                       value + "'");
+          plan_.replicas = static_cast<int32_t>(k);
         } else if (key == "replan") {
           // Accepted for symmetry with SQL's replan=auto. A UFL program IS
           // the physical plan — there is no logical plan to re-optimize —

@@ -7,7 +7,9 @@
 
 #include <vector>
 
+#include "overlay/sim_overlay.h"
 #include "qp/sim_pier.h"
+#include "qp/ufl.h"
 
 namespace pier {
 namespace {
@@ -367,6 +369,115 @@ TEST(Failover, DurableTombstoneUnadoptsASuccessorThatMissedTheBroadcast) {
   net.RunFor(3 * kSecond);  // the tombstone Get round-trip corrects it
   EXPECT_FALSE(net.qp(2)->HasClientQuery(qid))
       << "the durable tombstone must un-adopt a cancelled query";
+}
+
+/// The node currently owning RoutingId(ns, key), or -1 if none is alive.
+int OwnerOf(SimPier* net, const std::string& ns, const std::string& key) {
+  Id target = RoutingId(ns, key);
+  for (uint32_t i = 0; i < net->size(); ++i) {
+    if (!net->harness()->IsAlive(i)) continue;
+    if (net->dht(i)->router()->protocol()->IsOwner(target))
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(Failover, TombstoneSurvivesItsOwnersDeathThroughReplicas) {
+  auto opts = PierOptions(263);
+  opts.dht.replication_factor = 3;
+  SimPier net(10, opts);
+  RegisterEv(&net);
+  auto q = net.client(1)->Query(CountingQuery(&net, {2}));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  uint64_t qid = q->id();
+  net.RunFor(4 * kSecond);
+  ASSERT_TRUE(q->Cancel().ok());
+  net.RunFor(2 * kSecond);  // durable tombstone put + replica frames settle
+
+  // Kill the very node that owns the durable tombstone. With k = 1 this
+  // would reopen PR 5's adoption hole: the un-adopt Get would find nothing.
+  int owner = OwnerOf(&net, "!qtomb", std::to_string(qid));
+  ASSERT_GE(owner, 0);
+  uint32_t adopter = owner == 2 ? 3 : 2;
+  net.harness()->FailNode(static_cast<uint32_t>(owner));
+  net.RunFor(8 * kSecond);  // stabilize: a tombstone replica gets promoted
+
+  // A successor that missed the cancel broadcast force-adopts with the
+  // stale metadata it would still hold.
+  QueryPlan meta;
+  meta.query_id = qid;
+  meta.continuous = true;
+  meta.timeout = 60 * kSecond;
+  meta.deadline_us = net.loop()->now() + 50 * kSecond;
+  meta.proxy = net.dht(adopter)->local_address();
+  meta.proxy_epoch = 1;
+  meta.successors = {net.dht(adopter)->local_address()};
+  meta.lease_period_us = kLease;
+  meta.window = 2 * kSecond;
+  net.qp(adopter)->AdoptQuery(meta);
+  EXPECT_TRUE(net.qp(adopter)->HasClientQuery(qid));
+
+  net.RunFor(4 * kSecond);
+  EXPECT_FALSE(net.qp(adopter)->HasClientQuery(qid))
+      << "the tombstone's replicas must un-adopt even with its owner dead";
+}
+
+TEST(Failover, AdoptionRecoversTheFullPlanThroughReplicasOfADeadOwner) {
+  auto opts = PierOptions(271);
+  opts.dht.replication_factor = 3;
+  SimPier net(10, opts);
+  RegisterEv(&net);
+  int64_t next_id = 0;
+
+  // Two graphs of different dissemination classes: the adopter's executor
+  // can rebuild only the broadcast one, so a full ProxyPlan after adoption
+  // proves the "!qplan" read-through worked.
+  const char* kText = R"(
+    query { timeout = 60s; window = 2s; continuous; }
+    graph g1 broadcast { s: scan [ns=ev, watch=1]; o: result; s -> o; }
+    graph g2 local { s: scan [ns=ev]; o: result; s -> o; }
+  )";
+
+  // The durable plan's owner must be a third node — if the id lands on the
+  // proxy or its successor, resubmit: the fresh query id moves it.
+  uint64_t qid = 0;
+  int owner = -1;
+  for (int attempt = 0; attempt < 8 && owner < 0; ++attempt) {
+    auto plan = ParseUfl(kText);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_EQ(plan->graphs.size(), 2u);
+    plan->successors = {net.dht(2)->local_address()};
+    plan->lease_period_us = kLease;
+    auto submitted = net.qp(1)->SubmitQuery(*plan, nullptr);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    net.RunFor(3 * kSecond);  // dissemination + durable plan replication
+    int at = OwnerOf(&net, "!qplan", std::to_string(*submitted));
+    ASSERT_GE(at, 0);
+    if (at != 1 && at != 2) {
+      qid = *submitted;
+      owner = at;
+      break;
+    }
+    net.qp(1)->CancelQuery(*submitted);
+    net.RunFor(kSecond);
+  }
+  ASSERT_GE(owner, 0) << "no query id placed its plan off the proxy chain";
+
+  // First the plan's primary owner dies, then the proxy. The adopter must
+  // recover the non-broadcast graph from a surviving plan replica.
+  net.harness()->FailNode(static_cast<uint32_t>(owner));
+  net.RunFor(8 * kSecond);  // let routing heal before the adopter's plan Get
+  net.harness()->FailNode(1);
+  for (int i = 0; i < 12; ++i) {
+    PublishEv(&net, &next_id);
+    net.RunFor(kSecond);
+  }
+  ASSERT_EQ(net.qp(2)->stats().adoptions, 1u) << "successor adopted";
+
+  auto adopted = net.qp(2)->ProxyPlan(qid);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_EQ(adopted->graphs.size(), 2u)
+      << "the local graph was only recoverable from the plan's replicas";
 }
 
 // ---------------------------------------------------------------------------
