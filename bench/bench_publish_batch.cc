@@ -11,8 +11,15 @@
 // BOTH total bytes and ingest wall-clock. A regression that quietly unbatches
 // the pipeline turns the bench red instead of printing a slower table.
 //
+// E11b (appended, self-checking): per-query cost metering rides the operator
+// hot path (EmitTuple / MeterNet are a few relaxed atomic adds per tuple).
+// The same snapshot-query workload is timed (real wall-clock, min of 7
+// interleaved reps) with executor metering on and off; the run FAILS if the
+// metered pipeline is more than 3% slower than the metering-free one.
+//
 // PIER_BENCH_SMOKE=1 shrinks the workload for CI smoke runs.
 
+#include <chrono>
 #include <cstdlib>
 
 #include "bench/bench_common.h"
@@ -167,6 +174,74 @@ void Run() {
   }
   bench::Note("self-check passed: batch=64 beats batch=1 on bytes AND "
               "wall-clock.");
+
+  // --- E11b: metering overhead on the operator hot path --------------------
+  bench::Title("E11b: per-tuple cost-metering overhead (must stay < 3%)");
+  // Sized so one rep is tens of milliseconds even in a Release build: the
+  // 3% gate needs the measurement itself to sit well above scheduler noise,
+  // so the workload does NOT shrink under PIER_BENCH_SMOKE.
+  const int rows = 1024;
+  const int queries_per_rep = 6;
+  const int reps = 7;
+
+  SimPier::Options mopts;
+  mopts.sim.seed = 99;
+  mopts.seed_routing = true;
+  mopts.settle_time = 8 * kSecond;
+  SimPier mnet(8, mopts);
+  if (!mnet.catalog()->Register(TableSpec("mt").PartitionBy({"k"})).ok()) {
+    std::fprintf(stderr, "catalog registration failed\n");
+    std::exit(1);
+  }
+  for (int i = 0; i < rows; ++i) {
+    Tuple t("mt");
+    t.Append("k", Value::Int64(i));
+    t.Append("payload", Value::String(std::string(48, 'y')));
+    if (!mnet.client(i % 8)->Publish("mt", t).ok()) {
+      std::fprintf(stderr, "publish failed\n");
+      std::exit(1);
+    }
+  }
+  mnet.RunFor(2 * kSecond);
+
+  // Every scanned tuple crosses EmitTuple and the rehash-free answer path;
+  // one measurement = several full snapshot-query lifecycles so scheduler
+  // noise amortizes. Configs interleave so machine drift hits both equally.
+  auto measure = [&](bool metering) -> double {
+    for (uint32_t i = 0; i < mnet.size(); ++i)
+      mnet.qp(i)->executor()->set_metering(metering);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int q = 0; q < queries_per_rep; ++q) {
+      auto h = mnet.client(q % 8)->Query(Sql("SELECT * FROM mt TIMEOUT 4s"));
+      size_t got = bench::Check(h, "metering workload query").Collect().size();
+      if (got != static_cast<size_t>(rows)) {
+        std::fprintf(stderr, "FAIL: workload query returned %zu of %d rows\n",
+                     got, rows);
+        std::exit(1);
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  measure(false);  // warm-up: page in code and sim state for both configs
+  double min_off = 1e100, min_on = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    min_off = std::min(min_off, measure(false));
+    min_on = std::min(min_on, measure(true));
+  }
+  double overhead = (min_on - min_off) / min_off;
+  bench::Note("metering off: " + bench::Fmt(min_off * 1e3) + " ms, on: " +
+              bench::Fmt(min_on * 1e3) + " ms, overhead " +
+              bench::Fmt(overhead * 100, 2) + "%");
+  if (overhead >= 0.03) {
+    std::fprintf(stderr,
+                 "FAIL: per-tuple metering costs %.2f%% wall-clock (>= 3%%) "
+                 "against the metering-free pipeline\n",
+                 overhead * 100);
+    std::exit(1);
+  }
+  bench::Note("self-check passed: metering overhead under 3%.");
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "client/pier_client.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "qp/ufl.h"
 #include "util/logging.h"
@@ -32,6 +33,11 @@ struct QueryHandle::State {
   bool paused = false;
   size_t buffer_cap = kMaxBuffered;
   std::vector<Tuple> buffer;
+  /// ExplainAnalyze inputs: the optimizer's estimate for the submitted plan
+  /// and the proxy's final cost report (have_costs once it fired).
+  PlanExplain estimate;
+  QueryCostReport costs;
+  bool have_costs = false;
 
   /// Deliver buffered answers to the streaming callback, stopping early if
   /// the callback pauses the handle again — or Cancel()s it — mid-drain
@@ -201,6 +207,11 @@ PierClient::PierClient(QueryProcessor* qp, Catalog* catalog, RunFn run,
   // wins (Register rejects ours, which we deliberately ignore).
   (void)catalog_->Register(
       TableSpec(kSysStatsTable).PartitionBy({"table"}));
+  // The metrics system table rides the same machinery: one row per metric
+  // sample, partitioned by metric name so the fleet's series for one family
+  // co-locate at that family's owner.
+  (void)catalog_->Register(
+      TableSpec(kSysMetricsTable).PartitionBy({"metric"}));
   // Give SubmitQuery the metadata check PIER itself cannot do: a plan that
   // scans a table the application never declared fails loudly at the proxy
   // instead of timing out with zero answers.
@@ -229,6 +240,7 @@ PierClient::~PierClient() {
     if (task.timer) qp_->vri()->CancelEvent(task.timer);
   }
   if (stats_refresh_.valid()) stats_refresh_.Cancel();
+  StopMetricsPublish();
 }
 
 Status PierClient::ValidateAgainstSpec(const TableSpec& spec,
@@ -513,6 +525,122 @@ Result<ExplainResult> PierClient::Explain(const Ufl& ufl) const {
   return out;
 }
 
+Result<ExplainAnalyzeResult> PierClient::ExplainAnalyze(
+    const QueryHandle& h) const {
+  if (!h.valid()) return Status::InvalidArgument("empty query handle");
+  ExplainAnalyzeResult out;
+  out.estimate = h.state_->estimate;
+  if (h.state_->have_costs) {
+    out.actual = h.state_->costs;
+    out.final = true;
+  } else {
+    // Still running (or this node never proxied it): live snapshot of what
+    // the proxy has aggregated so far. Empty on a non-proxy node.
+    out.actual = qp_->QueryCosts(h.id());
+    out.actual.query_id = h.id();
+  }
+  return out;
+}
+
+std::string ExplainAnalyzeResult::ToString() const {
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE query " << actual.query_id
+     << (final ? " (final)" : " (running)") << "\n";
+  for (const QueryCostOp& op : actual.ops) {
+    if (op.graph_id == QueryMeter::kAnswerSlot.first &&
+        op.op_id == QueryMeter::kAnswerSlot.second) {
+      os << "  answers: " << op.cost.tuples_out << " tuples, " << op.cost.msgs
+         << " msgs / " << op.cost.bytes << " B on the wire\n";
+      continue;
+    }
+    os << "  g" << op.graph_id << "/op" << op.op_id;
+    const ExplainOp* est = nullptr;
+    for (const ExplainOp& e : estimate.ops) {
+      if (e.graph_id == op.graph_id && e.op_id == op.op_id) {
+        est = &e;
+        break;
+      }
+    }
+    if (est != nullptr) {
+      os << " " << est->op << ": est " << est->est_rows << " rows, "
+         << est->cost.messages << " msgs / " << est->cost.bytes << " B";
+    } else {
+      os << ": (no estimate)";
+    }
+    os << "; actual " << op.cost.tuples_out << " rows, " << op.cost.msgs
+       << " msgs / " << op.cost.bytes << " B";
+    if (op.nodes > 1) os << " across " << op.nodes << " nodes";
+    os << "\n";
+  }
+  os << "  total: est " << estimate.total.messages << " msgs / "
+     << estimate.total.bytes << " B; actual " << actual.total.msgs
+     << " msgs / " << actual.total.bytes << " B\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export (sys.metrics)
+// ---------------------------------------------------------------------------
+
+Status PierClient::PublishMetrics(std::vector<MetricSample>* out,
+                                  TimeUs lifetime) {
+  if (metrics_ == nullptr)
+    return Status::InvalidArgument(
+        "no metrics registry attached (set_metrics)");
+  NetAddress self = qp_->dht()->local_address();
+  std::string origin =
+      std::to_string(self.host) + ":" + std::to_string(self.port);
+  TimeUs now = qp_->vri()->Now();
+  std::vector<MetricSample> snapshot = metrics_->Snapshot();
+  for (const MetricSample& s : snapshot) {
+    Tuple row(kSysMetricsTable);
+    row.Append("metric", Value::String(s.name));
+    row.Append("labels", Value::String(RenderLabels(s.labels)));
+    row.Append("origin", Value::String(origin));
+    row.Append("kind", Value::String(s.kind == MetricKind::kCounter ? "counter"
+                                     : s.kind == MetricKind::kGauge
+                                         ? "gauge"
+                                         : "histogram"));
+    // Histograms publish their sum/count; buckets stay scrape-only (a
+    // per-bucket row set would multiply sys.metrics traffic for little
+    // query value).
+    row.Append("value", Value::Double(s.value));
+    row.Append("count", Value::Int64(static_cast<int64_t>(s.count)));
+    row.Append("sum", Value::Double(s.sum));
+    row.Append("updated_us", Value::Int64(static_cast<int64_t>(now)));
+    qp_->Publish(kSysMetricsTable, {"metric"}, row, lifetime);
+  }
+  if (out != nullptr) *out = std::move(snapshot);
+  return Status::Ok();
+}
+
+Status PierClient::StartMetricsPublish(TimeUs period) {
+  if (metrics_ == nullptr)
+    return Status::InvalidArgument(
+        "no metrics registry attached (set_metrics)");
+  if (period < kMillisecond)
+    return Status::InvalidArgument("metrics publish period must be >= 1ms");
+  StopMetricsPublish();
+  metrics_publish_period_ = period;
+  // Rows live two periods: a reader always overlaps at least one fresh row
+  // while the publisher is alive, and a dead node's series age out fast.
+  metrics_tick_ = [this]() {
+    (void)PublishMetrics(nullptr, 2 * metrics_publish_period_);
+    metrics_timer_ =
+        qp_->vri()->ScheduleEvent(metrics_publish_period_, metrics_tick_);
+  };
+  metrics_timer_ = qp_->vri()->ScheduleEvent(metrics_publish_period_, metrics_tick_);
+  return Status::Ok();
+}
+
+void PierClient::StopMetricsPublish() {
+  if (metrics_timer_ != 0) {
+    qp_->vri()->CancelEvent(metrics_timer_);
+    metrics_timer_ = 0;
+  }
+  metrics_tick_ = nullptr;
+}
+
 Result<QueryHandle> PierClient::Query(const Sql& sql) {
   if (sql.replan != "off" && sql.replan != "auto") {
     return Status::InvalidArgument("unknown replan mode '" + sql.replan +
@@ -705,11 +833,30 @@ Result<QueryHandle> PierClient::Submit(QueryPlan plan) {
   state->done_slack = qp_->options().done_slack;
   state->stats.submitted_at = qp_->vri()->Now();
 
+  // Capture the estimate while the plan is still here: ExplainAnalyze later
+  // compares it against the metered actuals without recompiling.
+  Optimizer optimizer(stats_, CostModel(cost_params_));
+  optimizer.set_now(qp_->vri()->Now());
+  optimizer.CostPlan(plan, &state->estimate);
+
   PIER_ASSIGN_OR_RETURN(uint64_t qid,
                         qp_->SubmitQuery(std::move(plan), MakeOnTuple(state),
                                          MakeOnDone(state)));
   state->id = qid;
+  RequestFinalCosts(state);
   return QueryHandle(std::move(state));
+}
+
+void PierClient::RequestFinalCosts(std::shared_ptr<QueryHandle::State> state) {
+  uint64_t qid = state->id;
+  (void)state->qp->SetCostsCallback(
+      qid, [state](const QueryCostReport& report) {
+        state->costs = report;
+        state->have_costs = true;
+        state->stats.op_tuples = report.total.tuples_out;
+        state->stats.op_msgs = report.total.msgs;
+        state->stats.op_bytes = report.total.bytes;
+      });
 }
 
 Result<QueryHandle> PierClient::Attach(uint64_t query_id) {
@@ -729,6 +876,12 @@ Result<QueryHandle> PierClient::Attach(uint64_t query_id) {
       plan.deadline_us > 0
           ? std::max<TimeUs>(0, plan.deadline_us - qp_->vri()->Now())
           : plan.timeout;
+  // The adopting proxy keeps its own meter; re-estimate from the recovered
+  // plan so ExplainAnalyze works on attached handles too.
+  Optimizer optimizer(stats_, CostModel(cost_params_));
+  optimizer.set_now(qp_->vri()->Now());
+  optimizer.CostPlan(plan, &state->estimate);
+  RequestFinalCosts(state);
   return QueryHandle(std::move(state));
 }
 

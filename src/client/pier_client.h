@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "client/catalog.h"
+#include "obs/metrics.h"
 #include "opt/optimizer.h"
 #include "opt/replanner.h"
 #include "qp/query_processor.h"
@@ -98,6 +99,19 @@ struct ExplainResult {
   std::string ToString() const { return detail.ToString(); }
 };
 
+/// What PierClient::ExplainAnalyze returns: the optimizer's pre-execution
+/// estimate side by side with the metered per-operator cost report the proxy
+/// aggregated (local meters plus the snapshots piggybacked on answers).
+struct ExplainAnalyzeResult {
+  PlanExplain estimate;    // per-op est_rows and modeled network cost
+  QueryCostReport actual;  // per-op tuples/messages/bytes actually metered
+  /// True once the query completed and `actual` is the final ledger; false
+  /// for a live snapshot of a still-running query.
+  bool final = false;
+
+  std::string ToString() const;
+};
+
 /// A live query owned by the client. Cheap to copy (shared state); the
 /// underlying query keeps running until its timeout, Cancel(), or process
 /// exit — dropping every handle does NOT cancel it (soft state drains on its
@@ -116,6 +130,12 @@ class QueryHandle {
     TimeUs last_tuple_latency = -1;
     bool done = false;               // timeout fired or Cancel()ed
     bool cancelled = false;
+    /// Final per-query cost totals, filled when the proxy emits the query's
+    /// cost report (completion or cancellation). Zero until then; the full
+    /// per-operator breakdown is PierClient::ExplainAnalyze's.
+    uint64_t op_tuples = 0;  // tuples produced across all metered operators
+    uint64_t op_msgs = 0;    // wire messages charged to the query
+    uint64_t op_bytes = 0;   // wire bytes charged to the query
   };
 
   QueryHandle() = default;
@@ -352,6 +372,38 @@ class PierClient {
   Result<ExplainResult> Explain(const Sql& sql) const;
   Result<ExplainResult> Explain(const Ufl& ufl) const;
 
+  /// EXPLAIN ANALYZE: the optimizer's estimate for `h`'s plan next to the
+  /// ACTUAL per-operator tuples/messages/bytes the proxy aggregated from
+  /// query meters. On a completed (or cancelled) query the report is the
+  /// final ledger; on a running one it is a live snapshot. The handle must
+  /// have been issued by this client (or re-attached through it).
+  Result<ExplainAnalyzeResult> ExplainAnalyze(const QueryHandle& h) const;
+
+  // --- Metrics export --------------------------------------------------------
+
+  /// Attach this node's metrics registry: enables PublishMetrics /
+  /// StartMetricsPublish. (SimPier wires this to the per-node registry.)
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() { return metrics_; }
+
+  /// Snapshot the registry and publish every sample as a `sys.metrics` row
+  /// (columns: metric, labels, origin, kind, value, count, sum, updated_us;
+  /// histograms publish their _sum/_count, not per-bucket rows). Readers
+  /// fold by newest updated_us per (metric, labels, origin) — republished
+  /// soft-state rows coexist until their lifetime expires. A non-null `out`
+  /// receives the snapshot that was published. `lifetime` 0 uses the query
+  /// processor's default publish lifetime. FailedPrecondition without a
+  /// registry attached.
+  Status PublishMetrics(std::vector<MetricSample>* out = nullptr,
+                        TimeUs lifetime = 0);
+
+  /// Republish sys.metrics every `period` (rows live 2x the period, so a
+  /// reader always finds a fresh row while the publisher is alive). One
+  /// publisher per client; calling again re-paces it. Stopped on
+  /// destruction or by StopMetricsPublish.
+  Status StartMetricsPublish(TimeUs period = 5 * kSecond);
+  void StopMetricsPublish();
+
   /// Point lookup through a declared secondary index (§3.3.3): stream the
   /// BASE tuples whose `attr` equals `v`. The opgraph travels to the index
   /// partition's owner, which fetches each matching base tuple by its
@@ -383,6 +435,9 @@ class PierClient {
   };
 
   Result<QueryHandle> Submit(QueryPlan plan);
+  /// Ask the proxy to deliver the final cost report into `state` when the
+  /// query completes (shared by Submit and Attach).
+  void RequestFinalCosts(std::shared_ptr<QueryHandle::State> state);
   /// The qp-facing callbacks every handle uses, shared by Submit, Attach
   /// and Reattach so an attached handle behaves exactly like a submitted
   /// one (stats, buffering, backpressure, done-guard).
@@ -432,6 +487,12 @@ class PierClient {
   /// The background sys.stats refresh query, if started. Cancelled on
   /// destruction: its OnTuple callback captures this client's registry.
   QueryHandle stats_refresh_;
+  /// Metrics export: the node's registry (not owned) and the periodic
+  /// sys.metrics republish timer (leak-free repeating pattern).
+  MetricsRegistry* metrics_ = nullptr;
+  std::function<void()> metrics_tick_;
+  uint64_t metrics_timer_ = 0;
+  TimeUs metrics_publish_period_ = 0;
 };
 
 }  // namespace pier

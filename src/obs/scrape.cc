@@ -1,0 +1,119 @@
+#include "obs/scrape.h"
+
+#include <cstdio>
+
+namespace pier {
+
+MetricsEndpoint::~MetricsEndpoint() { Shutdown(); }
+
+Status MetricsEndpoint::Listen(uint16_t port) {
+  if (listening_) return Status::InvalidArgument("endpoint already listening");
+  Status st = vri_->TcpListen(port, this);
+  if (!st.ok()) return st;
+  port_ = port;
+  listening_ = true;
+  return Status::Ok();
+}
+
+void MetricsEndpoint::Shutdown() {
+  if (!listening_) return;
+  vri_->TcpRelease(port_);
+  listening_ = false;
+}
+
+void MetricsEndpoint::HandleTcpNew(uint64_t conn_id, const NetAddress& peer) {
+  (void)conn_id;
+  (void)peer;
+}
+
+void MetricsEndpoint::HandleTcpData(uint64_t conn_id, std::string_view data) {
+  std::string body = registry_->RenderText();
+  stats_.scrapes++;
+  stats_.bytes_rendered += body.size();
+  std::string response;
+  if (data.substr(0, 4) == "GET " || data.substr(0, 4) == "GET\r" ||
+      data == "GET") {
+    char header[160];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.0 200 OK\r\n"
+                  "Content-Type: text/plain; version=0.0.4\r\n"
+                  "Content-Length: %zu\r\n"
+                  "\r\n",
+                  body.size());
+    response = header;
+    response += body;
+  } else {
+    response = std::move(body);
+  }
+  vri_->TcpWrite(conn_id, std::move(response));
+}
+
+void MetricsEndpoint::HandleTcpError(uint64_t conn_id) { (void)conn_id; }
+
+namespace {
+
+/// Self-deleting scrape client. Lives until the response (or an error)
+/// arrives; every path funnels through Finish exactly once.
+class ScrapeClient : public TcpHandler {
+ public:
+  ScrapeClient(Vri* vri, std::function<void(std::string)> done)
+      : vri_(vri), done_(std::move(done)) {}
+
+  void Start(const NetAddress& endpoint) {
+    Result<uint64_t> conn = vri_->TcpConnect(endpoint, this);
+    if (!conn.ok()) {
+      Finish("");
+      return;
+    }
+    conn_ = conn.value();
+  }
+
+  void HandleTcpNew(uint64_t conn_id, const NetAddress& peer) override {
+    (void)peer;
+    vri_->TcpWrite(conn_id, "GET /metrics HTTP/1.0\r\n\r\n");
+  }
+
+  void HandleTcpData(uint64_t conn_id, std::string_view data) override {
+    (void)conn_id;
+    // Strip the HTTP header if the responder sent one.
+    size_t body_at = 0;
+    if (data.substr(0, 5) == "HTTP/") {
+      size_t sep = data.find("\r\n\r\n");
+      body_at = sep == std::string_view::npos ? data.size() : sep + 4;
+    }
+    Finish(std::string(data.substr(body_at)));
+  }
+
+  void HandleTcpError(uint64_t conn_id) override {
+    (void)conn_id;
+    Finish("");
+  }
+
+ private:
+  void Finish(std::string body) {
+    if (finished_) return;
+    finished_ = true;
+    if (conn_ != 0) vri_->TcpClose(conn_);
+    auto done = std::move(done_);
+    // Delete before invoking: the callback may start another scrape.
+    Vri* vri = vri_;
+    delete this;
+    (void)vri;
+    if (done) done(std::move(body));
+  }
+
+  Vri* vri_;
+  std::function<void(std::string)> done_;
+  uint64_t conn_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+void ScrapeMetrics(Vri* vri, const NetAddress& endpoint,
+                   std::function<void(std::string body)> done) {
+  auto* client = new ScrapeClient(vri, std::move(done));
+  client->Start(endpoint);
+}
+
+}  // namespace pier

@@ -1,0 +1,67 @@
+// Per-node metrics scrape endpoint over the VRI's framed TCP channel.
+//
+// The endpoint binds a TCP port on the node's runtime loop and answers every
+// incoming frame with the registry's Prometheus text rendering. Frames that
+// look like an HTTP request ("GET ...") get an HTTP/1.0-shaped response so a
+// real Prometheus server pointed at a PhysicalRuntime node can scrape it;
+// anything else (e.g. a sim peer poking the port) gets the bare text body.
+// Because it speaks VRI TCP only, the same endpoint works identically under
+// the Simulation Environment — which is how bench_metrics and the CI smoke
+// job scrape nodes mid-run without leaving the sim.
+
+#ifndef PIER_OBS_SCRAPE_H_
+#define PIER_OBS_SCRAPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "runtime/vri.h"
+
+namespace pier {
+
+class MetricsEndpoint : public TcpHandler {
+ public:
+  MetricsEndpoint(Vri* vri, MetricsRegistry* registry)
+      : vri_(vri), registry_(registry) {}
+  ~MetricsEndpoint() override;
+
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  /// Start answering scrapes on `port`.
+  Status Listen(uint16_t port);
+  void Shutdown();
+
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t scrapes = 0;        // frames answered
+    uint64_t bytes_rendered = 0; // body bytes written (sans HTTP header)
+  };
+  const Stats& stats() const { return stats_; }
+
+  // TcpHandler:
+  void HandleTcpNew(uint64_t conn_id, const NetAddress& peer) override;
+  void HandleTcpData(uint64_t conn_id, std::string_view data) override;
+  void HandleTcpError(uint64_t conn_id) override;
+
+ private:
+  Vri* vri_;
+  MetricsRegistry* registry_;
+  uint16_t port_ = 0;
+  bool listening_ = false;
+  Stats stats_;
+};
+
+/// One-shot scrape client: connect to `endpoint`, send a GET frame, hand the
+/// response body (HTTP header stripped if present) to `done`, close. On
+/// connect/transport failure `done` receives an empty string. Self-owning —
+/// fire and forget from the runtime loop.
+void ScrapeMetrics(Vri* vri, const NetAddress& endpoint,
+                   std::function<void(std::string body)> done);
+
+}  // namespace pier
+
+#endif  // PIER_OBS_SCRAPE_H_

@@ -18,6 +18,8 @@ Dht::Dht(Vri* vri, Options options) : vri_(vri), options_(options) {
              router_->protocol()->MaxReplicationFactor());
   ReplicationManager::Options ropts;
   ropts.replication_factor = options_.replication_factor;
+  ropts.repair_period = options_.repl_repair_period;
+  ropts.repair_backoff_max = options_.repl_repair_backoff_max;
   ropts.max_objects_per_frame = kMaxBatchEntriesPerFrame;
   repl_ = std::make_unique<ReplicationManager>(vri_, router_.get(),
                                                objects_.get(), ropts);

@@ -61,6 +61,11 @@ class Dht {
     /// successor capacity at construction, so a misconfigured k fails loudly
     /// at startup instead of silently at placement time.
     int replication_factor = 1;
+    /// Base cadence of the replica repair tick.
+    TimeUs repl_repair_period = 1 * kSecond;
+    /// Cap for exponential repair-tick backoff while the ring is quiet
+    /// (0 = fixed cadence; see ReplicationManager::Options).
+    TimeUs repl_repair_backoff_max = 0;
   };
 
   Dht(Vri* vri, Options options);

@@ -19,12 +19,14 @@ ReplicationManager::ReplicationManager(Vri* vri, OverlayRouter* router,
       [this](const NetAddress& f, std::string_view b) { HandlePull(f, b); });
 
   // The tick lives in repair_tick_; scheduled events copy it so the closure
-  // never strongly captures its own function object.
+  // never strongly captures its own function object. RepairTick adjusts
+  // current_repair_period_ (idle-ring backoff) before we reschedule.
+  current_repair_period_ = options_.repair_period;
   repair_tick_ = [this]() {
     RepairTick();
-    repair_timer_ = vri_->ScheduleEvent(options_.repair_period, repair_tick_);
+    repair_timer_ = vri_->ScheduleEvent(current_repair_period_, repair_tick_);
   };
-  repair_timer_ = vri_->ScheduleEvent(options_.repair_period, repair_tick_);
+  repair_timer_ = vri_->ScheduleEvent(current_repair_period_, repair_tick_);
 }
 
 ReplicationManager::~ReplicationManager() { vri_->CancelEvent(repair_timer_); }
@@ -199,6 +201,23 @@ void ReplicationManager::RepairTick() {
   last_succs_ = std::move(succs);
   last_pred_ = pred;
   have_pred_ = have_pred;
+
+  // Idle-ring backoff: a pass with no ring movement and nothing queued means
+  // the next one is unlikely to find work either; stretch the cadence
+  // geometrically up to the cap. Any activity snaps back to the base period
+  // so repair reacts at full speed once churn resumes.
+  stats_.repair_ticks++;
+  bool idle = !first_observation && !succ_changed && !pred_changed &&
+              push_queue_.empty();
+  if (idle) {
+    stats_.idle_repair_ticks++;
+    if (options_.repair_backoff_max > options_.repair_period) {
+      current_repair_period_ = std::min(options_.repair_backoff_max,
+                                        current_repair_period_ * 2);
+    }
+  } else {
+    current_repair_period_ = options_.repair_period;
+  }
 
   DrainPushQueue();
 }

@@ -51,8 +51,13 @@ class ReplicationManager {
     /// Default copies per object (1 = no replication). Per-put overrides
     /// ride DhtPutItem / TableSpec.
     int replication_factor = 1;
-    /// Ring-view poll period for replica repair.
+    /// Ring-view poll period for replica repair (base cadence).
     TimeUs repair_period = 1 * kSecond;
+    /// Upper bound for exponential backoff of the repair tick while the ring
+    /// is quiet (no successor/predecessor movement, empty push queue). Each
+    /// idle tick doubles the effective period up to this cap; any activity
+    /// snaps it back to repair_period. 0 disables backoff (fixed cadence).
+    TimeUs repair_backoff_max = 0;
     /// Objects drained from the write-behind push queue per repair tick.
     size_t max_push_objects_per_tick = 256;
     /// Objects per replicate frame (mirrors the put-batch frame cap).
@@ -67,6 +72,8 @@ class ReplicationManager {
     uint64_t handoff_pushes = 0;  // objects re-propagated to successors
     uint64_t handoff_pulls = 0;   // objects received answering a range pull
     uint64_t suppressed_scan_rows = 0;  // replica rows hidden from LocalScan
+    uint64_t repair_ticks = 0;       // repair passes executed
+    uint64_t idle_repair_ticks = 0;  // passes that saw no ring/queue activity
   };
 
   /// Direct message types (registered with the router; the Dht owns 16..21).
@@ -115,6 +122,12 @@ class ReplicationManager {
 
   const Stats& stats() const { return stats_; }
   int replication_factor() const { return options_.replication_factor; }
+  /// Effective delay until the next repair pass (== repair_period unless
+  /// idle-ring backoff has stretched it).
+  TimeUs current_repair_period() const { return current_repair_period_; }
+  bool repair_backed_off() const {
+    return current_repair_period_ > options_.repair_period;
+  }
 
  private:
   void HandleReplicate(const NetAddress& from, std::string_view body);
@@ -144,6 +157,7 @@ class ReplicationManager {
   /// Leak-free repeating timer (events hold copies of this function).
   std::function<void()> repair_tick_;
   uint64_t repair_timer_ = 0;
+  TimeUs current_repair_period_ = 0;
 
   Stats stats_;
 };

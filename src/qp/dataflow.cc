@@ -11,11 +11,15 @@ void Operator::Open() {
 
 void Operator::EmitTuple(uint32_t tag, const Tuple& tuple) {
   stats_.emitted++;
+  if (cost_ != nullptr) cost_->tuples_out++;
   if (outputs_.size() == 1) {
-    outputs_[0].first->Consume(outputs_[0].second, tag, tuple);
+    Operator* out = outputs_[0].first;
+    if (out->cost_ != nullptr) out->cost_->tuples_in++;
+    out->Consume(outputs_[0].second, tag, tuple);
     return;
   }
   for (auto& [op, port] : outputs_) {
+    if (op->cost_ != nullptr) op->cost_->tuples_in++;
     op->Consume(port, tag, tuple);  // copies: Tee semantics
   }
 }

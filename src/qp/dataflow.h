@@ -16,8 +16,10 @@
 #define PIER_QP_DATAFLOW_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/tuple.h"
@@ -26,6 +28,62 @@
 #include "runtime/vri.h"
 
 namespace pier {
+
+/// Actual resource usage of one operator instance (PR-7 cost accounting; the
+/// measured counterpart of the optimizer's Cost estimate). Message/byte
+/// counts cover DHT/wire traffic the operator originates — local object-store
+/// writes (join state, materialized results) are deliberately NOT messages.
+struct OpCost {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t msgs = 0;
+  uint64_t bytes = 0;
+
+  OpCost& operator+=(const OpCost& o) {
+    tuples_in += o.tuples_in;
+    tuples_out += o.tuples_out;
+    msgs += o.msgs;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+/// Per-query actual-cost ledger: one OpCost slot per (graph_id, op_id),
+/// shared by all opgraph instances of one query on one node. Slots are
+/// created on first touch and their addresses are stable thereafter, so
+/// operators resolve their slot once at Init and pay a plain-field increment
+/// per event. Slot (0, 0) is reserved for the answer-forwarding pseudo-op
+/// (metered by the QueryProcessor, where local vs wire delivery is known).
+class QueryMeter {
+ public:
+  using Key = std::pair<uint32_t, uint32_t>;  // (graph_id, op_id)
+
+  /// The answer-forwarding pseudo-op slot.
+  static constexpr Key kAnswerSlot{0, 0};
+
+  OpCost* At(uint32_t graph_id, uint32_t op_id) {
+    return &costs_[{graph_id, op_id}];
+  }
+
+  const std::map<Key, OpCost>& costs() const { return costs_; }
+
+  OpCost Total() const {
+    OpCost t;
+    for (const auto& [k, c] : costs_) t += c;
+    return t;
+  }
+
+  /// Rate limit for piggybacking the full snapshot on answer frames: true
+  /// on the first and every 16th frame. Encoding the whole ledger per
+  /// answer is the metering path's only O(ops) cost, and the teardown
+  /// flush ships the final snapshot regardless — skipping frames costs
+  /// mid-query freshness, never accuracy of the final report.
+  bool ShouldPiggyback() { return (piggyback_tick_++ % 16) == 0; }
+
+ private:
+  std::map<Key, OpCost> costs_;  // node-local, single event thread: no lock
+  uint32_t piggyback_tick_ = 0;
+};
 
 /// Node-local services an operator may use. One context per opgraph instance.
 class ExecContext {
@@ -49,6 +107,11 @@ class ExecContext {
   /// Replication factor for state this query publishes into the DHT
   /// (QueryPlan::replicas; 0 = the DHT default).
   int32_t replicas = 0;
+
+  /// Per-query cost ledger (owned by the executor's RunningQuery). Null when
+  /// metering is disabled — operators must tolerate that, and the base
+  /// Operator::Init caches a null slot so the hot path is one branch.
+  QueryMeter* meter = nullptr;
 
   /// Forward an answer tuple to the proxy (wired up by the QueryProcessor).
   std::function<void(const Tuple&)> emit_result;
@@ -97,6 +160,8 @@ class Operator {
   /// must not emit tuples.
   virtual Status Init(ExecContext* cx) {
     cx_ = cx;
+    cost_ = cx->meter != nullptr ? cx->meter->At(cx->graph_id, spec_.id)
+                                 : nullptr;
     return Status::Ok();
   }
 
@@ -147,7 +212,17 @@ class Operator {
   /// Push a tuple to every output edge.
   void EmitTuple(uint32_t tag, const Tuple& tuple);
 
+  /// Charge wire traffic this operator originates (DHT Put/Get/Send) to the
+  /// query's ledger. No-op when metering is off.
+  void MeterNet(uint64_t msgs, uint64_t bytes) {
+    if (cost_ != nullptr) {
+      cost_->msgs += msgs;
+      cost_->bytes += bytes;
+    }
+  }
+
   ExecContext* cx_ = nullptr;
+  OpCost* cost_ = nullptr;  // this op's ledger slot; null = metering off
   OpSpec spec_;
   std::vector<std::pair<Operator*, int>> outputs_;
   std::vector<Operator*> children_;

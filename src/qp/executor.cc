@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace pier {
@@ -123,6 +124,11 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
     rq.meta.graphs.clear();
     rq.start_time = vri_->Now();
     rq.generation = meta.generation;
+    if (metering_) {
+      rq.meter = std::make_shared<QueryMeter>();
+      rq.answer_cost = rq.meter->At(QueryMeter::kAnswerSlot.first,
+                                    QueryMeter::kAnswerSlot.second);
+    }
     RefreshLease(&rq);
     ArmQueryTimers(&rq);
   } else if (meta.generation > rq.generation && graphs.empty()) {
@@ -224,6 +230,9 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
     // this node's quiesce instant above.
     cx.catchup_floor_us = rq.meta.catchup_floor_us;
     cx.replicas = rq.meta.replicas;
+    // The ledger outlives a plan swap: a swapped-in generation keeps
+    // accumulating into the same per-(graph, op) slots.
+    cx.meter = rq.meter.get();
     uint64_t qid = meta.query_id;
     // The answer target is read at EMIT time, not instantiation time: when
     // the proxy dies mid-run, failover re-points rq.meta.proxy at a
@@ -321,7 +330,7 @@ void QueryExecutor::ArmLeaseTimer(RunningQuery* rq) {
 
 void QueryExecutor::OnLeaseExpired(RunningQuery* rq) {
   if (!proxy_prober_) {
-    FailoverStep(rq, "proxy lease expired");
+    FailoverStep(rq, "lease_expired", "proxy lease expired");
     return;
   }
   // The lease travels over the distribution tree, which is exactly what
@@ -343,6 +352,7 @@ void QueryExecutor::OnLeaseExpired(RunningQuery* rq) {
       return;  // stale verdict: the query moved on meanwhile
     }
     q.probe_inflight = false;
+    CountProbeVerdict(v);
     switch (v) {
       case ProbeVerdict::kProxying:
         // The proxy is up and owns the query; the refresh channel just
@@ -358,7 +368,8 @@ void QueryExecutor::OnLeaseExpired(RunningQuery* rq) {
         // the walk on a node that will never answer.
         if (++q.probe_strikes >= 2) {
           q.probe_strikes = 0;
-          FailoverStep(&q, "node is alive but does not own the query");
+          FailoverStep(&q, "not_proxying",
+                       "node is alive but does not own the query");
         } else {
           q.lease_expires = vri_->Now() + EffectiveLease(q.meta) / 2;
         }
@@ -367,7 +378,7 @@ void QueryExecutor::OnLeaseExpired(RunningQuery* rq) {
         // A lost probe must not override fresher evidence: an answer-
         // forward ACK may have renewed the lease while the probe was out.
         if (vri_->Now() < q.lease_expires) return;
-        FailoverStep(&q, "proxy lease expired and probe failed");
+        FailoverStep(&q, "probe_dead", "proxy lease expired and probe failed");
         break;
     }
   };
@@ -380,14 +391,15 @@ void QueryExecutor::OnLeaseExpired(RunningQuery* rq) {
   proxy_prober_(qid, target, resolve);
 }
 
-bool QueryExecutor::FailoverStep(RunningQuery* rq, const std::string& reason) {
+bool QueryExecutor::FailoverStep(RunningQuery* rq, const char* tag,
+                                 const std::string& reason) {
   uint64_t qid = rq->meta.query_id;
   uint32_t next = rq->meta.proxy_epoch;  // index of the next successor
   if (next >= rq->meta.successors.size()) {
     // Chain exhausted (or never configured): the query is an orphan. Reap
     // it — opgraphs torn down, timers cancelled — instead of letting every
     // executor forward answers into a void until the deadline.
-    stats_.orphan_reaps++;
+    CountOrphanReap(tag);
     stats_.last_orphan_reason =
         reason + "; no proxy successor remains for query " +
         std::to_string(qid);
@@ -437,7 +449,7 @@ void QueryExecutor::NoteAnswerForwardFailure(uint64_t query_id,
     RunningQuery& q = qit->second;
     if (!q.meta.continuous || q.stopping || target != q.meta.proxy) return;
     if (q.forward_failures < kForwardFailuresBeforeFailover) return;
-    FailoverStep(&q, "answer forwarding failed");
+    FailoverStep(&q, "forward_failed", "answer forwarding failed");
   });
 }
 
@@ -468,7 +480,8 @@ void QueryExecutor::NoteStrayAnswer(uint64_t query_id) {
   // also ran out) or the signal repeats.
   if (rq.stray_answers >= kStrayAnswersBeforeAdopt ||
       vri_->Now() >= rq.lease_expires) {
-    FailoverStep(&rq, "answers forwarded here for a dead proxy");
+    FailoverStep(&rq, "stray_answers",
+                 "answers forwarded here for a dead proxy");
   }
 }
 
@@ -501,6 +514,7 @@ void QueryExecutor::DoStop(uint64_t query_id) {
   auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
   RunningQuery& rq = it->second;
+  if (costs_flusher_ && rq.meter) costs_flusher_(query_id, rq.meta.proxy);
   for (uint64_t t : rq.flush_timers) vri_->CancelEvent(t);
   if (rq.window_timer) vri_->CancelEvent(rq.window_timer);
   if (rq.close_timer) vri_->CancelEvent(rq.close_timer);
@@ -542,6 +556,49 @@ void QueryExecutor::FlushQuery(uint64_t query_id) {
   auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
   for (auto& inst : it->second.instances) inst->Flush();
+}
+
+std::shared_ptr<QueryMeter> QueryExecutor::Meter(uint64_t query_id) const {
+  auto it = queries_.find(query_id);
+  return it != queries_.end() ? it->second.meter : nullptr;
+}
+
+QueryMeter* QueryExecutor::MeterAnswer(uint64_t query_id, uint64_t bytes,
+                                       bool on_wire) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end() || !it->second.meter) return nullptr;
+  OpCost* slot = it->second.answer_cost;
+  slot->tuples_in++;
+  slot->tuples_out++;
+  if (on_wire) {
+    slot->msgs++;
+    slot->bytes += bytes;
+  }
+  return it->second.meter.get();
+}
+
+void QueryExecutor::CountProbeVerdict(ProbeVerdict v) {
+  const char* verdict = v == ProbeVerdict::kDead        ? "dead"
+                        : v == ProbeVerdict::kProxying  ? "proxying"
+                                                        : "not_proxying";
+  stats_.probe_verdicts[verdict]++;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("pier_exec_probe_verdicts_total", {{"verdict", verdict}},
+                     "Proxy lease-probe outcomes by verdict")
+        ->Inc();
+  }
+}
+
+void QueryExecutor::CountOrphanReap(const std::string& reason) {
+  stats_.orphan_reaps++;
+  stats_.orphan_reaps_by_reason[reason]++;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("pier_exec_orphan_reaps_total", {{"reason", reason}},
+                     "Queries reaped with no live proxy, by trigger")
+        ->Inc();
+  }
 }
 
 }  // namespace pier

@@ -12,12 +12,15 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "qp/dataflow.h"
 #include "qp/opgraph.h"
 
 namespace pier {
+
+class MetricsRegistry;
 
 /// One opgraph instantiated on this node.
 class OpGraphInstance {
@@ -164,6 +167,14 @@ class QueryExecutor {
   /// broadcast was lost to a mid-repair tree), the executor keeps the stale
   /// generation running — answers beat silence — and asks the proxy for the
   /// current plan point-to-point.
+  /// Called just before a RunningQuery is torn down, while its meter is
+  /// still alive: (query_id, current proxy). The query processor ships the
+  /// final cost snapshot to the proxy — executors that never produced an
+  /// answer would otherwise leave their ledger out of the aggregate.
+  using CostsFlusher =
+      std::function<void(uint64_t query_id, const NetAddress& proxy)>;
+  void set_costs_flusher(CostsFlusher f) { costs_flusher_ = std::move(f); }
+
   using PlanFetcher =
       std::function<void(uint64_t query_id, const NetAddress& proxy)>;
   void set_plan_fetcher(PlanFetcher f) { plan_fetcher_ = std::move(f); }
@@ -190,8 +201,34 @@ class QueryExecutor {
     uint64_t forward_failures = 0; // UdpCc give-ups on answer forwards
     uint64_t stray_answers = 0;    // answers received for un-proxied queries
     std::string last_orphan_reason;
+    /// Post-hoc churn diagnosis: every reap tagged with why, every probe
+    /// verdict counted ("dead" / "proxying" / "not_proxying"). Mirrored as
+    /// labeled registry counters when a MetricsRegistry is attached.
+    std::map<std::string, uint64_t> orphan_reaps_by_reason;
+    std::map<std::string, uint64_t> probe_verdicts;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Attach a metrics registry: failover/reap/probe events additionally land
+  /// in labeled `pier_exec_*` counters (reason / verdict labels).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Toggle per-query cost metering (default on). With metering off, new
+  /// queries get no QueryMeter and every operator's ledger slot is null —
+  /// the "compiled to no-ops" baseline the overhead benches compare against.
+  void set_metering(bool on) { metering_ = on; }
+
+  /// The actual-cost ledger of a running query (null if unknown/unmetered).
+  /// Shared with the query's opgraph instances; survives plan swaps.
+  std::shared_ptr<QueryMeter> Meter(uint64_t query_id) const;
+
+  /// Charge one forwarded answer to `query_id`'s answer pseudo-op slot.
+  /// Called by the QueryProcessor, which alone knows whether the answer
+  /// crossed the wire (on_wire) or was delivered to a local proxy.
+  /// Charge one answer tuple to the query's answer pseudo-op and return the
+  /// live meter (null with metering off / unknown query) — the answer path
+  /// is per-tuple hot, so charging and piggyback lookup share one find.
+  QueryMeter* MeterAnswer(uint64_t query_id, uint64_t bytes, bool on_wire);
 
   bool HasQuery(uint64_t query_id) const { return queries_.count(query_id) > 0; }
   size_t num_active() const { return queries_.size(); }
@@ -215,6 +252,13 @@ class QueryExecutor {
  private:
   struct RunningQuery {
     QueryPlan meta;  // graphs emptied; metadata only
+    /// Actual-cost ledger, shared with every instance's ExecContext (and
+    /// with callers of Meter()). Declared before `instances` so operators
+    /// caching slot pointers are destroyed first. Null when metering is off.
+    std::shared_ptr<QueryMeter> meter;
+    /// The meter's answer pseudo-op slot, resolved once (stable address):
+    /// MeterAnswer runs once per answer tuple. Null iff meter is null.
+    OpCost* answer_cost = nullptr;
     std::vector<std::unique_ptr<OpGraphInstance>> instances;
     std::vector<uint64_t> flush_timers;
     /// The repeating window tick. Living here (not in a self-capturing
@@ -259,16 +303,26 @@ class QueryExecutor {
   /// Advance the failover chain one step: re-target answers at the next
   /// successor (adopting locally if that is us), or reap the query as an
   /// orphan when the chain is exhausted. Returns false iff reaped (the
-  /// RunningQuery is gone).
-  bool FailoverStep(RunningQuery* rq, const std::string& reason);
+  /// RunningQuery is gone). `tag` is the compact label value a reap is
+  /// counted under; `reason` the human-readable story for the log.
+  bool FailoverStep(RunningQuery* rq, const char* tag,
+                    const std::string& reason);
+
+  /// Count a probe verdict / reap reason in stats_ and, when attached, in
+  /// the labeled registry counters.
+  void CountProbeVerdict(ProbeVerdict v);
+  void CountOrphanReap(const std::string& reason);
 
   Vri* vri_;
   Dht* dht_;
+  MetricsRegistry* metrics_ = nullptr;
+  bool metering_ = true;
   ResultSink result_sink_;
   PublishObserver publish_observer_;
   AdoptHandler adopt_handler_;
   ProxyProber proxy_prober_;
   PlanFetcher plan_fetcher_;
+  CostsFlusher costs_flusher_;
   std::map<uint64_t, RunningQuery> queries_;
   Stats stats_;
 };

@@ -208,6 +208,7 @@ class PutOp : public Operator {
       cx_->dht->Put(ns_, key, suffix, std::move(wire), lifetime_, nullptr,
                     cx_->replicas);
     }
+    MeterNet(1, bytes);
     if (cx_->observe_publish) cx_->observe_publish(ns_, key_attrs_, t, bytes);
     stats_.emitted++;
   }

@@ -146,6 +146,7 @@ class FetchMatchesOp : public Operator {
       k = key->CanonicalString() + "|";
     }
     in_flight_++;
+    MeterNet(1, inner_table_.size() + k.size());
     std::weak_ptr<char> alive = alive_;
     cx_->dht->Get(
         inner_table_, k,
@@ -258,7 +259,9 @@ class BloomCreateOp : public Operator {
     if (added_ == 0 && flushed_) return;  // nothing new to report
     flushed_ = true;
     added_ = 0;
-    cx_->dht->Send(ns_, "filter", cx_->NextSuffix(), filter_->Serialize(),
+    std::string wire = filter_->Serialize();
+    MeterNet(1, wire.size());
+    cx_->dht->Send(ns_, "filter", cx_->NextSuffix(), std::move(wire),
                    cx_->query_lifetime);
   }
 
@@ -281,7 +284,9 @@ class BloomCreateOp : public Operator {
       if (alive.expired()) return;
       forward_timer_ = 0;
       if (!pending_) return;
-      cx_->dht->Send(ns_, "filter", cx_->NextSuffix(), pending_->Serialize(),
+      std::string wire = pending_->Serialize();
+      MeterNet(1, wire.size());
+      cx_->dht->Send(ns_, "filter", cx_->NextSuffix(), std::move(wire),
                      cx_->query_lifetime);
       pending_.reset();
     });
@@ -347,6 +352,7 @@ class BloomProbeOp : public Operator {
 
  private:
   void FetchFilter() {
+    MeterNet(1, ns_.size() + sizeof("filter"));
     std::weak_ptr<char> alive = alive_;
     cx_->dht->Get(ns_, "filter",
                   [this, alive](const Status& s, std::vector<DhtItem> items) {

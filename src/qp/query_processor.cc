@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace pier {
@@ -15,6 +16,22 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
       [this](uint64_t qid, const NetAddress& proxy, const Tuple& t) {
         ForwardAnswer(qid, proxy, t);
       });
+
+  // Teardown cost flush: a node whose operators consumed tuples but never
+  // emitted an answer has a ledger the piggyback path never ships. Send it
+  // once when the query stops (absolute snapshot — replaces, never adds).
+  executor_->set_costs_flusher([this](uint64_t qid, const NetAddress& proxy) {
+    std::shared_ptr<QueryMeter> meter = executor_->Meter(qid);
+    if (!meter || meter->costs().empty()) return;
+    if (proxy == dht_->local_address() || proxy.IsNull()) {
+      PinLocalMeter(qid);
+      return;
+    }
+    WireWriter w = OverlayRouter::FrameMessage(kMsgQueryCosts);
+    w.PutU64(qid);
+    AppendCostBlock(&w, *meter);
+    dht_->router()->SendFramed(proxy, std::move(w).data(), nullptr);
+  });
 
   // Proxy failover: when the executor's successor walk lands on this node,
   // it adopts the proxy role here.
@@ -131,6 +148,18 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
       });
 
   // Answer tuples from executing nodes.
+  dht_->router()->RegisterDirectType(
+      kMsgQueryCosts, [this](const NetAddress& from, std::string_view body) {
+        WireReader r(body);
+        uint64_t qid;
+        if (!r.GetU64(&qid).ok()) return;
+        auto it = clients_.find(qid);
+        if (it == clients_.end()) return;  // late flush after done/cancel
+        std::map<QueryMeter::Key, OpCost> snapshot;
+        if (DecodeCostBlock(&r, &snapshot))
+          it->second.remote_costs[from] = std::move(snapshot);
+      });
+
   dht_->router()->RegisterDirectType(
       kMsgAnswer, [this](const NetAddress& from, std::string_view body) {
         HandleAnswerMsg(from, body);
@@ -286,6 +315,7 @@ Result<uint64_t> QueryProcessor::SubmitQuery(QueryPlan plan,
     client.plan_stored = true;
   }
   clients_[qid] = std::move(client);
+  BindQueryMetrics(&clients_[qid], qid);
   if (plan.continuous) {
     StartLeaseRefresh(qid);
     StoreDurablePlan(plan);
@@ -372,6 +402,7 @@ uint64_t QueryProcessor::ArmDoneTimer(uint64_t query_id, TimeUs delay) {
         auto it = clients_.find(query_id);
         if (it == clients_.end()) return;
         if (it->second.lease_timer) vri_->CancelEvent(it->second.lease_timer);
+        EmitFinalCosts(&it->second, query_id);
         DoneCallback done = std::move(it->second.on_done);
         clients_.erase(it);
         if (done) done();
@@ -426,6 +457,7 @@ void QueryProcessor::AdoptQuery(const QueryPlan& meta) {
                          : meta.timeout;
   client.done_timer = ArmDoneTimer(qid, remaining);
   clients_[qid] = std::move(client);
+  BindQueryMetrics(&clients_[qid], qid);
 
   // This node's executor only rebuilds the BROADCAST graphs; equality /
   // range / local graphs ran elsewhere (or only at the dead proxy). Recover
@@ -567,6 +599,7 @@ void QueryProcessor::CancelQuery(uint64_t query_id) {
       dht_->Put(kTombNs, std::to_string(query_id), "t", "1",
                 remaining + options_.done_slack);
     }
+    EmitFinalCosts(&it->second, query_id);
     clients_.erase(it);
   }
   executor_->StopQuery(query_id);
@@ -606,6 +639,7 @@ void QueryProcessor::Disseminate(const QueryPlan& plan) {
     meta.graphs.clear();
     executor_->StartGraphs(meta, local);
   }
+  PinLocalMeter(plan.query_id);
 }
 
 void QueryProcessor::HandleDisseminationBlob(std::string_view blob) {
@@ -619,6 +653,7 @@ void QueryProcessor::HandleDisseminationBlob(std::string_view blob) {
   QueryPlan meta = *plan;
   meta.graphs.clear();
   executor_->StartGraphs(meta, plan->graphs);
+  PinLocalMeter(plan->query_id);
 }
 
 void QueryProcessor::StartRangeGraph(const QueryPlan& plan, const OpGraph& g) {
@@ -662,6 +697,7 @@ void QueryProcessor::StartRangeGraph(const QueryPlan& plan, const OpGraph& g) {
 
 void QueryProcessor::DeliverAnswer(ClientQuery* client, const Tuple& t) {
   stats_.answers_delivered++;
+  if (client->answers_metric != nullptr) client->answers_metric->Inc();
   // The shared_ptr copy keeps the closure alive through the call even if
   // the client Cancel()s from inside its own on_tuple (which erases the
   // clients_ entry).
@@ -682,7 +718,9 @@ void QueryProcessor::DeliverAnswer(ClientQuery* client, const Tuple& t) {
 void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
                                    const Tuple& t) {
   if (proxy == dht_->local_address() || proxy.IsNull()) {
-    // This node is the proxy: deliver directly to the client.
+    // This node is the proxy: deliver directly to the client. No wire
+    // message, so the answer pseudo-op counts the tuple but no msgs/bytes.
+    executor_->MeterAnswer(query_id, 0, /*on_wire=*/false);
     auto it = clients_.find(query_id);
     if (it == clients_.end()) return;  // client cancelled or timed out
     DeliverAnswer(&it->second, t);
@@ -694,6 +732,18 @@ void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
   WireWriter w = OverlayRouter::FrameMessage(kMsgAnswer);
   w.PutU64(query_id);
   t.EncodeTo(&w);
+  // Meter the frame BEFORE the cost block is appended, so the block's own
+  // answer-slot snapshot includes this very frame — the proxy's aggregate
+  // then matches independently counted wire traffic exactly.
+  QueryMeter* meter = executor_->MeterAnswer(query_id, w.size(),
+                                             /*on_wire=*/true);
+  if (answer_bytes_metric_ != nullptr)
+    answer_bytes_metric_->Observe(static_cast<double>(w.size()));
+  // Piggyback this node's per-op ledger as ABSOLUTE snapshots: every answer
+  // frame carries the full current picture, so a lost or reordered frame
+  // costs freshness, never double counting. Old receivers ignore the block
+  // (trailing bytes after a decoded message are skipped by contract).
+  if (meter != nullptr && meter->ShouldPiggyback()) AppendCostBlock(&w, *meter);
   // A transport give-up on the proxy is the fast half of proxy-death
   // detection (the lease is the slow half): the executor counts it and
   // fails answer routing over to the next successor. An ACK is the
@@ -710,7 +760,6 @@ void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
 
 void QueryProcessor::HandleAnswerMsg(const NetAddress& from,
                                      std::string_view body) {
-  (void)from;
   WireReader r(body);
   uint64_t qid;
   if (!r.GetU64(&qid).ok()) return;
@@ -725,7 +774,114 @@ void QueryProcessor::HandleAnswerMsg(const NetAddress& from,
     it = clients_.find(qid);
     if (it == clients_.end()) return;
   }
+  // The piggybacked cost block (if the sender meters): an absolute per-op
+  // snapshot that REPLACES this sender's previous one. Senders without
+  // metering ship no block; a truncated block is dropped whole.
+  std::map<QueryMeter::Key, OpCost> snapshot;
+  if (DecodeCostBlock(&r, &snapshot))
+    it->second.remote_costs[from] = std::move(snapshot);
   DeliverAnswer(&it->second, *t);
+}
+
+QueryCostReport QueryProcessor::QueryCosts(uint64_t query_id) const {
+  QueryCostReport report;
+  report.query_id = query_id;
+  auto it = clients_.find(query_id);
+  if (it == clients_.end()) return report;
+  // Fold the latest snapshot from every remote executor with the proxy's
+  // own local ledger, per (graph, op) slot.
+  std::map<QueryMeter::Key, QueryCostOp> agg;
+  auto fold = [&agg](const std::map<QueryMeter::Key, OpCost>& costs) {
+    for (const auto& [key, cost] : costs) {
+      QueryCostOp& slot = agg[key];
+      slot.graph_id = key.first;
+      slot.op_id = key.second;
+      slot.cost += cost;
+      slot.nodes++;
+    }
+  };
+  for (const auto& [addr, costs] : it->second.remote_costs) fold(costs);
+  std::shared_ptr<QueryMeter> local = it->second.local_meter;
+  if (!local) local = executor_->Meter(query_id);
+  if (local) fold(local->costs());
+  for (auto& [key, slot] : agg) {
+    report.total += slot.cost;
+    report.ops.push_back(std::move(slot));
+  }
+  return report;
+}
+
+Status QueryProcessor::SetCostsCallback(uint64_t query_id, CostsCallback cb) {
+  auto it = clients_.find(query_id);
+  if (it == clients_.end())
+    return Status::NotFound("this node does not proxy query " +
+                            std::to_string(query_id));
+  it->second.on_costs = std::move(cb);
+  return Status::Ok();
+}
+
+void QueryProcessor::AppendCostBlock(WireWriter* w, const QueryMeter& meter) {
+  w->PutU8(1);  // cost-block marker
+  w->PutVarint(meter.costs().size());
+  for (const auto& [key, cost] : meter.costs()) {
+    w->PutU32(key.first);
+    w->PutU32(key.second);
+    w->PutVarint(cost.tuples_in);
+    w->PutVarint(cost.tuples_out);
+    w->PutVarint(cost.msgs);
+    w->PutVarint(cost.bytes);
+  }
+}
+
+bool QueryProcessor::DecodeCostBlock(WireReader* r,
+                                     std::map<QueryMeter::Key, OpCost>* out) {
+  uint8_t marker = 0;
+  if (r->AtEnd() || !r->GetU8(&marker).ok() || marker != 1) return false;
+  uint64_t n = 0;
+  if (!r->GetVarint(&n).ok() || n > 4096) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t graph_id = 0, op_id = 0;
+    OpCost c;
+    if (!r->GetU32(&graph_id).ok() || !r->GetU32(&op_id).ok() ||
+        !r->GetVarint(&c.tuples_in).ok() || !r->GetVarint(&c.tuples_out).ok() ||
+        !r->GetVarint(&c.msgs).ok() || !r->GetVarint(&c.bytes).ok())
+      return false;
+    (*out)[{graph_id, op_id}] = c;
+  }
+  return true;
+}
+
+void QueryProcessor::PinLocalMeter(uint64_t query_id) {
+  auto it = clients_.find(query_id);
+  if (it == clients_.end() || it->second.local_meter) return;
+  it->second.local_meter = executor_->Meter(query_id);
+}
+
+void QueryProcessor::EmitFinalCosts(ClientQuery* client, uint64_t query_id) {
+  if (!client->on_costs) return;
+  // Move the callback out first: QueryCosts is const, but the callback
+  // itself may re-enter (e.g. Cancel), and must fire exactly once.
+  CostsCallback cb = std::move(client->on_costs);
+  client->on_costs = nullptr;
+  cb(QueryCosts(query_id));
+}
+
+void QueryProcessor::BindQueryMetrics(ClientQuery* client, uint64_t query_id) {
+  if (metrics_ == nullptr) return;
+  client->answers_metric = metrics_->GetCounter(
+      "pier_query_answers_total", {{"qid", std::to_string(query_id)}},
+      "Answer tuples delivered to the local client, by query");
+}
+
+void QueryProcessor::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  executor_->set_metrics(metrics);
+  answer_bytes_metric_ =
+      metrics == nullptr
+          ? nullptr
+          : metrics->GetHistogram(
+                "pier_query_answer_bytes", {64, 256, 1024, 4096, 16384}, {},
+                "Forwarded answer frame sizes in bytes");
 }
 
 }  // namespace pier

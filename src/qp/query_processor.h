@@ -52,6 +52,28 @@
 
 namespace pier {
 
+class MetricsRegistry;
+class Counter;
+class Histogram;
+
+/// Actual, measured cost of one (graph, op) slot aggregated across every
+/// node that executed it — the runtime counterpart of the optimizer's
+/// ExplainOp estimate. Slot (0, 0) is the answer-forwarding pseudo-op.
+struct QueryCostOp {
+  uint32_t graph_id = 0;
+  uint32_t op_id = 0;
+  OpCost cost;
+  uint32_t nodes = 0;  // executors that reported this slot
+};
+
+/// Per-query actual-cost report assembled at the proxy: remote executors'
+/// piggybacked meter snapshots plus the proxy's own local ledger.
+struct QueryCostReport {
+  uint64_t query_id = 0;
+  std::vector<QueryCostOp> ops;  // sorted by (graph_id, op_id)
+  OpCost total;
+};
+
 class QueryProcessor {
  public:
   struct Options {
@@ -235,6 +257,28 @@ class QueryProcessor {
   DistributionTree* tree() { return tree_.get(); }
   const Options& options() const { return options_; }
 
+  // --- Per-query cost accounting (PR 7) ----------------------------------------
+  // Every operator meters tuples/messages/bytes into its query's ledger
+  // (qp/dataflow.h). Executors piggyback their ledger on answer forwarding
+  // as absolute per-op snapshots — idempotent, so a lost or reordered answer
+  // frame costs freshness, never correctness — and the proxy folds the
+  // latest snapshot per executor together with its own local ledger.
+
+  /// The freshest aggregated cost picture of a query this node proxies.
+  /// Usable mid-flight; the final report also reaches the costs callback.
+  QueryCostReport QueryCosts(uint64_t query_id) const;
+
+  /// Install a callback that receives the query's FINAL cost report just
+  /// before its proxy record is torn down (done timer or cancel). NotFound
+  /// if this node does not proxy the query.
+  using CostsCallback = std::function<void(const QueryCostReport&)>;
+  Status SetCostsCallback(uint64_t query_id, CostsCallback cb);
+
+  /// Attach a metrics registry: the processor mints per-query
+  /// `pier_query_answers_total{qid=...}` counters, an answer-size histogram,
+  /// and forwards the registry to the executor's labeled counters.
+  void set_metrics(MetricsRegistry* metrics);
+
   struct Stats {
     uint64_t queries_submitted = 0;
     uint64_t graphs_received = 0;
@@ -275,6 +319,10 @@ class QueryProcessor {
   /// dissemination path.
   static constexpr uint8_t kMsgPlanFetch = 34;
   static constexpr uint8_t kMsgPlanPush = 35;
+  /// Final per-op cost snapshot from an executor tearing a query down
+  /// (body: u64 query id + the same cost block answers piggyback). Covers
+  /// executors that ran operators but never forwarded an answer.
+  static constexpr uint8_t kMsgQueryCosts = 37;
   /// Namespace that carries targeted (equality) dissemination objects.
   static constexpr const char* kDissemNs = "!dissem";
 
@@ -300,6 +348,18 @@ class QueryProcessor {
     /// executor's window tick.
     std::function<void()> lease_tick;
     uint64_t lease_timer = 0;
+    /// Latest piggybacked per-op meter snapshot from each remote executor
+    /// (absolute values: each frame replaces its sender's previous one).
+    std::map<NetAddress, std::map<QueryMeter::Key, OpCost>> remote_costs;
+    /// The proxy's own executor ledger, pinned while the query is live. The
+    /// executor tears its RunningQuery down at the deadline, before the
+    /// done timer folds final costs — holding the shared_ptr here keeps the
+    /// local contribution readable at that point.
+    std::shared_ptr<QueryMeter> local_meter;
+    /// Fires with the final QueryCosts report at teardown.
+    CostsCallback on_costs;
+    /// Cached `pier_query_answers_total{qid=...}` handle (null: no registry).
+    Counter* answers_metric = nullptr;
   };
 
   /// Most answers an un-attached (freshly adopted) query buffers before
@@ -318,6 +378,18 @@ class QueryProcessor {
   /// Hand one answer to the local client record: the attached callback if
   /// any, the bounded pending buffer otherwise.
   void DeliverAnswer(ClientQuery* client, const Tuple& t);
+  /// Fire the final cost report into `on_costs` (if installed) — called on
+  /// every teardown path BEFORE the client record is erased.
+  void EmitFinalCosts(ClientQuery* client, uint64_t query_id);
+  /// Capture the proxy's own executor ledger into the ClientQuery (no-op on
+  /// non-proxy nodes and once pinned).
+  void PinLocalMeter(uint64_t query_id);
+  /// The piggybacked/flushed cost-block wire format (absolute snapshots).
+  static void AppendCostBlock(WireWriter* w, const QueryMeter& meter);
+  static bool DecodeCostBlock(WireReader* r,
+                              std::map<QueryMeter::Key, OpCost>* out);
+  /// Mint/cache the per-query answers counter when a registry is attached.
+  void BindQueryMetrics(ClientQuery* client, uint64_t query_id);
   void Disseminate(const QueryPlan& plan);
   void HandleDisseminationBlob(std::string_view blob);
   void HandleAnswerMsg(const NetAddress& from, std::string_view body);
@@ -351,6 +423,9 @@ class QueryProcessor {
   uint64_t dissem_sub_ = 0;
   uint64_t next_suffix_ = 1;
   Stats stats_;
+  MetricsRegistry* metrics_ = nullptr;
+  /// Histogram of forwarded answer frame sizes (null: no registry).
+  Histogram* answer_bytes_metric_ = nullptr;
 };
 
 }  // namespace pier

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/node_metrics.h"
 #include "overlay/routing_chord.h"
 #include "overlay/routing_prefix.h"
+#include "util/logging.h"
 
 namespace pier {
 
@@ -11,7 +13,14 @@ SimPier::PierNode::PierNode(Vri* vri, const Options& options,
                             NetAddress bootstrap)
     : dht_(std::make_unique<Dht>(vri, options.dht)),
       qp_(std::make_unique<QueryProcessor>(vri, dht_.get(), options.qp)),
-      bootstrap_(bootstrap) {}
+      bootstrap_(bootstrap) {
+  RegisterNodeMetrics(&metrics_, qp_.get());
+  if (options.metrics_port != 0) {
+    endpoint_ = std::make_unique<MetricsEndpoint>(vri, &metrics_);
+    Status s = endpoint_->Listen(options.metrics_port);
+    PIER_CHECK(s.ok());
+  }
+}
 
 void SimPier::PierNode::Start() { dht_->Join(bootstrap_); }
 
@@ -35,7 +44,9 @@ SimPier::SimPier(uint32_t n, Options options)
         [this, loop](const std::string& ns,
                      const std::vector<std::string>& key_attrs, const Tuple& t,
                      size_t bytes) {
-          if (IsQueryScopedNamespace(ns) || ns == kSysStatsTable) return;
+          if (IsQueryScopedNamespace(ns) || ns == kSysStatsTable ||
+              ns == kSysMetricsTable)
+            return;
           stats_.Observe(ns, t, key_attrs, bytes, loop->now());
         });
   }
@@ -55,6 +66,11 @@ QueryProcessor* SimPier::qp(uint32_t index) {
   return node->qp();
 }
 
+MetricsRegistry* SimPier::metrics(uint32_t index) {
+  auto* node = static_cast<PierNode*>(harness_.program(index));
+  return node->metrics();
+}
+
 PierClient* SimPier::client(uint32_t index) {
   auto it = clients_.find(index);
   if (it == clients_.end()) {
@@ -67,6 +83,7 @@ PierClient* SimPier::client(uint32_t index) {
     CostParams params;
     params.nodes = static_cast<double>(harness_.num_nodes());
     it->second->set_cost_params(params);
+    it->second->set_metrics(metrics(index));
   }
   return it->second.get();
 }

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "client/pier_client.h"
+#include "obs/metrics.h"
+#include "obs/scrape.h"
 #include "overlay/sim_overlay.h"
 #include "qp/query_processor.h"
 
@@ -31,6 +33,11 @@ class SimPier {
     /// Virtual time to run after boot: join traffic + distribution-tree
     /// formation (the tree needs a few join refresh periods).
     TimeUs settle_time = 8 * kSecond;
+    /// When nonzero, every node serves its Prometheus-text scrape endpoint
+    /// on this (per-node) TCP port; metrics_address(i) names it. The
+    /// per-node MetricsRegistry exists either way — 0 only skips the
+    /// listener.
+    uint16_t metrics_port = 0;
   };
 
   class PierNode : public SimProgram {
@@ -40,10 +47,16 @@ class SimPier {
     void Stop() override {}
     Dht* dht() { return dht_.get(); }
     QueryProcessor* qp() { return qp_.get(); }
+    MetricsRegistry* metrics() { return &metrics_; }
+    MetricsEndpoint* endpoint() { return endpoint_.get(); }
 
    private:
+    /// Declared before the subsystems whose Stats its collector closures
+    /// read, destroyed after them — nothing snapshots during teardown.
+    MetricsRegistry metrics_;
     std::unique_ptr<Dht> dht_;
     std::unique_ptr<QueryProcessor> qp_;
+    std::unique_ptr<MetricsEndpoint> endpoint_;
     NetAddress bootstrap_;
   };
 
@@ -68,6 +81,14 @@ class SimPier {
   /// Collect calls advance the simulation's virtual time; its cost model
   /// knows the simulated network size.
   PierClient* client(uint32_t index);
+
+  /// Node `index`'s metrics registry (all subsystem collectors registered).
+  MetricsRegistry* metrics(uint32_t index);
+  /// Where node `index`'s scrape endpoint listens (Options::metrics_port
+  /// must be nonzero for the listener to exist).
+  NetAddress metrics_address(uint32_t index) {
+    return harness_.AddressOf(index, options_.metrics_port);
+  }
 
   /// Install globally-consistent routing state on every live node.
   void SeedAll();

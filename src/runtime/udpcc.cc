@@ -83,6 +83,7 @@ void UdpCc::Transmit(const NetAddress& dst, PeerState& peer, Pending msg) {
   if (msg.first_sent == 0) {
     msg.first_sent = now;
     stats_.msgs_sent++;
+    stats_.bytes_sent += msg.payload.size();
   } else {
     stats_.retransmits++;
   }
@@ -131,6 +132,7 @@ void UdpCc::HandleUdp(const NetAddress& source, std::string_view payload) {
     return;
   }
   stats_.msgs_received++;
+  stats_.bytes_received += payload.size() - (1 + 8);
   if (handler_) {
     std::string_view body = payload.substr(1 + 8);
     handler_(source, body);

@@ -43,6 +43,8 @@ class UdpCc : public UdpHandler {
     uint64_t retransmits = 0;
     uint64_t msgs_received = 0;
     uint64_t duplicates_dropped = 0;
+    uint64_t bytes_sent = 0;       // first-transmission payload bytes
+    uint64_t bytes_received = 0;   // deduplicated inbound payload bytes
   };
 
   /// Called for each (deduplicated) inbound message.
