@@ -36,6 +36,7 @@
 #include <set>
 
 #include "bench/bench_common.h"
+#include "util/logging.h"
 #include "overlay/sim_overlay.h"
 #include "qp/sim_pier.h"
 
@@ -146,7 +147,7 @@ FailoverOutcome MeasureFailover(bool kill, uint64_t seed) {
   popts.sim.seed = seed;
   popts.settle_time = 8 * kSecond;
   SimPier net(kFNodes, popts);
-  net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+  PIER_CHECK(net.catalog()->Register(TableSpec("ev").PartitionBy({"id"})).ok());
   net.RunFor(1 * kSecond);
 
   int64_t next_id = 0;
@@ -288,7 +289,7 @@ int RunFailoverCheck() {
     popts.sim.seed = 405;
     popts.settle_time = 8 * kSecond;
     SimPier net(kFNodes, popts);
-    net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+    PIER_CHECK(net.catalog()->Register(TableSpec("ev").PartitionBy({"id"})).ok());
     net.RunFor(1 * kSecond);
     Sql query("SELECT cat, count(*) AS cnt FROM ev GROUP BY cat TIMEOUT 90s "
               "WINDOW 5s CONTINUOUS");
@@ -363,7 +364,7 @@ ReplicationOutcome MeasureReplication(int k, bool kill, uint64_t seed) {
   popts.settle_time = 8 * kSecond;
   popts.dht.replication_factor = k;
   SimPier net(kRNodes, popts);
-  net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+  PIER_CHECK(net.catalog()->Register(TableSpec("ev").PartitionBy({"id"})).ok());
   net.RunFor(1 * kSecond);
 
   for (int i = 0; i < kRIds; ++i) {

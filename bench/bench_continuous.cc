@@ -34,6 +34,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "util/logging.h"
 #include "qp/sim_pier.h"
 
 namespace pier {
@@ -68,7 +69,7 @@ Outcome RunConfig(const std::string& config, uint64_t seed) {
   popts.sim.seed = seed;
   popts.settle_time = 8 * kSecond;
   SimPier net(kNodes, popts);
-  net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+  PIER_CHECK(net.catalog()->Register(TableSpec("ev").PartitionBy({"id"})).ok());
   net.RunFor(1 * kSecond);
   int64_t next_id = 0;
 
@@ -151,7 +152,7 @@ int RunCatchupCheck(uint64_t seed) {
   popts.settle_time = 8 * kSecond;
   constexpr uint32_t kCheckNodes = 16;
   SimPier net(kCheckNodes, popts);
-  net.catalog()->Register(TableSpec("ev").PartitionBy({"id"}));
+  PIER_CHECK(net.catalog()->Register(TableSpec("ev").PartitionBy({"id"})).ok());
   net.RunFor(1 * kSecond);
   int64_t next_id = 0;
   auto publish_one = [&]() {

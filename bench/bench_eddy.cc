@@ -8,6 +8,7 @@
 // is total predicate evaluations.
 
 #include "bench/bench_common.h"
+#include "util/logging.h"
 #include "qp/sim_pier.h"
 
 namespace pier {
@@ -73,7 +74,8 @@ std::pair<int64_t, uint64_t> RunPolicy(const std::string& policy,
       t.Append("c0", Value::Int64(phase == 1 ? low : high));
       t.Append("c1", Value::Int64(tight));
       t.Append("c2", Value::Int64(phase == 1 ? high : low));
-      net.qp(0)->executor()->InjectTuple(query_id, graph_id, src_id, t);
+      PIER_CHECK(
+          net.qp(0)->executor()->InjectTuple(query_id, graph_id, src_id, t).ok());
       if (i % 512 == 511) net.RunFor(100 * kMillisecond);
     }
     net.RunFor(1 * kSecond);

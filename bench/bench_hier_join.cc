@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "bench/bench_common.h"
+#include "util/logging.h"
 #include "qp/sim_pier.h"
 
 namespace pier {
@@ -25,19 +26,19 @@ constexpr int kKeys = 40;
 /// Key/node draws follow one fixed rng sequence so GroundTruth() below can
 /// replay it.
 void LoadTables(SimPier* net, uint64_t seed) {
-  net->catalog()->Register(TableSpec("l").LocalOnly());
-  net->catalog()->Register(TableSpec("r").LocalOnly());
+  PIER_CHECK(net->catalog()->Register(TableSpec("l").LocalOnly()).ok());
+  PIER_CHECK(net->catalog()->Register(TableSpec("r").LocalOnly()).ok());
   Rng rng(seed);
   ZipfGenerator zipf(kKeys, kSkew);
   for (int i = 0; i < kRowsPerSide; ++i) {
     Tuple l("l");
     l.Append("k", Value::Int64(static_cast<int64_t>(zipf.Sample(&rng))));
     l.Append("a", Value::Int64(i));
-    net->client(rng.Uniform(kNodes))->Publish("l", l);
+    PIER_CHECK(net->client(rng.Uniform(kNodes))->Publish("l", l).ok());
     Tuple r("r");
     r.Append("k", Value::Int64(static_cast<int64_t>(zipf.Sample(&rng))));
     r.Append("b", Value::Int64(i));
-    net->client(rng.Uniform(kNodes))->Publish("r", r);
+    PIER_CHECK(net->client(rng.Uniform(kNodes))->Publish("r", r).ok());
   }
 }
 

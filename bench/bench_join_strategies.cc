@@ -18,6 +18,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "util/logging.h"
 #include "qp/sim_pier.h"
 
 namespace pier {
@@ -29,14 +30,14 @@ constexpr int kRows = 600;
 void LoadTables(SimPier* net, double sigma, uint64_t seed) {
   Rng rng(seed);
   // S published on join attr y (the primary index); R is in-situ.
-  net->catalog()->Register(TableSpec("s").PartitionBy({"y"}));
-  net->catalog()->Register(TableSpec("r").LocalOnly());
+  PIER_CHECK(net->catalog()->Register(TableSpec("s").PartitionBy({"y"})).ok());
+  PIER_CHECK(net->catalog()->Register(TableSpec("r").LocalOnly()).ok());
   // S keys: 0..kRows-1.
   for (int i = 0; i < kRows; ++i) {
     Tuple s("s");
     s.Append("y", Value::Int64(i));
     s.Append("b", Value::Int64(1000 + i));
-    net->client(rng.Uniform(kNodes))->Publish("s", s);
+    PIER_CHECK(net->client(rng.Uniform(kNodes))->Publish("s", s).ok());
   }
   // R keys: fraction sigma inside S's key range, the rest far outside.
   // R rows carry a fat payload — the regime where Bloom pruning pays: the
@@ -51,7 +52,7 @@ void LoadTables(SimPier* net, double sigma, uint64_t seed) {
     r.Append("x", Value::Int64(x));
     r.Append("a", Value::Int64(i));
     r.Append("blob", Value::Bytes(payload));
-    net->client(rng.Uniform(kNodes))->Publish("r", r);
+    PIER_CHECK(net->client(rng.Uniform(kNodes))->Publish("r", r).ok());
   }
 }
 

@@ -9,6 +9,7 @@
 #include "runtime/event_loop.h"
 #include "runtime/sim_runtime.h"
 #include "util/hash.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/wire.h"
 
@@ -49,11 +50,12 @@ void BM_SimUdpRoundtrip(benchmark::State& state) {
     void HandleUdp(const NetAddress&, std::string_view) override { received++; }
   };
   Sink sink;
-  sim.vri(1)->UdpListen(9, &sink);
-  sim.vri(0)->UdpListen(9, &sink);
+  PIER_CHECK(sim.vri(1)->UdpListen(9, &sink).ok());
+  PIER_CHECK(sim.vri(0)->UdpListen(9, &sink).ok());
   NetAddress dst = sim.AddressOf(1, 9);
   for (auto _ : state) {
-    sim.vri(0)->UdpSend(9, dst, "payload-of-a-plausible-size-1234567890");
+    PIER_CHECK(
+        sim.vri(0)->UdpSend(9, dst, "payload-of-a-plausible-size-1234567890").ok());
     sim.loop()->RunUntilIdle();
   }
   benchmark::DoNotOptimize(sink.received);

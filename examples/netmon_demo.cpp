@@ -12,6 +12,7 @@
 
 #include "apps/workloads.h"
 #include "qp/sim_pier.h"
+#include "util/logging.h"
 
 using namespace pier;
 
@@ -24,7 +25,7 @@ int main() {
 
   // fw is in-situ data (§2.1.2): declared local-only once, published through
   // the same client call as any other table.
-  net.catalog()->Register(TableSpec("fw").LocalOnly());
+  PIER_CHECK(net.catalog()->Register(TableSpec("fw").LocalOnly()).ok());
 
   FirewallOptions fopts;
   fopts.num_sources = 200;
@@ -32,7 +33,7 @@ int main() {
   FirewallWorkload workload(fopts);
   for (uint32_t i = 0; i < net.size(); ++i) {
     for (const Tuple& t : workload.EventsForNode(i)) {
-      net.client(i)->Publish("fw", t);
+      PIER_CHECK(net.client(i)->Publish("fw", t).ok());
     }
   }
 
@@ -69,7 +70,7 @@ int main() {
       t.Append("dst_port", Value::Int64(22));
       t.Append("proto", Value::String("tcp"));
       t.Append("ts", Value::Int64(burst));
-      net.client(i)->Publish("fw", t);
+      PIER_CHECK(net.client(i)->Publish("fw", t).ok());
     }
   }
   net.RunFor(15 * kSecond);

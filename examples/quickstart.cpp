@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "qp/sim_pier.h"
+#include "util/logging.h"
 
 using namespace pier;
 
@@ -28,7 +29,8 @@ int main() {
   //    no system catalog (§4.2.1) — this is client-side metadata that both
   //    publishing and SQL compilation read, so the partitioning attributes
   //    can never drift between the two.
-  net.catalog()->Register(TableSpec("deploy").PartitionBy({"service"}));
+  PIER_CHECK(
+      net.catalog()->Register(TableSpec("deploy").PartitionBy({"service"})).ok());
 
   // 3. Publish a little table of service deployments. The catalog routes
   //    each tuple to its primary index (partitioned by "service", §3.3.3);
@@ -42,7 +44,7 @@ int main() {
     t.Append("instance", Value::Int64(i));
     t.Append("cpu", Value::Double(0.1 * (i + 1)));
     // Publish from different nodes: data enters wherever it lives.
-    net.client(i % net.size())->Publish("deploy", t);
+    PIER_CHECK(net.client(i % net.size())->Publish("deploy", t).ok());
   }
   net.RunFor(2 * kSecond);  // let the puts route
 
@@ -77,7 +79,7 @@ int main() {
   agg->OnTuple([](const Tuple& t) {
     std::printf("  %s\n", t.ToString().c_str());
   });
-  agg->Wait();
+  PIER_CHECK(agg->Wait().ok());
 
   // 6. EXPLAIN: the client compiles the query through the cost-based
   //    optimizer (fed by the statistics Publish accrued) and reports the

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "qp/sim_pier.h"
+#include "util/logging.h"
 
 using namespace pier;
 
@@ -23,10 +24,12 @@ int main() {
 
   // readings(temp, sensor): primary index on sensor, plus a PHT range index
   // on temp over a 10-bit key space.
-  net.catalog()->Register(
-      TableSpec("readings")
-          .PartitionBy({"sensor"})
-          .RangeIndex("temp", /*key_bits=*/10, "readings_by_temp"));
+  PIER_CHECK(net.catalog()
+                 ->Register(TableSpec("readings")
+                                .PartitionBy({"sensor"})
+                                .RangeIndex("temp", /*key_bits=*/10,
+                                            "readings_by_temp"))
+                 .ok());
 
   Rng rng(9);
   std::printf("publishing 120 sensor readings (primary + PHT range index)...\n");
@@ -34,7 +37,7 @@ int main() {
     Tuple t("readings");
     t.Append("temp", Value::Int64(static_cast<int64_t>(rng.Uniform(1024))));
     t.Append("sensor", Value::Int64(i));
-    net.client(i % net.size())->Publish("readings", t);
+    PIER_CHECK(net.client(i % net.size())->Publish("readings", t).ok());
     if (i % 4 == 3) net.RunFor(500 * kMillisecond);  // pace the trie splits
   }
   net.RunFor(10 * kSecond);

@@ -18,15 +18,21 @@ void FilesharingApp::PublishCorpus(const FilesharingCorpus& corpus,
     return;
   }
   size_t n = net_->size();
+  uint64_t publish_failures = 0;
   for (const CorpusFile& f : corpus.files()) {
     for (uint32_t host : f.hosts) {
       if (host >= n) continue;
       for (uint32_t kw : f.keywords) {
-        net_->client(host)->Publish(
+        Status s = net_->client(host)->Publish(
             "fidx", FilesharingCorpus::IndexTuple(kw, f.file_id, host),
             lifetime);
+        if (!s.ok()) publish_failures++;
       }
     }
+  }
+  if (publish_failures > 0) {
+    PIER_LOG(kWarn) << publish_failures
+                    << " fidx publishes rejected; the corpus is incomplete";
   }
   // Let the puts route and settle.
   net_->RunFor(3 * kSecond);
@@ -73,7 +79,9 @@ FilesharingApp::SearchResult FilesharingApp::Search(
     handles.push_back(*handle);
   }
   net_->RunFor(max_wait);
-  for (QueryHandle& h : handles) h.Cancel();
+  // Snapshot queries may already be done; Cancel on a finished handle
+  // reports Unavailable, which is exactly the case being cleaned up here.
+  for (QueryHandle& h : handles) (void)h.Cancel();
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
 #include "util/wire.h"
 
 namespace pier {
@@ -9,7 +10,15 @@ namespace pier {
 GnutellaNode::GnutellaNode(Vri* vri, Options options)
     : vri_(vri), options_(options) {}
 
-void GnutellaNode::Start() { vri_->UdpListen(options_.port, this); }
+void GnutellaNode::Start() {
+  Status s = vri_->UdpListen(options_.port, this);
+  if (!s.ok()) {
+    // A node that cannot listen is invisible to the overlay: say so loudly
+    // rather than silently dropping out of the experiment.
+    PIER_LOG(kError) << "gnutella listen on port " << options_.port
+                     << " failed: " << s.ToString();
+  }
+}
 
 void GnutellaNode::AddLocalFile(uint64_t file_id,
                                 std::vector<uint32_t> keywords) {
@@ -60,7 +69,9 @@ void GnutellaNode::StartQuery(uint64_t query_id,
   for (uint32_t kw : keywords) w.PutU32(kw);
   std::string msg = std::move(w).data();
   for (const NetAddress& n : neighbors_) {
-    vri_->UdpSend(options_.port, n, msg);
+    // Flooding is best-effort by design; a refused send is just a lossier
+    // experiment, but it is counted so the benches can see it.
+    if (!vri_->UdpSend(options_.port, n, msg).ok()) stats_.sends_failed++;
   }
 }
 
@@ -104,7 +115,8 @@ void GnutellaNode::HandleQuery(const NetAddress& from, std::string_view body) {
       w.PutU64(fid);
       w.PutU32(vri_->LocalAddress().host);
       stats_.hits_sent++;
-      vri_->UdpSend(options_.port, origin, std::move(w).data());
+      if (!vri_->UdpSend(options_.port, origin, std::move(w).data()).ok())
+        stats_.sends_failed++;
     }
   }
 
@@ -121,7 +133,7 @@ void GnutellaNode::HandleQuery(const NetAddress& from, std::string_view body) {
   for (const NetAddress& n : neighbors_) {
     if (n == from) continue;
     stats_.queries_forwarded++;
-    vri_->UdpSend(options_.port, n, msg);
+    if (!vri_->UdpSend(options_.port, n, msg).ok()) stats_.sends_failed++;
   }
 }
 

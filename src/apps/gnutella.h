@@ -57,6 +57,7 @@ class GnutellaNode : public SimProgram, public UdpHandler {
     uint64_t queries_seen = 0;
     uint64_t queries_forwarded = 0;
     uint64_t hits_sent = 0;
+    uint64_t sends_failed = 0;  // flood/hit datagrams the VRI refused
   };
   const Stats& stats() const { return stats_; }
 

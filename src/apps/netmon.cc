@@ -13,10 +13,16 @@ void NetmonApp::LoadLogs(const FirewallWorkload& workload, TimeUs lifetime) {
     PIER_LOG(kWarn) << "fw registration failed: " << reg.ToString();
     return;
   }
+  uint64_t publish_failures = 0;
   for (uint32_t i = 0; i < net_->size(); ++i) {
     for (const Tuple& t : workload.EventsForNode(i)) {
-      net_->client(i)->Publish("fw", t, lifetime);
+      Status s = net_->client(i)->Publish("fw", t, lifetime);
+      if (!s.ok()) publish_failures++;
     }
+  }
+  if (publish_failures > 0) {
+    PIER_LOG(kWarn) << publish_failures
+                    << " fw publishes rejected; the workload is incomplete";
   }
 }
 

@@ -174,7 +174,9 @@ Status QueryHandle::Wait(TimeUs max_wait) {
 
 std::vector<Tuple> QueryHandle::Collect(TimeUs max_wait) {
   if (!state_) return {};
-  Wait(max_wait);
+  // A timeout is not an error here: Collect hands out whatever arrived
+  // within the wait, done or not.
+  (void)Wait(max_wait);
   if (!state_->stats.done) {
     // Still running (a continuous query mid-stream): hand out a snapshot
     // and KEEP the buffer — draining it here would silently steal the
@@ -239,7 +241,9 @@ PierClient::~PierClient() {
   for (auto& [qid, task] : replans_) {
     if (task.timer) qp_->vri()->CancelEvent(task.timer);
   }
-  if (stats_refresh_.valid()) stats_refresh_.Cancel();
+  // Teardown path: an already-orphaned refresh query reports Unavailable,
+  // and the local handle state is torn down either way.
+  if (stats_refresh_.valid()) (void)stats_refresh_.Cancel();
   StopMetricsPublish();
 }
 

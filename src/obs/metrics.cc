@@ -146,7 +146,7 @@ MetricsRegistry::Series* MetricsRegistry::FindOrCreate(
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const MetricLabels& labels,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool created = false;
   Series* s = FindOrCreate(name, MetricKind::kCounter, labels, help, &created);
   if (s == nullptr) return &sink_counter_;
@@ -158,7 +158,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const MetricLabels& labels,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool created = false;
   Series* s = FindOrCreate(name, MetricKind::kGauge, labels, help, &created);
   if (s == nullptr) return &sink_gauge_;
@@ -172,7 +172,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const MetricLabels& labels,
                                          const std::string& help) {
   static Histogram sink_histogram({});  // shared no-op target
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool created = false;
   Series* s =
       FindOrCreate(name, MetricKind::kHistogram, labels, help, &created);
@@ -185,7 +185,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 void MetricsRegistry::AddCounterFn(const std::string& name,
                                    const MetricLabels& labels, ValueFn fn,
                                    const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool created = false;
   Series* s = FindOrCreate(name, MetricKind::kCounter, labels, help, &created);
   if (s != nullptr) s->fn = std::move(fn);
@@ -194,7 +194,7 @@ void MetricsRegistry::AddCounterFn(const std::string& name,
 void MetricsRegistry::AddGaugeFn(const std::string& name,
                                  const MetricLabels& labels, ValueFn fn,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool created = false;
   Series* s = FindOrCreate(name, MetricKind::kGauge, labels, help, &created);
   if (s != nullptr) s->fn = std::move(fn);
@@ -202,7 +202,7 @@ void MetricsRegistry::AddGaugeFn(const std::string& name,
 
 bool MetricsRegistry::Remove(const std::string& name,
                              const MetricLabels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end()) return false;
   MetricLabels key = Canonical(labels);
@@ -218,7 +218,7 @@ bool MetricsRegistry::Remove(const std::string& name,
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (dropped_series_.load(std::memory_order_relaxed) > 0) {
     MetricSample drop;
     drop.name = "pier_metrics_dropped_series_total";
@@ -270,7 +270,7 @@ std::string MetricsRegistry::RenderText() const {
   std::string last_family;
   // Snapshot() iterates a std::map, so samples arrive grouped by family
   // (the synthetic dropped-series counter leads and is its own family).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const MetricSample& s : samples) {
     if (s.name != last_family) {
       last_family = s.name;
@@ -326,12 +326,12 @@ std::string MetricsRegistry::RenderText() const {
 }
 
 size_t MetricsRegistry::num_families() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return families_.size();
 }
 
 size_t MetricsRegistry::num_series(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end()) return 0;
   size_t n = 0;

@@ -32,10 +32,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pier {
 
@@ -169,7 +171,10 @@ class MetricsRegistry {
   /// Hard cap on series per family; past it new label sets collapse into a
   /// shared overflow sink and are counted in dropped_series(). Guards the
   /// qid-labeled families against unbounded growth (README has the rules).
-  void set_max_series_per_family(size_t n) { max_series_per_family_ = n; }
+  void set_max_series_per_family(size_t n) {
+    MutexLock lock(mu_);
+    max_series_per_family_ = n;
+  }
   uint64_t dropped_series() const {
     return dropped_series_.load(std::memory_order_relaxed);
   }
@@ -195,11 +200,11 @@ class MetricsRegistry {
 
   Series* FindOrCreate(const std::string& name, MetricKind kind,
                        const MetricLabels& labels, const std::string& help,
-                       bool* created);
+                       bool* created) PIER_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
-  size_t max_series_per_family_ = 1024;
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ PIER_GUARDED_BY(mu_);
+  size_t max_series_per_family_ PIER_GUARDED_BY(mu_) = 1024;
   std::atomic<uint64_t> dropped_series_{0};
   /// Overflow / kind-mismatch sinks: writes go somewhere harmless.
   Counter sink_counter_;

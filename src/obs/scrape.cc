@@ -45,7 +45,12 @@ void MetricsEndpoint::HandleTcpData(uint64_t conn_id, std::string_view data) {
   } else {
     response = std::move(body);
   }
-  vri_->TcpWrite(conn_id, std::move(response));
+  Status s = vri_->TcpWrite(conn_id, std::move(response));
+  if (!s.ok()) {
+    // The scraper hung up between request and response; drop our half too
+    // so the connection table does not accumulate dead entries.
+    vri_->TcpClose(conn_id);
+  }
 }
 
 void MetricsEndpoint::HandleTcpError(uint64_t conn_id) { (void)conn_id; }
@@ -70,7 +75,10 @@ class ScrapeClient : public TcpHandler {
 
   void HandleTcpNew(uint64_t conn_id, const NetAddress& peer) override {
     (void)peer;
-    vri_->TcpWrite(conn_id, "GET /metrics HTTP/1.0\r\n\r\n");
+    Status s = vri_->TcpWrite(conn_id, "GET /metrics HTTP/1.0\r\n\r\n");
+    // A request that never left would otherwise wait forever for a
+    // response that cannot come: fail the scrape now.
+    if (!s.ok()) Finish("");
   }
 
   void HandleTcpData(uint64_t conn_id, std::string_view data) override {

@@ -442,15 +442,17 @@ void QueryExecutor::NoteAnswerForwardFailure(uint64_t query_id,
   // send call, which can sit under an operator's Flush — and a failover
   // that reaps the query would close that operator mid-emission. The event
   // re-checks that the failed target is still the proxy (a refresh or an
-  // earlier step may have moved it meanwhile).
-  vri_->ScheduleEvent(0, [this, query_id, target]() {
-    auto qit = queries_.find(query_id);
-    if (qit == queries_.end()) return;
-    RunningQuery& q = qit->second;
-    if (!q.meta.continuous || q.stopping || target != q.meta.proxy) return;
-    if (q.forward_failures < kForwardFailuresBeforeFailover) return;
-    FailoverStep(&q, "forward_failed", "answer forwarding failed");
-  });
+  // earlier step may have moved it meanwhile). The token rides in
+  // flush_timers so stop/teardown cancels it with the rest.
+  rq.flush_timers.push_back(
+      vri_->ScheduleEvent(0, [this, query_id, target]() {
+        auto qit = queries_.find(query_id);
+        if (qit == queries_.end()) return;
+        RunningQuery& q = qit->second;
+        if (!q.meta.continuous || q.stopping || target != q.meta.proxy) return;
+        if (q.forward_failures < kForwardFailuresBeforeFailover) return;
+        FailoverStep(&q, "forward_failed", "answer forwarding failed");
+      }));
 }
 
 void QueryExecutor::NoteAnswerForwardSuccess(uint64_t query_id,
@@ -507,7 +509,11 @@ void QueryExecutor::StopQuery(uint64_t query_id) {
   if (it == queries_.end() || it->second.stopping) return;
   it->second.stopping = true;
   // Deferred: StopQuery may be called from inside an operator on the stack.
-  vri_->ScheduleEvent(0, [this, query_id]() { DoStop(query_id); });
+  // The token rides in flush_timers: DoStop cancelling it from inside this
+  // very event is a harmless no-op, but an executor torn down first cancels
+  // a stop that would otherwise fire into freed state.
+  it->second.flush_timers.push_back(
+      vri_->ScheduleEvent(0, [this, query_id]() { DoStop(query_id); }));
 }
 
 void QueryExecutor::DoStop(uint64_t query_id) {

@@ -48,16 +48,18 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
   executor_->set_proxy_prober(
       [this](uint64_t qid, const NetAddress& target,
              std::function<void(QueryExecutor::ProbeVerdict)> verdict) {
-        pending_probes_[qid] =
-            PendingProbe{target, std::move(verdict)};  // latest probe wins
+        PendingProbe& probe = pending_probes_[qid];
+        if (probe.gc_timer) vri_->CancelEvent(probe.gc_timer);
+        probe = PendingProbe{target, std::move(verdict)};  // latest wins
         // Expire the entry if nothing ever resolves it (the executor's own
         // probe timeout resolves kDead without telling us): the map must
         // not accumulate one stale closure per dead query forever.
-        vri_->ScheduleEvent(30 * kSecond, [this, qid, target]() {
-          auto it = pending_probes_.find(qid);
-          if (it != pending_probes_.end() && it->second.target == target)
-            pending_probes_.erase(it);
-        });
+        probe.gc_timer =
+            vri_->ScheduleEvent(30 * kSecond, [this, qid, target]() {
+              auto it = pending_probes_.find(qid);
+              if (it != pending_probes_.end() && it->second.target == target)
+                pending_probes_.erase(it);
+            });
         WireWriter w = OverlayRouter::FrameMessage(kMsgLeaseProbe);
         w.PutU64(qid);
         dht_->router()->SendFramed(
@@ -67,6 +69,7 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
               if (it == pending_probes_.end() || it->second.target != target)
                 return;  // a newer probe took over
               auto cb = std::move(it->second.verdict);
+              if (it->second.gc_timer) vri_->CancelEvent(it->second.gc_timer);
               pending_probes_.erase(it);
               cb(QueryExecutor::ProbeVerdict::kDead);
             });
@@ -94,6 +97,7 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
         // for (or strike against) whoever is being probed now.
         if (it == pending_probes_.end() || it->second.target != from) return;
         auto cb = std::move(it->second.verdict);
+        if (it->second.gc_timer) vri_->CancelEvent(it->second.gc_timer);
         pending_probes_.erase(it);
         cb(proxying ? QueryExecutor::ProbeVerdict::kProxying
                     : QueryExecutor::ProbeVerdict::kNotProxying);
@@ -171,6 +175,9 @@ QueryProcessor::~QueryProcessor() {
   for (auto& [qid, c] : clients_) {
     if (c.done_timer) vri_->CancelEvent(c.done_timer);
     if (c.lease_timer) vri_->CancelEvent(c.lease_timer);
+  }
+  for (auto& [qid, probe] : pending_probes_) {
+    if (probe.gc_timer) vri_->CancelEvent(probe.gc_timer);
   }
 }
 
@@ -353,7 +360,10 @@ Status QueryProcessor::RewindowQuery(uint64_t query_id, TimeUs window) {
   // proxy does not wait a broadcast round-trip for its own graphs.
   QueryPlan meta = plan;
   meta.graphs.clear();
-  executor_->StartGraphs(meta, {});
+  Status local = executor_->StartGraphs(meta, {});
+  if (!local.ok()) {
+    PIER_LOG(kWarn) << "local rewindow rejected: " << local.ToString();
+  }
   tree_->Broadcast(meta.Encode());
   return Status::Ok();
 }
@@ -637,7 +647,11 @@ void QueryProcessor::Disseminate(const QueryPlan& plan) {
   if (!local.empty()) {
     QueryPlan meta = plan;
     meta.graphs.clear();
-    executor_->StartGraphs(meta, local);
+    Status started = executor_->StartGraphs(meta, local);
+    if (!started.ok()) {
+      PIER_LOG(kWarn) << "local graphs for query " << plan.query_id
+                      << " rejected: " << started.ToString();
+    }
   }
   PinLocalMeter(plan.query_id);
 }
@@ -652,7 +666,11 @@ void QueryProcessor::HandleDisseminationBlob(std::string_view blob) {
   stats_.graphs_received += plan->graphs.size();
   QueryPlan meta = *plan;
   meta.graphs.clear();
-  executor_->StartGraphs(meta, plan->graphs);
+  Status started = executor_->StartGraphs(meta, plan->graphs);
+  if (!started.ok()) {
+    PIER_LOG(kWarn) << "disseminated graphs for query " << plan->query_id
+                    << " rejected: " << started.ToString();
+  }
   PinLocalMeter(plan->query_id);
 }
 
@@ -661,7 +679,12 @@ void QueryProcessor::StartRangeGraph(const QueryPlan& plan, const OpGraph& g) {
   // injected through the graph's Source placeholder (inject=1).
   QueryPlan meta = plan;
   meta.graphs.clear();
-  executor_->StartGraphs(meta, {g});
+  Status started = executor_->StartGraphs(meta, {g});
+  if (!started.ok()) {
+    PIER_LOG(kWarn) << "range graph for query " << plan.query_id
+                    << " rejected: " << started.ToString();
+    return;
+  }
 
   uint32_t inject_op = 0;
   int key_bits = 32;
@@ -690,7 +713,9 @@ void QueryProcessor::StartRangeGraph(const QueryPlan& plan, const OpGraph& g) {
         for (const PhtItem& item : items) {
           Result<Tuple> t = Tuple::Decode(item.value);
           if (!t.ok()) continue;
-          executor_->InjectTuple(qid, gid, inject_op, *t);
+          // NotFound here means the query was stopped while the PHT scan
+          // was in flight — late matches have nowhere to go by design.
+          (void)executor_->InjectTuple(qid, gid, inject_op, *t);
         }
       });
 }

@@ -414,6 +414,9 @@ class QueryProcessor {
   struct PendingProbe {
     NetAddress target;
     std::function<void(QueryExecutor::ProbeVerdict)> verdict;
+    /// Expiry sweep for this entry; cancelled when the probe resolves (and
+    /// at teardown, so no expiry closure outlives the processor).
+    uint64_t gc_timer = 0;
   };
   /// Outstanding proxy probes by query id (latest wins): resolved by the
   /// probed node's kMsgLeaseProbeResp, or by a transport give-up.

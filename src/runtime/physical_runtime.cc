@@ -77,7 +77,7 @@ PhysicalRuntime::~PhysicalRuntime() {
   io_shutdown_.store(true);
   WakeIoThread();
   if (io_thread_.joinable()) io_thread_.join();
-  std::lock_guard<std::mutex> lock(io_mu_);
+  MutexLock lock(io_mu_);
   for (auto& [port, sock] : udp_socks_)
     if (sock.fd >= 0) close(sock.fd);
   for (auto& [port, l] : tcp_listeners_)
@@ -96,7 +96,7 @@ TimeUs PhysicalRuntime::Now() const {
 
 uint64_t PhysicalRuntime::ScheduleEvent(TimeUs delay, std::function<void()> cb) {
   uint64_t token = loop_.ScheduleAt(Now() + std::max<TimeUs>(0, delay), std::move(cb));
-  posted_cv_.notify_all();
+  posted_cv_.NotifyAll();
   return token;
 }
 
@@ -104,10 +104,10 @@ void PhysicalRuntime::CancelEvent(uint64_t token) { loop_.Cancel(token); }
 
 void PhysicalRuntime::PostFromAnyThread(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(posted_mu_);
+    MutexLock lock(posted_mu_);
     posted_.push_back(std::move(fn));
   }
-  posted_cv_.notify_all();
+  posted_cv_.NotifyAll();
 }
 
 void PhysicalRuntime::Run() {
@@ -116,7 +116,7 @@ void PhysicalRuntime::Run() {
     // Drain cross-thread posts.
     std::vector<std::function<void()>> batch;
     {
-      std::lock_guard<std::mutex> lock(posted_mu_);
+      MutexLock lock(posted_mu_);
       batch.swap(posted_);
     }
     for (auto& fn : batch) fn();
@@ -126,14 +126,14 @@ void PhysicalRuntime::Run() {
 
     // Sleep until the next event or a post.
     TimeUs next = loop_.NextEventTime();
-    std::unique_lock<std::mutex> lock(posted_mu_);
+    MutexLock lock(posted_mu_);
     if (!posted_.empty() || stopped_.load()) continue;
     if (next < 0) {
-      posted_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      posted_cv_.WaitFor(posted_mu_, std::chrono::milliseconds(50));
     } else {
       TimeUs wait = next - Now();
       if (wait > 0) {
-        posted_cv_.wait_for(lock, std::chrono::microseconds(wait));
+        posted_cv_.WaitFor(posted_mu_, std::chrono::microseconds(wait));
       }
     }
   }
@@ -141,7 +141,7 @@ void PhysicalRuntime::Run() {
 
 void PhysicalRuntime::Stop() {
   stopped_.store(true);
-  posted_cv_.notify_all();
+  posted_cv_.NotifyAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -163,7 +163,7 @@ Status PhysicalRuntime::UdpListen(uint16_t port, UdpHandler* handler) {
   }
   SetNonBlocking(fd);
   {
-    std::lock_guard<std::mutex> lock(io_mu_);
+    MutexLock lock(io_mu_);
     if (udp_socks_.count(port)) {
       close(fd);
       return Status::AlreadyExists("udp port in use");
@@ -175,7 +175,7 @@ Status PhysicalRuntime::UdpListen(uint16_t port, UdpHandler* handler) {
 }
 
 void PhysicalRuntime::UdpRelease(uint16_t port) {
-  std::lock_guard<std::mutex> lock(io_mu_);
+  MutexLock lock(io_mu_);
   auto it = udp_socks_.find(port);
   if (it == udp_socks_.end()) return;
   close(it->second.fd);
@@ -186,7 +186,7 @@ Status PhysicalRuntime::UdpSend(uint16_t source_port, const NetAddress& destinat
                                 std::string payload) {
   int fd = -1;
   {
-    std::lock_guard<std::mutex> lock(io_mu_);
+    MutexLock lock(io_mu_);
     auto it = udp_socks_.find(source_port);
     if (it == udp_socks_.end())
       return Status::InvalidArgument("udp source port not bound");
@@ -219,7 +219,7 @@ Status PhysicalRuntime::TcpListen(uint16_t port, TcpHandler* handler) {
   }
   SetNonBlocking(fd);
   {
-    std::lock_guard<std::mutex> lock(io_mu_);
+    MutexLock lock(io_mu_);
     if (tcp_listeners_.count(port)) {
       close(fd);
       return Status::AlreadyExists("tcp port in use");
@@ -231,7 +231,7 @@ Status PhysicalRuntime::TcpListen(uint16_t port, TcpHandler* handler) {
 }
 
 void PhysicalRuntime::TcpRelease(uint16_t port) {
-  std::lock_guard<std::mutex> lock(io_mu_);
+  MutexLock lock(io_mu_);
   auto it = tcp_listeners_.find(port);
   if (it == tcp_listeners_.end()) return;
   close(it->second.fd);
@@ -251,7 +251,7 @@ Result<uint64_t> PhysicalRuntime::TcpConnect(const NetAddress& destination,
   }
   uint64_t conn_id;
   {
-    std::lock_guard<std::mutex> lock(io_mu_);
+    MutexLock lock(io_mu_);
     conn_id = next_conn_id_++;
     TcpConn conn;
     conn.fd = fd;
@@ -271,7 +271,7 @@ Result<uint64_t> PhysicalRuntime::TcpConnect(const NetAddress& destination,
 
 Status PhysicalRuntime::TcpWrite(uint64_t conn_id, std::string data) {
   {
-    std::lock_guard<std::mutex> lock(io_mu_);
+    MutexLock lock(io_mu_);
     auto it = tcp_conns_.find(conn_id);
     if (it == tcp_conns_.end()) return Status::NotFound("no such connection");
     it->second.outbuf += Frame(data);
@@ -282,7 +282,7 @@ Status PhysicalRuntime::TcpWrite(uint64_t conn_id, std::string data) {
 
 void PhysicalRuntime::TcpClose(uint64_t conn_id) {
   {
-    std::lock_guard<std::mutex> lock(io_mu_);
+    MutexLock lock(io_mu_);
     CloseConnLocked(conn_id, /*notify=*/false);
   }
   WakeIoThread();
@@ -328,7 +328,7 @@ void PhysicalRuntime::IoThreadMain() {
     });
 
     {
-      std::lock_guard<std::mutex> lock(io_mu_);
+      MutexLock lock(io_mu_);
       for (auto& [port, sock] : udp_socks_) {
         UdpHandler* handler = sock.handler;
         int fd = sock.fd;
@@ -365,7 +365,7 @@ void PhysicalRuntime::IoThreadMain() {
             NetAddress peer = FromSockaddr(src);
             {
               // Called from the I/O thread; io_mu_ is NOT held here.
-              std::lock_guard<std::mutex> lock(io_mu_);
+              MutexLock lock(io_mu_);
               conn_id = next_conn_id_++;
               TcpConn conn;
               conn.fd = cfd;
@@ -391,7 +391,7 @@ void PhysicalRuntime::IoThreadMain() {
           bool became_open = false;
           NetAddress peer;
           {
-            std::lock_guard<std::mutex> lock(io_mu_);
+            MutexLock lock(io_mu_);
             auto it = tcp_conns_.find(id);
             if (it == tcp_conns_.end()) return;
             TcpConn& c = it->second;

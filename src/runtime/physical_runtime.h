@@ -15,18 +15,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/event_loop.h"
 #include "runtime/vri.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pier {
 
@@ -95,24 +95,26 @@ class PhysicalRuntime : public Vri {
 
   void IoThreadMain();
   void WakeIoThread();
-  void CloseConnLocked(uint64_t conn_id, bool notify);
+  void CloseConnLocked(uint64_t conn_id, bool notify) PIER_REQUIRES(io_mu_);
 
   Options options_;
   EventLoop loop_;
   Rng rng_;
 
   // Event-thread sleep/wake.
-  std::mutex posted_mu_;
-  std::condition_variable posted_cv_;
-  std::vector<std::function<void()>> posted_;
+  Mutex posted_mu_;
+  CondVar posted_cv_;
+  std::vector<std::function<void()>> posted_ PIER_GUARDED_BY(posted_mu_);
   std::atomic<bool> stopped_{false};
 
-  // I/O thread state, guarded by io_mu_.
-  std::mutex io_mu_;
-  std::map<uint16_t, UdpSocket> udp_socks_;
-  std::map<uint16_t, TcpListener> tcp_listeners_;
-  std::map<uint64_t, TcpConn> tcp_conns_;
-  uint64_t next_conn_id_ = 1;
+  // The I/O-thread seam: everything the event thread and the I/O thread
+  // both touch lives behind io_mu_. This is the locking contract the
+  // per-shard runtime (ROADMAP item 1) will be partitioned against.
+  Mutex io_mu_;
+  std::map<uint16_t, UdpSocket> udp_socks_ PIER_GUARDED_BY(io_mu_);
+  std::map<uint16_t, TcpListener> tcp_listeners_ PIER_GUARDED_BY(io_mu_);
+  std::map<uint64_t, TcpConn> tcp_conns_ PIER_GUARDED_BY(io_mu_);
+  uint64_t next_conn_id_ PIER_GUARDED_BY(io_mu_) = 1;
   int wake_pipe_[2] = {-1, -1};
   std::thread io_thread_;
   std::atomic<bool> io_shutdown_{false};

@@ -20,6 +20,12 @@ void SetLogLevel(LogLevel level);
 
 namespace internal {
 
+/// Write one complete line to the process log sink (stderr). Serialized by
+/// an internal pier::Mutex: the Physical Runtime's I/O thread and metrics
+/// scrapers log concurrently with the event thread, and a half-interleaved
+/// line is useless in a crash triage.
+void EmitLogLine(LogLevel level, const std::string& line);
+
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -27,8 +33,7 @@ class LogMessage {
   }
   ~LogMessage() {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
-    if (level_ == LogLevel::kError) std::fflush(stderr);
+    EmitLogLine(level_, stream_.str());
   }
   std::ostringstream& stream() { return stream_; }
 

@@ -35,7 +35,7 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// `Status::Ok()` is cheap (no allocation). Error statuses carry a message
 /// intended for logs and test failure output, not for programmatic dispatch.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -88,7 +88,7 @@ class Status {
 /// A value of type T or an error Status. Accessing the value of an error
 /// Result is a programming bug (checked by assert in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
   Result(Status status) : v_(std::move(status)) {    // NOLINT(runtime/explicit)

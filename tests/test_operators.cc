@@ -53,7 +53,10 @@ class LocalGraph {
   }
 
   void Inject(const Tuple& t) {
-    net_->qp(0)->executor()->InjectTuple(plan_.query_id, graph_id_, src_id_, t);
+    EXPECT_TRUE(net_->qp(0)
+                    ->executor()
+                    ->InjectTuple(plan_.query_id, graph_id_, src_id_, t)
+                    .ok());
   }
 
   void Run(TimeUs t = 500 * kMillisecond) { net_->RunFor(t); }
@@ -262,9 +265,10 @@ TEST(Operators, MaterializerMakesTupleScanableLocally) {
   mat.SetInt("drop_on_close", 0);
   g.Connect(src_id, mat.id, 0);
 
-  net.qp(0)->SubmitQuery(plan, [](const Tuple&) {});
+  ASSERT_TRUE(net.qp(0)->SubmitQuery(plan, [](const Tuple&) {}).ok());
   net.RunFor(100 * kMillisecond);
-  net.qp(0)->executor()->InjectTuple(plan.query_id, g.id, src_id, Row(7, 8));
+  ASSERT_TRUE(
+      net.qp(0)->executor()->InjectTuple(plan.query_id, g.id, src_id, Row(7, 8)).ok());
   net.RunFor(100 * kMillisecond);
   EXPECT_EQ(net.dht(0)->objects()->NamespaceObjects("mat_table"), 1u);
 }

@@ -29,7 +29,7 @@ TEST(PhysicalRuntime, UdpRoundTripOverLoopback) {
     PhysicalRuntime* rt = nullptr;
     uint16_t port = 0;
     void HandleUdp(const NetAddress& src, std::string_view p) override {
-      rt->UdpSend(port, src, "echo:" + std::string(p));
+      EXPECT_TRUE(rt->UdpSend(port, src, "echo:" + std::string(p)).ok());
     }
   } echo;
   echo.rt = &rt;

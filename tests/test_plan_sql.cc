@@ -8,6 +8,7 @@
 #include "qp/agg_state.h"
 #include "qp/opgraph.h"
 #include "qp/sim_pier.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace pier {
@@ -145,8 +146,8 @@ PierClient* Client() {
     opts.sim.seed = 1;
     opts.settle_time = 1 * kSecond;
     auto* n = new SimPier(1, opts);
-    n->catalog()->Register(TableSpec("t").PartitionBy({"k"}));
-    n->catalog()->Register(TableSpec("s").PartitionBy({"y"}));
+    PIER_CHECK(n->catalog()->Register(TableSpec("t").PartitionBy({"k"})).ok());
+    PIER_CHECK(n->catalog()->Register(TableSpec("s").PartitionBy({"y"})).ok());
     return n;
   }();
   return net->client(0);

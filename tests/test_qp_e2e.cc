@@ -124,7 +124,7 @@ TEST(QpE2E, FlatAggregationCountsPerGroup) {
     sums[std::string(*t.Get("src")->AsString())] =
         t.Get("total")->int64_unchecked();
   });
-  q->Wait();
+  EXPECT_TRUE(q->Wait().ok());
 
   ASSERT_EQ(got.size(), 3u);
   EXPECT_EQ(got["src0"], 15);
@@ -159,7 +159,7 @@ TEST(QpE2E, HierarchicalAggregationMatchesFlat) {
     got[std::string(*t.Get("src")->AsString())] =
         t.Get("cnt")->int64_unchecked();
   });
-  q->Wait();
+  EXPECT_TRUE(q->Wait().ok());
 
   ASSERT_EQ(got.size(), 4u);
   for (int s = 0; s < 4; ++s)
@@ -190,7 +190,7 @@ TEST(QpE2E, TopKOrdersGroupsGlobally) {
     got.emplace_back(std::string(*t.Get("src")->AsString()),
                      t.Get("cnt")->int64_unchecked());
   });
-  q->Wait();
+  EXPECT_TRUE(q->Wait().ok());
 
   ASSERT_EQ(got.size(), 3u);
   EXPECT_EQ(got[0], (std::pair<std::string, int64_t>{"src0", 25}));
@@ -232,7 +232,7 @@ TEST(QpE2E, RehashSymmetricHashJoin) {
     matches.emplace_back(t.Get("a")->int64_unchecked(),
                          t.Get("b")->int64_unchecked());
   });
-  q->Wait();
+  EXPECT_TRUE(q->Wait().ok());
 
   std::sort(matches.begin(), matches.end());
   ASSERT_EQ(matches.size(), 4u);
@@ -562,7 +562,7 @@ TEST(QpE2E, CancelStopsDelivery) {
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   bool done = false;
   q->OnDone([&]() { done = true; });
-  q->Cancel();
+  EXPECT_TRUE(q->Cancel().ok());
   EXPECT_TRUE(done) << "Cancel completes the handle through OnDone";
   EXPECT_TRUE(q->done());
   EXPECT_TRUE(q->stats().cancelled);

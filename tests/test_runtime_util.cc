@@ -254,7 +254,9 @@ TEST(SimHarness, FailedNodeReceivesNothingAndSendsNothing) {
   Capture rx;
   ASSERT_TRUE(sim.vri(2)->UdpListen(9, &rx).ok());
   sim.FailNode(2);
-  sim.vri(0)->UdpSend(9, sim.AddressOf(2, 9), "into the void");
+  // The send itself is accepted; what the test asserts is that nothing is
+  // DELIVERED to the dead node.
+  (void)sim.vri(0)->UdpSend(9, sim.AddressOf(2, 9), "into the void");
   sim.loop()->RunUntilIdle();
   EXPECT_TRUE(rx.got.empty());
   EXPECT_FALSE(sim.IsAlive(2));
@@ -268,9 +270,10 @@ TEST(SimHarness, DeterministicGivenSeed) {
     SimHarness sim(opts);
     sim.AddNodes(4);
     Capture rx;
-    sim.vri(3)->UdpListen(9, &rx);
+    EXPECT_TRUE(sim.vri(3)->UdpListen(9, &rx).ok());
     for (int i = 0; i < 10; ++i) {
-      sim.vri(i % 3)->UdpSend(9, sim.AddressOf(3, 9), std::to_string(i));
+      EXPECT_TRUE(
+          sim.vri(i % 3)->UdpSend(9, sim.AddressOf(3, 9), std::to_string(i)).ok());
     }
     sim.loop()->RunUntilIdle();
     std::string log;
@@ -293,7 +296,7 @@ TEST(SimHarness, TcpFramedRoundTrip) {
     void HandleTcpNew(uint64_t, const NetAddress&) override {}
     void HandleTcpData(uint64_t conn, std::string_view d) override {
       got.emplace_back(d);
-      vri->TcpWrite(conn, "ack:" + std::string(d));
+      EXPECT_TRUE(vri->TcpWrite(conn, "ack:" + std::string(d)).ok());
     }
     void HandleTcpError(uint64_t) override {}
   } server;
@@ -314,8 +317,8 @@ TEST(SimHarness, TcpFramedRoundTrip) {
   ASSERT_TRUE(conn.ok());
   sim.loop()->RunUntilIdle();
   ASSERT_TRUE(client.connected);
-  sim.vri(0)->TcpWrite(*conn, "query");
-  sim.vri(0)->TcpWrite(*conn, "plan");
+  ASSERT_TRUE(sim.vri(0)->TcpWrite(*conn, "query").ok());
+  ASSERT_TRUE(sim.vri(0)->TcpWrite(*conn, "plan").ok());
   sim.loop()->RunUntilIdle();
   ASSERT_EQ(server.got, (std::vector<std::string>{"query", "plan"}));
   ASSERT_EQ(client.got, (std::vector<std::string>{"ack:query", "ack:plan"}));

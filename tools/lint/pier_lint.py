@@ -1,0 +1,497 @@
+#!/usr/bin/env python3
+"""pier-lint: machine-checked rules for pier-cpp's recurring bug classes.
+
+PIER's correctness rests on a single-threaded deterministic event loop; the
+three bug classes that have actually bitten this repo (see tools/lint/README.md)
+are all invisible to the compiler and tedious for reviewers:
+
+  timer-capture   A lambda literal that captures `this` (or captures
+                  everything via [=] / [&]) handed to EventLoop::ScheduleAt /
+                  ScheduleAfter / Vri::ScheduleEvent while DISCARDING the
+                  returned cancellation token. The PR-3 leak class: nothing
+                  can cancel the closure at teardown, so it fires into a
+                  destroyed object (or pins it forever). Store the token and
+                  cancel it in teardown, or capture a weak guard.
+
+  wallclock       Wall-clock / ambient-nondeterminism sources
+                  (std::chrono::*_clock, time(), gettimeofday, rand, ...)
+                  anywhere in src/ outside src/runtime/physical_runtime.*.
+                  Simulated time must flow from Vri::Now() and seeded Rng
+                  streams, or runs stop being bit-for-bit reproducible and
+                  every self-checking bench golden file (E15, E16) rots.
+
+  blocking        Blocking sleeps/syscalls on event-loop paths. The Main
+                  Scheduler is one thread per node; a sleep freezes every
+                  query on the node (and in simulation, the whole fleet).
+
+Driving: reads compile_commands.json (pass -p BUILD_DIR) for the TU list and,
+when the libclang python bindings are importable, uses the clang AST; without
+them (this container ships none) it falls back to a built-in lexical engine
+that strips comments/strings and reasons about statements. Both engines honor
+the same suppressions and produce the same diagnostic format.
+
+Suppressing: append `// pier-lint: allow(<rule>)` to the offending line, or
+put it alone on the line directly above. Suppressions are for sites whose
+safety argument lives in a comment next to them; the tree budget is small
+(see README) so the default stays "fix it".
+
+Exit status: 0 clean, 1 diagnostics were produced, 2 operational error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = ("timer-capture", "wallclock", "blocking")
+
+SCHEDULE_CALL = re.compile(r"\b(ScheduleAt|ScheduleAfter|ScheduleEvent)\s*\(")
+
+# Ambient nondeterminism. Matched against comment/string-stripped text.
+WALLCLOCK_TOKENS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"(\bstd::)?\btime\s*\(\s*(nullptr|NULL|0|&)"), "time()"),
+    (re.compile(r"\b[sd]?rand(om)?\s*\(\s*\)"), "rand()/random()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+]
+
+BLOCKING_TOKENS = [
+    (re.compile(r"\busleep\s*\("), "usleep()"),
+    (re.compile(r"(?<![_A-Za-z0-9])sleep\s*\("), "sleep()"),
+    (re.compile(r"\bnanosleep\s*\("), "nanosleep()"),
+    (re.compile(r"\bsleep_for\s*\("), "std::this_thread::sleep_for"),
+    (re.compile(r"\bsleep_until\s*\("), "std::this_thread::sleep_until"),
+    (re.compile(r"(?<![_A-Za-z0-9:])system\s*\("), "system()"),
+    (re.compile(r"\bpopen\s*\("), "popen()"),
+]
+
+SUPPRESS = re.compile(r"//\s*pier-lint:\s*allow\(([^)]*)\)")
+PRETEND_PATH = re.compile(r"//\s*pier-lint-test:\s*pretend-path=(\S+)")
+EXPECT = re.compile(r"//\s*expect:\s*([a-z\-,\s]+)")
+
+
+class Diagnostic:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: error: [%s] %s" % (self.path, self.line, self.rule,
+                                          self.message)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literal bodies, preserving newlines
+    and column positions so diagnostics point at real source locations."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def collect_suppressions(raw_lines):
+    """Map line number -> set of suppressed rules. A bare-line suppression
+    covers the following line as well."""
+    sup = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        sup.setdefault(idx, set()).update(rules)
+        if line.strip().startswith("//"):  # standalone comment line
+            sup.setdefault(idx + 1, set()).update(rules)
+    return sup
+
+
+def matching_paren(text, open_idx):
+    """Index of the ')' matching text[open_idx] == '(' (or -1)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+LAMBDA_INTRO = re.compile(r"\[([^\[\]]*)\]\s*(?:\([^()]*\)\s*)?"
+                          r"(?:mutable\s*)?(?:->\s*[\w:<>&*\s]+\s*)?\{")
+
+
+def risky_captures(capture_list):
+    """True if a lambda capture list captures `this` or defaults to
+    capture-everything ([=] implies this; [&] additionally dangles locals)."""
+    for item in capture_list.split(","):
+        item = item.strip()
+        if item in ("this", "*this", "=", "&"):
+            return True
+    return False
+
+
+def statement_prefix(text, call_start):
+    """Source between the start of the enclosing statement and the call."""
+    i = call_start - 1
+    while i >= 0 and text[i] not in ";{}":
+        i -= 1
+    return text[i + 1:call_start]
+
+
+def token_discarded(prefix):
+    """True if nothing in the statement consumes the returned token: no
+    assignment, no `return`, and the call is not itself an argument (an
+    unclosed '(' in the prefix, e.g. timers_.push_back(Schedule...)."""
+    if re.search(r"(^|[^=!<>])=([^=]|$)", prefix):
+        return False
+    if re.search(r"\breturn\b", prefix):
+        return False
+    if prefix.count("(") > prefix.count(")"):
+        return False
+    return True
+
+
+def check_timer_capture(path, text, diags):
+    for m in SCHEDULE_CALL.finditer(text):
+        open_idx = text.index("(", m.end() - 1)
+        close_idx = matching_paren(text, open_idx)
+        if close_idx < 0:
+            continue
+        args = text[open_idx + 1:close_idx]
+        risky = None
+        for lm in LAMBDA_INTRO.finditer(args):
+            if risky_captures(lm.group(1)):
+                risky = lm.group(0).split("]")[0] + "]"
+                break
+        if risky is None:
+            continue
+        if token_discarded(statement_prefix(text, m.start())):
+            diags.append(Diagnostic(
+                path, line_of(text, m.start()), "timer-capture",
+                "lambda captures `%s` but the %s cancellation token is "
+                "discarded; store the token (and cancel it in teardown) or "
+                "capture a weak guard" % (risky.strip("[]").strip() or "?",
+                                          m.group(1))))
+
+
+def check_token_rules(path, text, tokens, rule, why, diags):
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        for rx, name in tokens:
+            if rx.search(line):
+                diags.append(Diagnostic(path, lineno, rule,
+                                        "%s: %s" % (name, why)))
+                break
+
+
+def is_physical_runtime(path):
+    return re.search(r"(^|/)src/runtime/physical_runtime\.(h|cc)$", path)
+
+
+def in_runtime_dir(path):
+    return re.search(r"(^|/)src/runtime/", path)
+
+
+def lint_text(path, raw_text, effective_path=None):
+    """Lint one file's contents; returns the unsuppressed diagnostics."""
+    epath = effective_path or path
+    raw_lines = raw_text.split("\n")
+    suppressed = collect_suppressions(raw_lines)
+    text = strip_comments_and_strings(raw_text)
+
+    diags = []
+    # The runtime layer IS the scheduler: it owns the loop it schedules on,
+    # so self-capture there cannot outlive the loop.
+    if not in_runtime_dir(epath):
+        check_timer_capture(path, text, diags)
+    if not is_physical_runtime(epath):
+        check_token_rules(
+            path, text, WALLCLOCK_TOKENS, "wallclock",
+            "simulated time must come from Vri::Now()/seeded Rng, or "
+            "deterministic replays and bench golden files break", diags)
+        check_token_rules(
+            path, text, BLOCKING_TOKENS, "blocking",
+            "the Main Scheduler is single-threaded; blocking here stalls "
+            "every query on the node", diags)
+
+    kept = []
+    for d in diags:
+        allowed = suppressed.get(d.line, set())
+        if d.rule in allowed or "all" in allowed:
+            continue
+        kept.append(d)
+    return kept
+
+
+# --------------------------------------------------------------------------
+# Optional AST engine (libclang python bindings). The lexical engine above is
+# authoritative in containers without the bindings; when they exist the AST
+# engine re-checks timer-capture with real capture/usage information and
+# falls back cleanly on any failure.
+# --------------------------------------------------------------------------
+
+
+def try_ast_engine(compile_commands):
+    try:
+        from clang import cindex  # noqa: F401
+        return cindex
+    except Exception:
+        return None
+
+
+def ast_lint_file(cindex, entry, diags):
+    """AST-based timer-capture: find Schedule* member calls whose result is
+    unused and whose lambda argument captures `this`."""
+    index = cindex.Index.create()
+    args = [a for a in entry["arguments"][1:] if a != "-c"]
+    # Drop the -o <obj> pair; keep include dirs/defines/std.
+    cleaned, skip = [], False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        cleaned.append(a)
+    tu = index.parse(entry["file"], args=cleaned)
+
+    def visit(node, parent_kinds):
+        k = node.kind
+        if (k == cindex.CursorKind.CALL_EXPR
+                and node.spelling in ("ScheduleAt", "ScheduleAfter",
+                                      "ScheduleEvent")):
+            captures_this = False
+            for d in node.walk_preorder():
+                if d.kind == cindex.CursorKind.LAMBDA_EXPR:
+                    for tok in d.get_tokens():
+                        if tok.spelling == "]":
+                            break
+                        if tok.spelling in ("this", "=", "&"):
+                            captures_this = True
+            discarded = parent_kinds and parent_kinds[-1] in (
+                cindex.CursorKind.COMPOUND_STMT,)
+            if captures_this and discarded:
+                loc = node.location
+                diags.append(Diagnostic(
+                    str(loc.file), loc.line, "timer-capture",
+                    "lambda captures `this` but the cancellation token is "
+                    "discarded (AST engine)"))
+        for c in node.get_children():
+            visit(c, parent_kinds + [k])
+
+    visit(tu.cursor, [])
+
+
+# --------------------------------------------------------------------------
+# Drivers
+# --------------------------------------------------------------------------
+
+
+def gather_files(paths, compile_db):
+    files = set()
+    for p in paths:
+        if os.path.isfile(p):
+            files.add(os.path.normpath(p))
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for n in names:
+                    if n.endswith((".cc", ".h", ".cpp", ".hpp")):
+                        files.add(os.path.normpath(os.path.join(root, n)))
+    if compile_db:
+        prefixes = tuple(os.path.abspath(p) for p in paths)
+        seen_abs = {os.path.abspath(f) for f in files}
+        for entry in compile_db:
+            f = os.path.abspath(entry["file"])
+            if f.endswith((".cc", ".cpp", ".h", ".hpp")) and \
+                    (not prefixes or f.startswith(prefixes)) and \
+                    f not in seen_abs:
+                files.add(os.path.relpath(f))
+    return sorted(files)
+
+
+def load_compile_db(build_dir):
+    if not build_dir:
+        return None
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.stderr.write("pier-lint: warning: %s not found; walking source "
+                         "dirs instead\n" % path)
+        return None
+    with open(path) as f:
+        db = json.load(f)
+    for entry in db:
+        if "arguments" not in entry and "command" in entry:
+            entry["arguments"] = entry["command"].split()
+    return db
+
+
+def run_lint(paths, build_dir, engine):
+    db = load_compile_db(build_dir)
+    files = gather_files(paths, db)
+    if not files:
+        sys.stderr.write("pier-lint: error: no input files under %s\n" % paths)
+        return 2
+
+    diags = []
+    for f in files:
+        try:
+            with open(f, encoding="utf-8", errors="replace") as fh:
+                raw = fh.read()
+        except OSError as e:
+            sys.stderr.write("pier-lint: error: %s: %s\n" % (f, e))
+            return 2
+        diags.extend(lint_text(f, raw))
+
+    used_ast = False
+    if engine in ("auto", "ast") and db:
+        cindex = try_ast_engine(db)
+        if cindex is not None:
+            try:
+                ast_diags = []
+                for entry in db:
+                    if entry["file"].endswith((".cc", ".cpp")):
+                        ast_lint_file(cindex, entry, ast_diags)
+                seen = {(d.path, d.line, d.rule) for d in diags}
+                diags.extend(d for d in ast_diags
+                             if (d.path, d.line, d.rule) not in seen)
+                used_ast = True
+            except Exception as e:  # fall back, never block the build wrongly
+                sys.stderr.write("pier-lint: warning: AST engine failed (%s); "
+                                 "lexical results stand\n" % e)
+        elif engine == "ast":
+            sys.stderr.write("pier-lint: error: --engine=ast requested but "
+                             "the libclang python bindings are missing\n")
+            return 2
+
+    for d in sorted(diags, key=lambda d: (d.path, d.line)):
+        print(d)
+    print("pier-lint: checked %d files (%s engine): %d diagnostic%s" %
+          (len(files), "lexical+ast" if used_ast else "lexical", len(diags),
+           "" if len(diags) == 1 else "s"), file=sys.stderr)
+    return 1 if diags else 0
+
+
+def run_selftest(testdata_dir):
+    """Fixture mode: every *.cc/*.h under testdata declares its expected
+    diagnostics inline (`// expect: <rule>` on the offending line); a file
+    with no markers must lint clean. Fails on any mismatch in either
+    direction, so neither the rules nor the fixtures can rot silently."""
+    failures = 0
+    files = sorted(
+        os.path.join(testdata_dir, n) for n in os.listdir(testdata_dir)
+        if n.endswith((".cc", ".h")))
+    if not files:
+        sys.stderr.write("pier-lint: error: no fixtures in %s\n" %
+                         testdata_dir)
+        return 2
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            raw = fh.read()
+        lines = raw.split("\n")
+        pretend = None
+        for line in lines:
+            m = PRETEND_PATH.search(line)
+            if m:
+                pretend = m.group(1)
+                break
+        expected = set()
+        for idx, line in enumerate(lines, start=1):
+            m = EXPECT.search(line)
+            if m:
+                for rule in m.group(1).split(","):
+                    rule = rule.strip()
+                    if rule:
+                        expected.add((idx, rule))
+        got = {(d.line, d.rule)
+               for d in lint_text(f, raw,
+                                  effective_path=pretend or "src/%s" %
+                                  os.path.basename(f))}
+        if got == expected:
+            print("PASS %s (%d expected diagnostic%s)" %
+                  (f, len(expected), "" if len(expected) == 1 else "s"))
+        else:
+            failures += 1
+            print("FAIL %s" % f)
+            for line, rule in sorted(expected - got):
+                print("  missing expected diagnostic: line %d [%s]" %
+                      (line, rule))
+            for line, rule in sorted(got - expected):
+                print("  unexpected diagnostic: line %d [%s]" % (line, rule))
+    print("pier-lint selftest: %d fixtures, %d failure%s" %
+          (len(files), failures, "" if failures == 1 else "s"))
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        prog="pier-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=[],
+                    help="files/dirs to lint (default: src)")
+    ap.add_argument("-p", "--build-dir", default=None,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--engine", choices=("auto", "ast", "lex"),
+                    default="auto")
+    ap.add_argument("--selftest", metavar="TESTDATA_DIR",
+                    help="run the fixture suite and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+    if args.selftest:
+        return run_selftest(args.selftest)
+    return run_lint(args.paths or ["src"], args.build_dir, args.engine)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+// Fixture: waiting the right way (events, not sleeps), plus identifiers that
+// merely contain banned substrings — all must lint clean. (Fixtures are
+// linted, never compiled.)
+
+#include "runtime/event_loop.h"
+
+namespace pier {
+
+// Deferral belongs on the loop, with the token kept.
+class Retrier {
+ public:
+  void BackOff(int attempt) {
+    retry_timer_ = vri_->ScheduleEvent(10 * attempt, [attempt]() {
+      NoteRetry(attempt);
+    });
+  }
+
+ private:
+  static void NoteRetry(int attempt);
+  Vri* vri_ = nullptr;
+  unsigned long retry_timer_ = 0;
+};
+
+// `_sleep` / `do_sleep` / `ecosystem` / `subsystem` must not trip the
+// lookbehind-guarded tokens.
+void do_sleep_accounting(long total_sleep_us);
+long ecosystem(long subsystem) { return subsystem; }
+
+// Comments and strings are stripped before matching: sleep(1), usleep(9),
+// system("rm") in prose is fine.
+void Explain() { Log("never call sleep() or system() on the loop"); }
+
+}  // namespace pier

@@ -1,0 +1,28 @@
+// Fixture: blocking calls on event-loop paths. One sleep freezes every query
+// on the node. Each line carries an `// expect:` marker. (Fixtures are
+// linted, never compiled.)
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unistd.h>
+
+namespace pier {
+
+void AwaitSettle() {
+  usleep(5000);  // expect: blocking
+}
+
+void BackOff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10 * attempt));  // expect: blocking
+}
+
+void CoarseWait() {
+  sleep(1);  // expect: blocking
+}
+
+void ShellOut() {
+  system("sync");  // expect: blocking
+}
+
+}  // namespace pier

@@ -1,0 +1,38 @@
+// pier-lint-test: pretend-path=src/runtime/physical_runtime.cc
+// Fixture: src/runtime/physical_runtime.* is the ONE sanctioned seam between
+// simulated time and the real world — wallclock and blocking calls are its
+// job, and timer-capture is exempt runtime-dir-wide. Everything here must
+// lint clean. (Fixtures are linted, never compiled.)
+
+#include <chrono>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "runtime/event_loop.h"
+
+namespace pier {
+
+long PhysicalNowUs() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return tv.tv_sec * 1000000L + tv.tv_usec;
+}
+
+long MonotonicUs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void CalibrationPause() { usleep(100); }
+
+class PhysicalLoop {
+ public:
+  void ArmHousekeeping() {
+    loop_->ScheduleAfter(1000, [this]() { Housekeep(); });
+  }
+
+ private:
+  void Housekeep();
+  EventLoop* loop_ = nullptr;
+};
+
+}  // namespace pier

@@ -1,0 +1,31 @@
+// pier-lint-test: pretend-path=src/runtime/event_loop_helper.cc
+// Fixture: files under src/runtime/ are exempt from timer-capture (the
+// runtime OWNS the loop it schedules on, so self-capture cannot outlive it)
+// but still subject to wallclock/blocking — the exemptions are per-rule, not
+// per-file. (Fixtures are linted, never compiled.)
+
+#include <chrono>
+
+#include "runtime/event_loop.h"
+
+namespace pier {
+
+class LoopMaintenance {
+ public:
+  // Exempt here; would be timer-capture anywhere else.
+  void ArmSweep() {
+    loop_->ScheduleAfter(kSweepStep, [this]() { Sweep(); });
+  }
+
+  // Still banned: the runtime dir is not the physical-runtime seam.
+  long Stamp() {
+    return std::chrono::system_clock::now().time_since_epoch().count();  // expect: wallclock
+  }
+
+ private:
+  void Sweep();
+  EventLoop* loop_ = nullptr;
+  static constexpr long kSweepStep = 1000;
+};
+
+}  // namespace pier

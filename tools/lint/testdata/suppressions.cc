@@ -1,0 +1,36 @@
+// Fixture: the `// pier-lint: allow(<rule>)` escape hatch. A suppression
+// silences exactly the named rule on its own line (or, as a standalone
+// comment, on the line below) — nothing more. (Fixtures are linted, never
+// compiled.)
+
+#include <chrono>
+
+#include "runtime/event_loop.h"
+
+namespace pier {
+
+// Same-line suppression: clean.
+long TraceStamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // pier-lint: allow(wallclock)
+}
+
+class Beacon {
+ public:
+  // Standalone-line suppression covers the next line: clean.
+  void Arm() {
+    // pier-lint: allow(timer-capture)
+    vri_->ScheduleEvent(1000, [this]() { Fire(); });
+  }
+
+  // A suppression for the WRONG rule does not silence the finding.
+  void ArmWrongRule() {
+    // pier-lint: allow(wallclock)
+    vri_->ScheduleEvent(1000, [this]() { Fire(); });  // expect: timer-capture
+  }
+
+ private:
+  void Fire();
+  Vri* vri_ = nullptr;
+};
+
+}  // namespace pier

@@ -1,0 +1,35 @@
+// Fixture: the approved time/randomness sources, plus identifiers that merely
+// LOOK like banned tokens — all must lint clean. (Fixtures are linted, never
+// compiled.)
+
+#include "runtime/event_loop.h"
+#include "util/rng.h"
+
+namespace pier {
+
+// Simulated time flows from the VRI; this is the whole point of the rule.
+long NowUs(Vri* vri) { return vri->Now(); }
+
+// Seeded, deterministic randomness.
+int PickReplica(Rng* rng, int n) {
+  return static_cast<int>(rng->Uniform(n));
+}
+
+// Substrings of banned tokens inside longer identifiers must not trip the
+// word-boundary matching: `strand`, `operand`, `downtime`, `ecosystem_time`.
+int strand_count(int operand) { return operand + 1; }
+long downtime_us(long ecosystem_time) { return ecosystem_time; }
+
+// Mentioning rand() or system_clock in a comment or a log string is fine;
+// the engines strip comments and string literals before matching.
+void Explain() {
+  Log("do not use rand() or std::chrono::system_clock here");
+}
+
+// A member function named time(...) with a non-ambient argument shape.
+struct Window {
+  long time(long base) { return base + width; }
+  long width = 0;
+};
+
+}  // namespace pier

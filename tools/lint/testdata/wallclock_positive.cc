@@ -1,0 +1,36 @@
+// Fixture: ambient-nondeterminism sources that poison deterministic replay.
+// Each line carries an `// expect:` marker. (Fixtures are linted, never
+// compiled.)
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace pier {
+
+long WallNowUs() {
+  auto now = std::chrono::system_clock::now();  // expect: wallclock
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long MonotonicNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect: wallclock
+}
+
+long EpochSeconds() {
+  return time(nullptr);  // expect: wallclock
+}
+
+int PickReplica(int n) {
+  return rand() % n;  // expect: wallclock
+}
+
+unsigned Seed() {
+  std::random_device rd;  // expect: wallclock
+  return rd();
+}
+
+}  // namespace pier
