@@ -375,6 +375,11 @@ Status PierClient::PublishBatch(const std::string& table,
 void PierClient::SetPublishBatching(size_t max_tuples, TimeUs max_delay) {
   publish_batch_max_ = max_tuples;
   publish_batch_delay_ = max_delay;
+  // Keep the optimizer's pricing in sync with what the publish path will
+  // actually do: batched ingest amortizes per-message overhead, and Explain
+  // must see the same discount or it overestimates ingest/rehash traffic.
+  cost_params_.put_batch =
+      max_tuples > 1 ? static_cast<double>(max_tuples) : 1.0;
   // Turning batching down (or off) must not strand buffered tuples.
   if (publish_batch_max_ <= 1) (void)Flush();
 }
@@ -411,24 +416,65 @@ Status PierClient::FlushTable(const std::string& table) {
 Status PierClient::ShipBatch(const TableSpec& spec,
                              const std::vector<Tuple>& tuples,
                              const std::vector<TimeUs>& lifetimes) {
-  size_t total_bytes = 0;
+  // Per-tuple REAL serialized sizes (primary encoding): the statistics
+  // registry samples these instead of a batch-uniform mean.
+  std::vector<size_t> row_bytes;
+  row_bytes.reserve(tuples.size());
   if (spec.local_only) {
     for (size_t i = 0; i < tuples.size(); ++i)
-      total_bytes += qp_->StoreLocal(spec.name, tuples[i], lifetimes[i]);
+      row_bytes.push_back(qp_->StoreLocal(spec.name, tuples[i], lifetimes[i]));
   } else {
     // The whole batch's index fan-out — primary rows AND secondary entries
     // — ships as ONE DHT batch: one lookup per distinct key, one wire
     // message per destination owner.
+    //
+    // Secondary entries build through ONE TupleBatch per declared index
+    // instead of N three-column Tuples: rows are appended straight into the
+    // batch builder and the wire value / partition key come from batch
+    // cells (byte-identical to the Tuple path).
+    struct SecBatch {
+      const SecondaryIndexSpec* idx;
+      TupleBatch rows;
+      std::vector<size_t> src;  // built row -> source tuple index
+      size_t cursor = 0;
+    };
+    std::vector<std::string> pkeys(tuples.size());
+    std::vector<SecBatch> secs;
+    secs.reserve(spec.secondary_indexes.size());
+    for (const SecondaryIndexSpec& idx : spec.secondary_indexes) {
+      auto schema = std::make_shared<BatchSchema>();
+      schema->table = idx.table;
+      schema->columns = {idx.attr, "base_table", "base_key"};
+      TupleBatchBuilder b(std::move(schema));
+      SecBatch sec;
+      sec.idx = &idx;
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        const Value* v = tuples[i].Get(idx.attr);
+        if (v == nullptr) continue;  // nothing to index (sparse)
+        if (pkeys[i].empty())
+          pkeys[i] = tuples[i].PartitionKey(spec.partition_attrs);
+        b.AppendValue(*v);
+        b.AppendString(spec.name);
+        b.AppendString(pkeys[i]);
+        sec.src.push_back(i);
+      }
+      sec.rows = b.Finish();
+      secs.push_back(std::move(sec));
+    }
     std::vector<DhtPutItem> items;
     items.reserve(tuples.size() * (1 + spec.secondary_indexes.size()));
     for (size_t i = 0; i < tuples.size(); ++i) {
-      total_bytes += qp_->MakePublishItem(spec.name, spec.partition_attrs,
-                                          tuples[i], lifetimes[i], &items,
-                                          spec.replicas);
-      for (const SecondaryIndexSpec& idx : spec.secondary_indexes) {
-        qp_->MakeSecondaryItem(idx.table, idx.attr, spec.name,
-                               spec.partition_attrs, tuples[i], lifetimes[i],
-                               &items, spec.replicas);
+      row_bytes.push_back(qp_->MakePublishItem(spec.name, spec.partition_attrs,
+                                               tuples[i], lifetimes[i], &items,
+                                               spec.replicas));
+      // Suffixes mint in the same primary-then-secondaries per-tuple order
+      // as the scalar path, so object names stay stable across the two.
+      for (SecBatch& sec : secs) {
+        if (sec.cursor >= sec.src.size() || sec.src[sec.cursor] != i) continue;
+        size_t r = sec.cursor++;
+        qp_->MakePublishItemRaw(
+            sec.idx->table, sec.rows.RowPartitionKey(r, {sec.idx->attr}),
+            sec.rows.EncodeRow(r), lifetimes[i], &items, spec.replicas);
       }
     }
     qp_->PublishBatch(
@@ -461,12 +507,13 @@ Status PierClient::ShipBatch(const TableSpec& spec,
                           lifetimes[i]);
     }
   }
-  // ONE statistics update for the whole batch.
+  // ONE statistics update for the whole batch, sampling each tuple's real
+  // serialized size (not total/n spread uniformly).
   if (spec.name != kSysStatsTable) {
     std::vector<const Tuple*> ptrs;
     ptrs.reserve(tuples.size());
     for (const Tuple& t : tuples) ptrs.push_back(&t);
-    stats_->ObserveBatch(spec.name, ptrs, spec.partition_attrs, total_bytes,
+    stats_->ObserveBatch(spec.name, ptrs, spec.partition_attrs, row_bytes,
                          qp_->vri()->Now());
     if (stats_->TakePublishDue(spec.name, kStatsPublishEvery))
       PublishSysStatsRow(spec.name);

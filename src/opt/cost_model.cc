@@ -19,7 +19,11 @@ double CostModel::Hops() const {
 
 Cost CostModel::DhtPut(double n, double item_bytes) const {
   double h = Hops();
-  return Cost{n * h, n * item_bytes * h};
+  // Batched puts: `put_batch` same-owner items share one frame per hop, so
+  // the message count (and with it the fixed per-message overhead in
+  // Total()) amortizes; the payload bytes travel every hop either way.
+  double frames = n / std::max(1.0, p_.put_batch);
+  return Cost{frames * h, n * item_bytes * h};
 }
 
 Cost CostModel::DhtGet(double n, double reply_bytes) const {

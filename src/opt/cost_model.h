@@ -44,6 +44,12 @@ struct CostParams {
   double per_message_bytes = 100;
   /// Bytes shipped per DHT lookup request (namespace + key + header).
   double key_bytes = 16;
+  /// Effective publish/rehash batch size: how many same-owner puts share
+  /// one wire frame (PR-4 kMsgPutBatch / batch dataflow). 1 = unbatched
+  /// pricing. The per-message overhead amortizes by this factor; payload
+  /// bytes are unaffected. PierClient::SetPublishBatching keeps it in sync
+  /// with the client's actual batching configuration.
+  double put_batch = 1;
   /// Bloom rewrite geometry: filter bits and residual false-positive rate.
   double bloom_bits = 4096;
   double bloom_fp = 0.02;

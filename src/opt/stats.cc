@@ -106,11 +106,38 @@ void StatsRegistry::Observe(const std::string& table, const Tuple& t,
 void StatsRegistry::ObserveBatch(const std::string& table,
                                  const std::vector<const Tuple*>& ts,
                                  const std::vector<std::string>& key_attrs,
-                                 size_t total_bytes, TimeUs now) {
+                                 const std::vector<size_t>& row_bytes,
+                                 TimeUs now) {
   if (ts.empty()) return;
   Entry& e = local_[table];
-  AccrueScalars(&e, ts.size(), total_bytes, now);
-  for (const Tuple* t : ts) AccrueKey(&e, *t, key_attrs);
+  // Per-tuple accrual with each row's REAL serialized size: the byte sum
+  // (and thus mean-bytes) reflects the actual encodings, never total/n
+  // smeared across the batch.
+  for (size_t i = 0; i < ts.size(); ++i) {
+    AccrueScalars(&e, 1, i < row_bytes.size() ? row_bytes[i] : 0, now);
+    AccrueKey(&e, *ts[i], key_attrs);
+  }
+}
+
+void StatsRegistry::ObserveBatch(const std::string& table,
+                                 const TupleBatch& batch,
+                                 const std::vector<std::string>& key_attrs,
+                                 TimeUs now) {
+  const size_t n = batch.num_rows();
+  if (n == 0) return;
+  Entry& e = local_[table];
+  for (size_t r = 0; r < n; ++r) {
+    // Measure the row's actual wire encoding from the batch cells — no
+    // caller-side size estimate and no Tuple materialization.
+    WireWriter w;
+    batch.EncodeRowTo(r, &w);
+    AccrueScalars(&e, 1, w.size(), now);
+    if (key_attrs.empty()) {
+      e.sketch.AddHash(Mix64(batch.RowHash(r)));
+    } else {
+      e.sketch.Add(batch.RowPartitionKey(r, key_attrs));
+    }
+  }
 }
 
 bool StatsRegistry::Has(const std::string& table) const {

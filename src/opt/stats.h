@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "data/tuple.h"
+#include "data/tuple_batch.h"
 #include "runtime/vri.h"
 #include "util/status.h"
 
@@ -99,13 +100,21 @@ class StatsRegistry {
                const std::vector<std::string>& key_attrs, size_t bytes,
                TimeUs now);
 
-  /// Record a whole published batch in one registry update: the scalar
-  /// counters move once per batch (the sketch still sees every key — a
-  /// distinct estimate cannot be amortized). `total_bytes` is the batch's
-  /// summed encoded size; `ts` holds borrowed pointers, none kept.
+  /// Record a whole published batch in one registry update (the sketch
+  /// still sees every key — a distinct estimate cannot be amortized).
+  /// `row_bytes[i]` is tuple i's REAL serialized size: sampling actual
+  /// per-tuple bytes (not a batch-uniform mean) keeps sys.stats mean-bytes
+  /// honest for the optimizer even when only a prefix of a batch is later
+  /// re-observed. `ts` holds borrowed pointers, none kept.
   void ObserveBatch(const std::string& table, const std::vector<const Tuple*>& ts,
                     const std::vector<std::string>& key_attrs,
-                    size_t total_bytes, TimeUs now);
+                    const std::vector<size_t>& row_bytes, TimeUs now);
+
+  /// TupleBatch flavor for the batch dataflow path: per-row serialized
+  /// sizes are measured from the batch's own cells (EncodeRow), so no
+  /// caller-side approximation — and no Tuple materialization — is needed.
+  void ObserveBatch(const std::string& table, const TupleBatch& batch,
+                    const std::vector<std::string>& key_attrs, TimeUs now);
 
   bool Has(const std::string& table) const;
   TableStats Snapshot(const std::string& table) const;

@@ -32,7 +32,18 @@ Dht::Dht(Vri* vri, Options options) : vri_(vri), options_(options) {
     std::vector<uint64_t> tokens = it->second;
     for (uint64_t token : tokens) {
       auto sit = subs_.find(token);
-      if (sit != subs_.end()) sit->second.handler(obj.name, obj.value);
+      if (sit == subs_.end()) continue;
+      if (sit->second.batch_handler) {
+        // During a put-batch store loop, batch subscriptions get ONE grouped
+        // delivery afterwards; outside it, a single insert is a one-element
+        // batch.
+        if (collecting_batch_) continue;
+        std::vector<NewDataEvent> one{
+            NewDataEvent{obj.name, std::string_view(obj.value)}};
+        sit->second.batch_handler(one);
+      } else {
+        sit->second.handler(obj.name, obj.value);
+      }
     }
   });
 
@@ -616,7 +627,15 @@ void Dht::LocalScan(const std::string& ns, const TimedScanFn& fn) {
 
 uint64_t Dht::OnNewData(const std::string& ns, NewDataHandler handler) {
   uint64_t token = next_sub_id_++;
-  subs_[token] = Subscription{ns, std::move(handler)};
+  subs_[token] = Subscription{ns, std::move(handler), nullptr};
+  subs_by_ns_[ns].push_back(token);
+  return token;
+}
+
+uint64_t Dht::OnNewDataBatch(const std::string& ns,
+                             BatchNewDataHandler handler) {
+  uint64_t token = next_sub_id_++;
+  subs_[token] = Subscription{ns, nullptr, std::move(handler)};
   subs_by_ns_[ns].push_back(token);
   return token;
 }
@@ -661,10 +680,56 @@ void Dht::HandlePutBatch(const NetAddress& from, std::string_view body) {
   // Entries alias the receive buffer; the only copies are the ones the
   // store itself must own. A malformed tail drops the rest of the batch,
   // never what already decoded (best-effort, like every other handler).
+  // Batch-capable newData subscriptions see the frame's objects as ONE
+  // grouped delivery of views after the store loop, instead of per-object
+  // re-materialized callbacks.
+  std::vector<WireObjectView> stored;
+  stored.reserve(count);
+  collecting_batch_ = true;
   for (uint64_t i = 0; i < count; ++i) {
     WireObjectView v;
-    if (!DecodeObjectFrom(&r, &v).ok()) return;
+    if (!DecodeObjectFrom(&r, &v).ok()) break;
     StoreFromView(v);
+    stored.push_back(v);
+  }
+  collecting_batch_ = false;
+  DispatchBatchNewData(stored);
+}
+
+void Dht::DispatchBatchNewData(const std::vector<WireObjectView>& stored) {
+  if (stored.empty() || subs_.empty()) return;
+  // Group by namespace in first-seen order; within a namespace, store order
+  // is preserved (objects sharing a (ns, key) arrive in batch order).
+  std::vector<std::string_view> ns_order;
+  for (const WireObjectView& v : stored) {
+    bool seen = false;
+    for (std::string_view ns : ns_order) seen = seen || ns == v.ns;
+    if (!seen) ns_order.push_back(v.ns);
+  }
+  for (std::string_view ns : ns_order) {
+    auto it = subs_by_ns_.find(std::string(ns));
+    if (it == subs_by_ns_.end()) continue;
+    std::vector<uint64_t> tokens = it->second;  // handlers may unsubscribe
+    bool any_batch = false;
+    for (uint64_t token : tokens) {
+      auto sit = subs_.find(token);
+      any_batch = any_batch || (sit != subs_.end() && sit->second.batch_handler);
+    }
+    if (!any_batch) continue;
+    std::vector<NewDataEvent> events;
+    for (const WireObjectView& v : stored) {
+      if (v.ns != ns) continue;
+      events.push_back(NewDataEvent{
+          ObjectName{std::string(v.ns), std::string(v.key),
+                     std::string(v.suffix)},
+          v.value});
+    }
+    for (uint64_t token : tokens) {
+      auto sit = subs_.find(token);
+      if (sit != subs_.end() && sit->second.batch_handler) {
+        sit->second.batch_handler(events);
+      }
+    }
   }
 }
 

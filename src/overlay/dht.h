@@ -183,6 +183,22 @@ class Dht {
   uint64_t OnNewData(const std::string& ns, NewDataHandler handler);
   void CancelNewData(uint64_t token);
 
+  /// One newly stored object in a batch newData delivery. `value` aliases
+  /// the receive frame (or the stored copy for single inserts) and is valid
+  /// only for the duration of the handler call.
+  struct NewDataEvent {
+    ObjectName name;
+    std::string_view value;
+  };
+  /// Batch-capable newData subscription: a multi-object kMsgPutBatch frame
+  /// is delivered as ONE call with every stored object of `ns`, in store
+  /// order, without re-materializing per-object copies. Single-object
+  /// inserts (plain put, Send delivery, local store) arrive as one-element
+  /// batches. Cancel with CancelNewData.
+  using BatchNewDataHandler =
+      std::function<void(const std::vector<NewDataEvent>&)>;
+  uint64_t OnNewDataBatch(const std::string& ns, BatchNewDataHandler handler);
+
   /// upcall: intercept in-transit Send objects in `ns` (handleUpcall). The
   /// handler may decode the object with DecodeObject, mutate it, and return
   /// kDrop to consume it.
@@ -336,11 +352,19 @@ class Dht {
 
   struct Subscription {
     std::string ns;
-    NewDataHandler handler;
+    NewDataHandler handler;              // exactly one of the two is set
+    BatchNewDataHandler batch_handler;
   };
   std::unordered_map<uint64_t, Subscription> subs_;
   std::unordered_map<std::string, std::vector<uint64_t>> subs_by_ns_;
   uint64_t next_sub_id_ = 1;
+
+  /// Deliver a put-batch's stored objects to batch subscriptions, grouped by
+  /// namespace in store order. Views alias the receive frame.
+  void DispatchBatchNewData(const std::vector<WireObjectView>& stored);
+  /// True while HandlePutBatch is storing a frame's objects: the insert hook
+  /// skips batch subscriptions (they get the grouped dispatch afterwards).
+  bool collecting_batch_ = false;
 
   Stats stats_;
 };

@@ -99,16 +99,20 @@ void TrackMax(Value* max, const Value& v) {
 }  // namespace
 
 void AggState::Update(const AggSpec& spec, const Tuple& t) {
+  const Value* v = spec.col.empty() ? nullptr : t.Get(spec.col);
+  UpdateValue(spec, v != nullptr ? *v : Value::Null(), v != nullptr);
+}
+
+void AggState::UpdateValue(const AggSpec& spec, const Value& v, bool present) {
   if (spec.col.empty()) {  // COUNT(*)
     count_++;
     return;
   }
-  const Value* v = t.Get(spec.col);
-  if (v == nullptr || v->is_null()) return;  // best-effort skip
+  if (!present || v.is_null()) return;  // best-effort skip
   count_++;
-  if (v->is_numeric()) sum_ = AddValues(sum_, *v);
-  TrackMin(&min_, *v);
-  TrackMax(&max_, *v);
+  if (v.is_numeric()) sum_ = AddValues(sum_, v);
+  TrackMin(&min_, v);
+  TrackMax(&max_, v);
 }
 
 void AggState::Merge(const AggState& other) {

@@ -44,6 +44,10 @@ class AggState {
   /// Fold one input tuple in (skips tuples lacking the column: best-effort).
   void Update(const AggSpec& spec, const Tuple& t);
 
+  /// Value-level fold for the vectorized batch path: the caller resolved the
+  /// column (`present` = the row has it). Identical semantics to Update.
+  void UpdateValue(const AggSpec& spec, const Value& v, bool present);
+
   /// Merge another partial state (associative, commutative).
   void Merge(const AggState& other);
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "data/tuple.h"
+#include "data/tuple_batch.h"
 #include "overlay/dht.h"
 #include "qp/opgraph.h"
 #include "runtime/vri.h"
@@ -116,6 +117,11 @@ class ExecContext {
   /// Forward an answer tuple to the proxy (wired up by the QueryProcessor).
   std::function<void(const Tuple&)> emit_result;
 
+  /// Batch variant: forward a whole batch of answers in one frame per
+  /// destination. Optional — when absent, ResultOp falls back to per-tuple
+  /// emit_result (which stays byte-identical on the wire).
+  std::function<void(const TupleBatch&)> emit_result_batch;
+
   /// Ask the executor to stop this query locally (e.g. LIMIT satisfied).
   std::function<void()> request_stop;
 
@@ -172,6 +178,13 @@ class Operator {
   /// Data channel, child -> parent: consume one pushed tuple.
   virtual void Consume(int port, uint32_t tag, Tuple tuple) = 0;
 
+  /// Batch data channel. The default is the singleton fallback: each row is
+  /// materialized as a Tuple and fed through Consume, so non-vectorized
+  /// operators observe exactly the per-tuple stream (byte-identical answers).
+  /// Overrides may keep rows in batch form end to end; a borrowed `batch`
+  /// (batch.owned() == false) is only valid for the duration of this call.
+  virtual void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch);
+
   /// Emit blocking state downstream. The executor calls this in dataflow
   /// order, so upstream operators have already flushed.
   virtual void Flush() {}
@@ -190,6 +203,10 @@ class Operator {
   /// Used by the executor to feed externally produced tuples (range-index
   /// results) into a graph through a Source placeholder.
   void InjectDownstream(const Tuple& t) { EmitTuple(0, t); }
+
+  /// Batch variant of InjectDownstream: feed an externally produced batch to
+  /// this operator's outputs.
+  void InjectBatchDownstream(const TupleBatch& b) { PushBatch(0, b); }
 
   struct OpStats {
     uint64_t consumed = 0;
@@ -211,6 +228,10 @@ class Operator {
 
   /// Push a tuple to every output edge.
   void EmitTuple(uint32_t tag, const Tuple& tuple);
+
+  /// Push a whole batch to every output edge (the batch counterpart of
+  /// EmitTuple; meters N tuples in one shot).
+  void PushBatch(uint32_t tag, const TupleBatch& batch);
 
   /// Charge wire traffic this operator originates (DHT Put/Get/Send) to the
   /// query's ledger. No-op when metering is off.

@@ -244,6 +244,17 @@ Status QueryExecutor::StartGraphs(const QueryPlan& meta,
       if (qit == queries_.end()) return;  // racing teardown: drop
       result_sink_(qid, qit->second.meta.proxy, t);
     };
+    cx.emit_result_batch = [this, qid](const TupleBatch& b) {
+      auto qit = queries_.find(qid);
+      if (qit == queries_.end()) return;  // racing teardown: drop
+      if (batch_result_sink_) {
+        batch_result_sink_(qid, qit->second.meta.proxy, b);
+        return;
+      }
+      if (!result_sink_) return;
+      for (size_t r = 0; r < b.num_rows(); ++r)
+        result_sink_(qid, qit->second.meta.proxy, b.RowTuple(r));
+    };
     cx.request_stop = [this, qid]() { StopQuery(qid); };
     cx.observe_publish = publish_observer_;
 
@@ -555,6 +566,14 @@ Status QueryExecutor::InjectTuple(uint64_t query_id, uint32_t graph_id,
   Operator* op = FindOp(query_id, graph_id, op_id);
   if (op == nullptr) return Status::NotFound("no such operator");
   op->InjectDownstream(t);
+  return Status::Ok();
+}
+
+Status QueryExecutor::InjectBatch(uint64_t query_id, uint32_t graph_id,
+                                  uint32_t op_id, const TupleBatch& batch) {
+  Operator* op = FindOp(query_id, graph_id, op_id);
+  if (op == nullptr) return Status::NotFound("no such operator");
+  op->InjectBatchDownstream(batch);
   return Status::Ok();
 }
 

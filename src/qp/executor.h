@@ -70,6 +70,16 @@ class QueryExecutor {
                                         const NetAddress& proxy, const Tuple&)>;
   void set_result_sink(ResultSink sink) { result_sink_ = std::move(sink); }
 
+  /// Batch flavor of the result sink. When installed, operators that emit
+  /// whole batches hand them over intact (the QueryProcessor frames one
+  /// answer-batch message per destination); without it, batch emissions
+  /// degrade to per-row ResultSink calls.
+  using BatchResultSink = std::function<void(
+      uint64_t query_id, const NetAddress& proxy, const TupleBatch&)>;
+  void set_batch_result_sink(BatchResultSink sink) {
+    batch_result_sink_ = std::move(sink);
+  }
+
   /// Observer for tuples operators publish into the DHT (the Put exchange);
   /// copied into every graph's ExecContext. The statistics subsystem hangs
   /// off this to accrue table stats from operator execution.
@@ -246,6 +256,11 @@ class QueryExecutor {
   Status InjectTuple(uint64_t query_id, uint32_t graph_id, uint32_t op_id,
                      const Tuple& t);
 
+  /// Push a whole batch into an injectable Source op (tests and the
+  /// batch-vs-scalar equivalence suite).
+  Status InjectBatch(uint64_t query_id, uint32_t graph_id, uint32_t op_id,
+                     const TupleBatch& batch);
+
   /// Force a flush pass now (tests and benches).
   void FlushQuery(uint64_t query_id);
 
@@ -318,6 +333,7 @@ class QueryExecutor {
   MetricsRegistry* metrics_ = nullptr;
   bool metering_ = true;
   ResultSink result_sink_;
+  BatchResultSink batch_result_sink_;
   PublishObserver publish_observer_;
   AdoptHandler adopt_handler_;
   ProxyProber proxy_prober_;

@@ -1,5 +1,7 @@
 #include "qp/expr.h"
 
+#include "data/tuple_batch.h"
+
 #include <cmath>
 
 namespace pier {
@@ -93,19 +95,27 @@ ExprPtr Expr::Func(std::string name, std::vector<ExprPtr> args) {
   return e;
 }
 
-Result<Value> Expr::Eval(const Tuple& t) const {
+Result<Value> Expr::EvalRef(const RowRef& ref) const {
   switch (kind_) {
     case ExprKind::kConst:
       return value_;
     case ExprKind::kColumn: {
-      const Value* v = t.Get(name_);
-      if (v == nullptr)
-        return Status::NotFound("no column '" + name_ + "' in " + t.table());
-      return *v;
+      if (ref.t != nullptr) {
+        const Value* v = ref.t->Get(name_);
+        if (v == nullptr)
+          return Status::NotFound("no column '" + name_ + "' in " +
+                                  ref.t->table());
+        return *v;
+      }
+      Value v;
+      if (!ref.b->RowGet(name_, ref.row, &v))
+        return Status::NotFound("no column '" + name_ + "' in " +
+                                ref.b->schema()->table);
+      return v;
     }
     case ExprKind::kCmp: {
-      PIER_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(t));
-      PIER_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(t));
+      PIER_ASSIGN_OR_RETURN(Value l, children_[0]->EvalRef(ref));
+      PIER_ASSIGN_OR_RETURN(Value r, children_[1]->EvalRef(ref));
       PIER_ASSIGN_OR_RETURN(int c, Value::Compare(l, r));
       switch (cmp_op_) {
         case CmpOp::kEq: return Value::Bool(c == 0);
@@ -119,22 +129,22 @@ Result<Value> Expr::Eval(const Tuple& t) const {
     }
     case ExprKind::kLogic: {
       if (logic_op_ == LogicOp::kNot) {
-        PIER_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(t));
+        PIER_ASSIGN_OR_RETURN(Value v, children_[0]->EvalRef(ref));
         PIER_ASSIGN_OR_RETURN(bool b, v.AsBool());
         return Value::Bool(!b);
       }
-      PIER_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(t));
+      PIER_ASSIGN_OR_RETURN(Value l, children_[0]->EvalRef(ref));
       PIER_ASSIGN_OR_RETURN(bool lb, l.AsBool());
       // Short circuit.
       if (logic_op_ == LogicOp::kAnd && !lb) return Value::Bool(false);
       if (logic_op_ == LogicOp::kOr && lb) return Value::Bool(true);
-      PIER_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(t));
+      PIER_ASSIGN_OR_RETURN(Value r, children_[1]->EvalRef(ref));
       PIER_ASSIGN_OR_RETURN(bool rb, r.AsBool());
       return Value::Bool(rb);
     }
     case ExprKind::kArith: {
-      PIER_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(t));
-      PIER_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(t));
+      PIER_ASSIGN_OR_RETURN(Value l, children_[0]->EvalRef(ref));
+      PIER_ASSIGN_OR_RETURN(Value r, children_[1]->EvalRef(ref));
       if (!l.is_numeric() || !r.is_numeric())
         return Status::Corruption("arithmetic on non-numeric value");
       if (l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64) {
@@ -168,7 +178,7 @@ Result<Value> Expr::Eval(const Tuple& t) const {
       std::vector<Value> args;
       args.reserve(children_.size());
       for (const ExprPtr& c : children_) {
-        PIER_ASSIGN_OR_RETURN(Value v, c->Eval(t));
+        PIER_ASSIGN_OR_RETURN(Value v, c->EvalRef(ref));
         args.push_back(std::move(v));
       }
       if (name_ == "length" && args.size() == 1) {
@@ -208,8 +218,21 @@ Result<Value> Expr::Eval(const Tuple& t) const {
   return Status::Internal("bad expr kind");
 }
 
+Result<Value> Expr::Eval(const Tuple& t) const {
+  return EvalRef(RowRef{&t, nullptr, 0});
+}
+
 Result<bool> Expr::EvalPredicate(const Tuple& t) const {
   PIER_ASSIGN_OR_RETURN(Value v, Eval(t));
+  return v.AsBool();
+}
+
+Result<Value> Expr::EvalRow(const TupleBatch& b, size_t row) const {
+  return EvalRef(RowRef{nullptr, &b, row});
+}
+
+Result<bool> Expr::EvalPredicateRow(const TupleBatch& b, size_t row) const {
+  PIER_ASSIGN_OR_RETURN(Value v, EvalRow(b, row));
   return v.AsBool();
 }
 

@@ -23,6 +23,8 @@
 
 namespace pier {
 
+class TupleBatch;
+
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
@@ -62,6 +64,12 @@ class Expr {
   /// Evaluate as a predicate: true/false, or error (caller discards tuple).
   Result<bool> EvalPredicate(const Tuple& t) const;
 
+  /// Evaluate against row `row` of a batch without materializing a Tuple
+  /// (the vectorized operators' inner loop). Semantics are identical to
+  /// Eval/EvalPredicate on the materialized row.
+  Result<Value> EvalRow(const TupleBatch& b, size_t row) const;
+  Result<bool> EvalPredicateRow(const TupleBatch& b, size_t row) const;
+
   // --- Introspection (used by the naive optimizer) ------------------------------
 
   ExprKind kind() const { return kind_; }
@@ -97,6 +105,16 @@ class Expr {
 
  private:
   Expr() = default;
+
+  /// One evaluation context: exactly one of `t` / `b` is set. Keeping a
+  /// single recursive evaluator (branching only at kColumn) guarantees the
+  /// batch path computes exactly what the tuple path computes.
+  struct RowRef {
+    const Tuple* t;
+    const TupleBatch* b;
+    size_t row;
+  };
+  Result<Value> EvalRef(const RowRef& ref) const;
 
   ExprKind kind_ = ExprKind::kConst;
   Value value_;                     // kConst

@@ -34,11 +34,14 @@ class ScanOp : public Operator {
   }
 
   void OnOpen() override {
-    // Subscribe before scanning so nothing falls between the two.
+    // Subscribe before scanning so nothing falls between the two. The batch
+    // subscription delivers a multi-object put frame as one grouped call;
+    // single stores arrive as one-element batches and take the per-tuple
+    // path (the singleton fallback).
     if (watch_) {
-      sub_ = cx_->dht->OnNewData(
-          ns_, [this](const ObjectName& name, std::string_view value) {
-            Deliver(name, value);
+      sub_ = cx_->dht->OnNewDataBatch(
+          ns_, [this](const std::vector<Dht::NewDataEvent>& events) {
+            DeliverBatch(events);
           });
     }
     timer_ = cx_->vri->ScheduleEvent(0, [this]() {
@@ -46,16 +49,27 @@ class ScanOp : public Operator {
       // The catch-up scan honors the swap-time high-water mark: objects the
       // predecessor generation already counted are skipped, not re-emitted.
       // The newData subscription above is untouched — it only ever sees
-      // stores later than this instant.
+      // stores later than this instant. Survivors are assembled into
+      // batches and pushed downstream batch-at-a-time.
+      BatchAssembler batches;
+      size_t rows = 0;
       cx_->dht->LocalScan(
-          ns_, [this](const ObjectName& name, std::string_view value,
-                      TimeUs stored_at) {
+          ns_, [this, &batches, &rows](const ObjectName& name,
+                                       std::string_view value,
+                                       TimeUs stored_at) {
             if (floor_ > 0 && stored_at < floor_) {
               suppressed_++;
               return;
             }
-            Deliver(name, value);
+            if (!Admit(name)) return;
+            if (!batches.AddEncoded(value).ok()) {
+              malformed_++;
+              return;
+            }
+            rows++;
           });
+      stats_.consumed += rows;
+      for (const TupleBatch& b : batches.TakeBatches()) PushBatch(0, b);
     });
   }
 
@@ -74,12 +88,16 @@ class ScanOp : public Operator {
   }
 
  private:
-  void Deliver(const ObjectName& name, std::string_view value) {
-    // Scan + watch can see the same object twice (stored mid-scan); dedup by
-    // the object's *identity* (key + suffix), never by content — distinct
-    // publishers legitimately produce byte-identical tuples.
+  /// Scan + watch can see the same object twice (stored mid-scan); dedup by
+  /// the object's *identity* (key + suffix), never by content — distinct
+  /// publishers legitimately produce byte-identical tuples.
+  bool Admit(const ObjectName& name) {
     uint64_t h = HashCombine(Fnv1a64(name.key), Fnv1a64(name.suffix));
-    if (!seen_.insert(h).second) return;
+    return seen_.insert(h).second;
+  }
+
+  void Deliver(const ObjectName& name, std::string_view value) {
+    if (!Admit(name)) return;
     Result<Tuple> t = Tuple::Decode(value);
     if (!t.ok()) {
       malformed_++;
@@ -87,6 +105,25 @@ class ScanOp : public Operator {
     }
     stats_.consumed++;
     EmitTuple(0, *t);
+  }
+
+  void DeliverBatch(const std::vector<Dht::NewDataEvent>& events) {
+    if (events.size() == 1) {  // singleton fallback: the per-tuple path
+      Deliver(events[0].name, events[0].value);
+      return;
+    }
+    BatchAssembler batches;
+    size_t rows = 0;
+    for (const Dht::NewDataEvent& ev : events) {
+      if (!Admit(ev.name)) continue;
+      if (!batches.AddEncoded(ev.value).ok()) {
+        malformed_++;
+        continue;
+      }
+      rows++;
+    }
+    stats_.consumed += rows;
+    for (const TupleBatch& b : batches.TakeBatches()) PushBatch(0, b);
   }
 
   std::string ns_;
@@ -117,9 +154,9 @@ class NewDataOp : public Operator {
   }
 
   void OnOpen() override {
-    sub_ = cx_->dht->OnNewData(
-        ns_, [this](const ObjectName& name, std::string_view value) {
-          Deliver(name, value);
+    sub_ = cx_->dht->OnNewDataBatch(
+        ns_, [this](const std::vector<Dht::NewDataEvent>& events) {
+          DeliverBatch(events);
         });
     if (catchup_) {
       timer_ = cx_->vri->ScheduleEvent(0, [this]() {
@@ -131,15 +168,22 @@ class NewDataOp : public Operator {
         // old-side matches for no re-emitted ones; the replanner only swaps
         // when the strategy changes, which abandons the old namespace
         // anyway, so the trade only bites hand-driven same-shape swaps.)
+        BatchAssembler batches;
+        size_t rows = 0;
         cx_->dht->LocalScan(
-            ns_, [this](const ObjectName& name, std::string_view value,
-                        TimeUs stored_at) {
+            ns_, [this, &batches, &rows](const ObjectName& name,
+                                         std::string_view value,
+                                         TimeUs stored_at) {
               if (floor_ > 0 && stored_at < floor_) {
                 suppressed_++;
                 return;
               }
-              Deliver(name, value);
+              if (!Admit(name)) return;
+              if (!batches.AddEncoded(value).ok()) return;
+              rows++;
             });
+        stats_.consumed += rows;
+        for (const TupleBatch& b : batches.TakeBatches()) PushBatch(0, b);
       });
     }
   }
@@ -159,13 +203,33 @@ class NewDataOp : public Operator {
   }
 
  private:
-  void Deliver(const ObjectName& name, std::string_view value) {
+  bool Admit(const ObjectName& name) {
     uint64_t h = HashCombine(Fnv1a64(name.key), Fnv1a64(name.suffix));
-    if (!seen_.insert(h).second) return;
+    return seen_.insert(h).second;
+  }
+
+  void Deliver(const ObjectName& name, std::string_view value) {
+    if (!Admit(name)) return;
     Result<Tuple> t = Tuple::Decode(value);
     if (!t.ok()) return;
     stats_.consumed++;
     EmitTuple(0, *t);
+  }
+
+  void DeliverBatch(const std::vector<Dht::NewDataEvent>& events) {
+    if (events.size() == 1) {  // singleton fallback: the per-tuple path
+      Deliver(events[0].name, events[0].value);
+      return;
+    }
+    BatchAssembler batches;
+    size_t rows = 0;
+    for (const Dht::NewDataEvent& ev : events) {
+      if (!Admit(ev.name)) continue;
+      if (!batches.AddEncoded(ev.value).ok()) continue;
+      rows++;
+    }
+    stats_.consumed += rows;
+    for (const TupleBatch& b : batches.TakeBatches()) PushBatch(0, b);
   }
 
   std::string ns_;
@@ -213,6 +277,38 @@ class PutOp : public Operator {
     stats_.emitted++;
   }
 
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    if (use_send_) {
+      // Send routes hop-by-hop one object at a time; take the fallback.
+      Operator::ProcessBatch(port, tag, batch);
+      return;
+    }
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    // One PutBatch for the whole batch: rows are keyed/encoded straight off
+    // the batch cells (no per-tuple Tuple materialization) and the DHT
+    // groups them into one wire frame per destination.
+    std::vector<DhtPutItem> items;
+    items.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      DhtPutItem item;
+      item.ns = ns_;
+      item.key = batch.RowPartitionKey(r, key_attrs_);
+      item.suffix = cx_->NextSuffix();
+      item.value = batch.EncodeRow(r);
+      item.lifetime = lifetime_;
+      item.replicas = cx_->replicas;
+      MeterNet(1, item.value.size());
+      if (cx_->observe_publish) {
+        cx_->observe_publish(ns_, key_attrs_, batch.RowTuple(r),
+                             item.value.size());
+      }
+      items.push_back(std::move(item));
+    }
+    cx_->dht->PutBatch(std::move(items));
+    stats_.emitted += n;
+  }
+
  private:
   std::string ns_;
   std::vector<std::string> key_attrs_;
@@ -231,6 +327,17 @@ class ResultOp : public Operator {
       cx_->emit_result(t);
       stats_.emitted++;
     }
+  }
+
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    if (!cx_->emit_result_batch) {
+      Operator::ProcessBatch(port, tag, batch);
+      return;
+    }
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    cx_->emit_result_batch(batch);
+    stats_.emitted += n;
   }
 };
 

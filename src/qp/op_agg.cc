@@ -74,7 +74,54 @@ class GroupByOp : public Operator {
     }
   }
 
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    if (mode_ == Mode::kFinal) {
+      // Merging partial-state columns is per-tuple work; take the fallback.
+      Operator::ProcessBatch(port, tag, batch);
+      return;
+    }
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    const BatchSchema& in = *batch.schema();
+    // Resolve key and aggregate columns once per batch. A key column the
+    // schema lacks discards every row (scalar path discards per tuple).
+    std::vector<int> key_idx(keys_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      key_idx[i] = in.Index(keys_[i]);
+      if (key_idx[i] < 0) return;  // best-effort discard of the whole batch
+    }
+    std::vector<int> agg_idx(aggs_.size());
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      agg_idx[i] = aggs_[i].col.empty() ? -1 : in.Index(aggs_[i].col);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      // RowPartitionKey over the (all-present) keys builds exactly the
+      // canonical-string group key the scalar path builds.
+      Group& g = groups_[batch.RowPartitionKey(r, keys_)];
+      if (g.states.empty()) {
+        Tuple kt(in.table);
+        for (size_t i = 0; i < keys_.size(); ++i) {
+          kt.Append(keys_[i],
+                    batch.ValueAt(r, static_cast<size_t>(key_idx[i])));
+        }
+        g.key_tuple = std::move(kt);
+        g.states.resize(aggs_.size());
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        bool present = agg_idx[i] >= 0;
+        g.states[i].UpdateValue(
+            aggs_[i],
+            present ? batch.ValueAt(r, static_cast<size_t>(agg_idx[i]))
+                    : Value::Null(),
+            present);
+      }
+    }
+  }
+
   void Flush() override {
+    // Window flushes leave as batches: groups (in deterministic map order)
+    // are assembled into same-schema runs and pushed batch-at-a-time.
+    BatchAssembler batches;
     for (auto& [gk, g] : groups_) {
       (void)gk;
       Tuple out(out_table_);
@@ -86,8 +133,9 @@ class GroupByOp : public Operator {
           out.Append(aggs_[i].alias, g.states[i].Finalize(aggs_[i].func));
         }
       }
-      EmitTuple(0, out);
+      batches.Add(out);
     }
+    for (const TupleBatch& b : batches.TakeBatches()) PushBatch(0, b);
     if (tumbling_) groups_.clear();
   }
 

@@ -70,6 +70,55 @@ class EddyOp : public Operator {
     EmitTuple(tag, t);
   }
 
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    std::vector<uint32_t> keep;
+    keep.reserve(n);
+    std::vector<size_t> order(modules_.size());
+    for (size_t r = 0; r < n; ++r) {
+      // Same per-tuple routing decisions (and rng draws) as Consume, but
+      // predicates run against batch rows — dropped rows never materialize.
+      std::iota(order.begin(), order.end(), 0);
+      if (adaptive_) {
+        if (cx_->vri->rng()->NextDouble() < epsilon_) {
+          for (size_t i = order.size(); i > 1; --i) {
+            size_t j = cx_->vri->rng()->Uniform(i);
+            std::swap(order[i - 1], order[j]);
+          }
+        } else {
+          std::stable_sort(order.begin(), order.end(),
+                           [this](size_t a, size_t b) {
+                             return modules_[a].pass_rate <
+                                    modules_[b].pass_rate;
+                           });
+        }
+      }
+      bool all_pass = true;
+      for (size_t idx : order) {
+        Module& m = modules_[idx];
+        m.seen++;
+        evaluations_++;
+        Result<bool> keep_row = m.pred->EvalPredicateRow(batch, r);
+        bool pass = keep_row.ok() && *keep_row;
+        m.pass_rate =
+            (1.0 - decay_) * m.pass_rate + decay_ * (pass ? 1.0 : 0.0);
+        if (!pass) {
+          all_pass = false;
+          break;  // drop: remaining modules never run
+        }
+        m.passed++;
+      }
+      if (all_pass) keep.push_back(static_cast<uint32_t>(r));
+    }
+    if (keep.empty()) return;
+    if (keep.size() == n) {
+      PushBatch(tag, batch);
+    } else {
+      PushBatch(tag, batch.Select(keep));
+    }
+  }
+
   /// Total predicate evaluations — the work metric the eddy minimizes.
   uint64_t evaluations() const { return evaluations_; }
 

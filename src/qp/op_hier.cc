@@ -154,6 +154,43 @@ class HierAggOp : public Operator {
     for (size_t i = 0; i < aggs_.size(); ++i) g.states[i].Update(aggs_[i], t);
   }
 
+  void ProcessBatch(int, uint32_t, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    const BatchSchema& in = *batch.schema();
+    // Same vectorized local fold as GroupByOp: resolve columns once, then
+    // per-row canonical group keys and UpdateValue folds.
+    std::vector<int> key_idx(keys_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      key_idx[i] = in.Index(keys_[i]);
+      if (key_idx[i] < 0) return;  // best-effort discard of the whole batch
+    }
+    std::vector<int> agg_idx(aggs_.size());
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      agg_idx[i] = aggs_[i].col.empty() ? -1 : in.Index(aggs_[i].col);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      LocalGroup& g = local_[batch.RowPartitionKey(r, keys_)];
+      if (g.states.empty()) {
+        Tuple kt(in.table);
+        for (size_t i = 0; i < keys_.size(); ++i) {
+          kt.Append(keys_[i],
+                    batch.ValueAt(r, static_cast<size_t>(key_idx[i])));
+        }
+        g.key = std::move(kt);
+        g.states.resize(aggs_.size());
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        bool present = agg_idx[i] >= 0;
+        g.states[i].UpdateValue(
+            aggs_[i],
+            present ? batch.ValueAt(r, static_cast<size_t>(agg_idx[i]))
+                    : Value::Null(),
+            present);
+      }
+    }
+  }
+
   /// Send the local window's partials one step toward the root.
   void Flush() override {
     if (local_.empty()) return;

@@ -92,6 +92,55 @@ class SymHashJoinOp : public Operator {
     }
   }
 
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    const BatchSchema& in = *batch.schema();
+    if (!l_table_.empty()) {
+      // Mixed-stream mode: the whole batch shares one self-described table,
+      // so the batch routes to one side in a single comparison.
+      if (in.table == l_table_) {
+        port = 0;
+      } else if (in.table == r_table_) {
+        port = 1;
+      } else {
+        return;  // neither side: discard (best effort)
+      }
+    }
+    if (port != 0 && port != 1) return;
+    const std::string& key_col = port == 0 ? l_key_ : r_key_;
+    const int key_idx = in.Index(key_col);
+    if (key_idx < 0) return;  // best-effort discard
+    const int other = 1 - port;
+    for (size_t r = 0; r < n; ++r) {
+      std::string k = batch.ValueAt(r, static_cast<size_t>(key_idx))
+                          .CanonicalString();
+      // Store this side's row without materializing a Tuple: EncodeRow is
+      // byte-identical to Tuple::Encode of the row.
+      ObjectName name;
+      name.ns = ns_[port];
+      name.key = k;
+      name.suffix = cx_->NextSuffix();
+      cx_->dht->objects()->Put(std::move(name), batch.EncodeRow(r),
+                               cx_->query_lifetime);
+      auto matches = cx_->dht->objects()->Get(ns_[other], k);
+      if (matches.empty()) continue;
+      Tuple t = batch.RowTuple(r);  // materialize only on a probe hit
+      for (const ObjectManager::Object* obj : matches) {
+        Result<Tuple> o = Tuple::Decode(obj->value);
+        if (!o.ok()) continue;
+        const Tuple& l = port == 0 ? t : *o;
+        const Tuple& rt = port == 0 ? *o : t;
+        Tuple joined = JoinTuples(l, rt, out_table_, qualify_);
+        if (residual_) {
+          Result<bool> keep = residual_->EvalPredicate(joined);
+          if (!keep.ok() || !*keep) continue;
+        }
+        EmitTuple(tag, joined);
+      }
+    }
+  }
+
   void Close() override {
     cx_->dht->objects()->DropNamespace(ns_[0]);
     cx_->dht->objects()->DropNamespace(ns_[1]);
@@ -145,6 +194,36 @@ class FetchMatchesOp : public Operator {
       // Must match Tuple::PartitionKey's single-attribute format.
       k = key->CanonicalString() + "|";
     }
+    Lookup(tag, std::move(t), std::move(k));
+  }
+
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    for (size_t r = 0; r < n; ++r) {
+      // Evaluate the lookup key against the batch row; the outer tuple is
+      // materialized only once the key is known good (the common discard —
+      // a failed key eval — never allocates).
+      Result<Value> key = key_expr_->EvalRow(batch, r);
+      if (!key.ok()) continue;
+      std::string k;
+      if (raw_key_) {
+        Result<std::string_view> s = key->AsString();
+        if (!s.ok()) continue;
+        k = std::string(*s);
+      } else {
+        k = key->CanonicalString() + "|";
+      }
+      Lookup(tag, batch.RowTuple(r), std::move(k));
+    }
+  }
+
+  void Close() override { alive_.reset(); }
+
+  int in_flight() const { return in_flight_; }
+
+ private:
+  void Lookup(uint32_t tag, Tuple t, std::string k) {
     in_flight_++;
     MeterNet(1, inner_table_.size() + k.size());
     std::weak_ptr<char> alive = alive_;
@@ -168,11 +247,6 @@ class FetchMatchesOp : public Operator {
         });
   }
 
-  void Close() override { alive_.reset(); }
-
-  int in_flight() const { return in_flight_; }
-
- private:
   std::string inner_table_, out_table_;
   ExprPtr key_expr_;
   ExprPtr residual_;

@@ -4,6 +4,7 @@
 // All follow the best-effort policy (§3.3.4): a tuple that fails to evaluate
 // (missing column, type mismatch) is silently discarded.
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -71,6 +72,22 @@ class SelectionOp : public Operator {
     if (keep.ok() && *keep) EmitTuple(tag, t);
   }
 
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    std::vector<uint32_t> keep_rows;
+    keep_rows.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      Result<bool> keep = pred_->EvalPredicateRow(batch, r);
+      if (keep.ok() && *keep) keep_rows.push_back(static_cast<uint32_t>(r));
+    }
+    if (keep_rows.size() == n) {
+      PushBatch(tag, batch);
+    } else if (!keep_rows.empty()) {
+      PushBatch(tag, batch.Select(keep_rows));
+    }
+  }
+
  private:
   ExprPtr pred_;
 };
@@ -109,6 +126,50 @@ class ProjectionOp : public Operator {
     EmitTuple(tag, out);
   }
 
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    const BatchSchema& in = *batch.schema();
+    // Resolve the projected columns once per batch (all rows share the
+    // schema); missing columns are skipped, as in Tuple::Project.
+    std::vector<int> keep;
+    keep.reserve(cols_.size());
+    for (const std::string& c : cols_) {
+      int idx = in.Index(c);
+      if (idx >= 0) keep.push_back(idx);
+    }
+    if (keep.empty() && computed_.empty()) {
+      // Every projected column is missing: the output rows have no columns,
+      // which the cell-wise builder below cannot delimit. Singleton fallback
+      // (the scalar path emits one empty tuple per input row).
+      Operator::ProcessBatch(port, tag, batch);
+      return;
+    }
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    auto schema = std::make_shared<BatchSchema>();
+    schema->table = out_table_.empty() ? in.table : out_table_;
+    for (int idx : keep) schema->columns.push_back(in.columns[idx]);
+    for (const auto& [name, expr] : computed_) schema->columns.push_back(name);
+    TupleBatchBuilder out(std::move(schema));
+    std::vector<Value> computed_vals(computed_.size());
+    for (size_t r = 0; r < n; ++r) {
+      bool ok = true;
+      for (size_t i = 0; i < computed_.size(); ++i) {
+        Result<Value> v = computed_[i].second->EvalRow(batch, r);
+        if (!v.ok()) {
+          ok = false;  // best-effort: discard the whole row
+          break;
+        }
+        computed_vals[i] = std::move(v).value();
+      }
+      if (!ok) continue;
+      for (int idx : keep) {
+        out.AppendCell(batch, batch.CellAt(r, static_cast<size_t>(idx)));
+      }
+      for (Value& v : computed_vals) out.AppendValue(v);
+    }
+    if (!out.empty()) PushBatch(tag, out.Finish());
+  }
+
  private:
   std::vector<std::string> cols_;
   std::vector<std::pair<std::string, ExprPtr>> computed_;
@@ -122,6 +183,10 @@ class TeeOp : public Operator {
   void Consume(int, uint32_t tag, Tuple t) override {
     stats_.consumed++;
     EmitTuple(tag, t);
+  }
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    stats_.consumed += batch.num_rows();
+    PushBatch(tag, batch);
   }
 };
 
@@ -141,6 +206,11 @@ class UnionOp : public Operator {
     stats_.consumed++;
     if (!out_table_.empty()) t.set_table(out_table_);
     EmitTuple(tag, t);
+  }
+
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    stats_.consumed += batch.num_rows();
+    PushBatch(tag, out_table_.empty() ? batch : batch.WithTable(out_table_));
   }
 
  private:
@@ -174,6 +244,45 @@ class DupElimOp : public Operator {
     EmitTuple(tag, t);
   }
 
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    if (!cols_.empty()) {
+      // Dedup on a column subset needs per-row projection; take the
+      // singleton fallback.
+      Operator::ProcessBatch(port, tag, batch);
+      return;
+    }
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    std::vector<uint32_t> fresh_rows;
+    fresh_rows.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      // RowHash matches Tuple::Hash, so duplicates cost no materialization;
+      // only first-seen rows (and hash collisions) build a Tuple.
+      uint64_t h = batch.RowHash(r);
+      auto [it, inserted] = seen_.try_emplace(h);
+      if (!inserted) {
+        Tuple key_tuple = batch.RowTuple(r);
+        bool dup = false;
+        for (const Tuple& prev : it->second) {
+          if (prev == key_tuple) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+        it->second.push_back(std::move(key_tuple));
+      } else {
+        it->second.push_back(batch.RowTuple(r));
+      }
+      fresh_rows.push_back(static_cast<uint32_t>(r));
+    }
+    if (fresh_rows.size() == n) {
+      PushBatch(tag, batch);
+    } else if (!fresh_rows.empty()) {
+      PushBatch(tag, batch.Select(fresh_rows));
+    }
+  }
+
   void Close() override { seen_.clear(); }
 
  private:
@@ -196,14 +305,29 @@ class QueueOp : public Operator {
 
   void Consume(int, uint32_t tag, Tuple t) override {
     stats_.consumed++;
-    if (buf_.size() >= max_size_) {
+    if (buffered_rows_ >= max_size_) {
       dropped_++;  // back-pressure by shedding, never by blocking
       return;
     }
-    buf_.emplace_back(tag, std::move(t));
-    if (timer_ == 0) {
-      timer_ = cx_->vri->ScheduleEvent(0, [this]() { Drain(); });
+    buf_.push_back(Item{tag, std::move(t), TupleBatch()});
+    buffered_rows_++;
+    Arm();
+  }
+
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    if (buffered_rows_ >= max_size_) {
+      dropped_ += n;
+      return;
     }
+    size_t take = std::min(n, max_size_ - buffered_rows_);
+    dropped_ += n - take;
+    // The batch is parked across events, so it must own its payloads (a
+    // borrowed frame dies when this call returns).
+    buf_.push_back(Item{tag, Tuple(), batch.Slice(0, take).EnsureOwned()});
+    buffered_rows_ += take;
+    Arm();
   }
 
   void Flush() override { Drain(); }
@@ -212,27 +336,56 @@ class QueueOp : public Operator {
     if (timer_) cx_->vri->CancelEvent(timer_);
     timer_ = 0;
     buf_.clear();
+    buffered_rows_ = 0;
   }
 
   uint64_t dropped() const { return dropped_; }
 
  private:
-  void Drain() {
-    timer_ = 0;
-    // Emit a bounded batch per activation, then yield again.
-    size_t batch = 256;
-    while (!buf_.empty() && batch-- > 0) {
-      auto [tag, t] = std::move(buf_.front());
-      buf_.pop_front();
-      EmitTuple(tag, t);
-    }
-    if (!buf_.empty() && timer_ == 0) {
+  struct Item {
+    uint32_t tag;
+    Tuple t;          // valid when b is empty
+    TupleBatch b;
+  };
+
+  void Arm() {
+    if (timer_ == 0) {
       timer_ = cx_->vri->ScheduleEvent(0, [this]() { Drain(); });
     }
   }
 
-  std::deque<std::pair<uint32_t, Tuple>> buf_;
+  void Drain() {
+    timer_ = 0;
+    // Emit a bounded number of rows per activation, then yield again.
+    size_t budget = 256;
+    while (!buf_.empty() && budget > 0) {
+      Item& front = buf_.front();
+      if (front.b.empty()) {
+        buffered_rows_--;
+        budget--;
+        Item item = std::move(buf_.front());
+        buf_.pop_front();
+        EmitTuple(item.tag, item.t);
+      } else if (front.b.num_rows() <= budget) {
+        buffered_rows_ -= front.b.num_rows();
+        budget -= front.b.num_rows();
+        Item item = std::move(buf_.front());
+        buf_.pop_front();
+        PushBatch(item.tag, item.b);
+      } else {
+        TupleBatch head = front.b.Slice(0, budget);
+        front.b = front.b.Slice(budget, front.b.num_rows() - budget);
+        buffered_rows_ -= head.num_rows();
+        budget = 0;
+        PushBatch(front.tag, head);
+      }
+    }
+    if (!buf_.empty()) Arm();
+  }
+
+  std::deque<Item> buf_;
   size_t max_size_ = 1 << 16;
+  size_t buffered_rows_ = 0;
   uint64_t dropped_ = 0;
   uint64_t timer_ = 0;
 };
@@ -254,6 +407,16 @@ class LimitOp : public Operator {
     if (passed_ >= k_) return;
     passed_++;
     EmitTuple(tag, t);
+    if (passed_ >= k_ && cx_->request_stop) cx_->request_stop();
+  }
+
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    if (passed_ >= k_) return;
+    size_t take = std::min(n, static_cast<size_t>(k_ - passed_));
+    passed_ += static_cast<int64_t>(take);
+    PushBatch(tag, take == n ? batch : batch.Slice(0, take));
     if (passed_ >= k_ && cx_->request_stop) cx_->request_stop();
   }
 
@@ -283,6 +446,16 @@ class ControlOp : public Operator {
       return;
     }
     if (buf_.size() < max_buffer_) buf_.emplace_back(tag, std::move(t));
+  }
+
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    if (paused_) {
+      // Buffering is per-tuple; take the singleton fallback.
+      Operator::ProcessBatch(port, tag, batch);
+      return;
+    }
+    stats_.consumed += batch.num_rows();
+    PushBatch(tag, batch);
   }
 
   void Pause() { paused_ = true; }
@@ -334,6 +507,19 @@ class MaterializerOp : public Operator {
     name.suffix = cx_->NextSuffix();
     cx_->dht->objects()->Put(std::move(name), t.Encode(), lifetime_);
     EmitTuple(tag, t);
+  }
+
+  void ProcessBatch(int, uint32_t tag, const TupleBatch& batch) override {
+    const size_t n = batch.num_rows();
+    stats_.consumed += n;
+    for (size_t r = 0; r < n; ++r) {
+      ObjectName name;
+      name.ns = ns_;
+      name.key = batch.RowPartitionKey(r, key_attrs_);
+      name.suffix = cx_->NextSuffix();
+      cx_->dht->objects()->Put(std::move(name), batch.EncodeRow(r), lifetime_);
+    }
+    PushBatch(tag, batch);
   }
 
   void Close() override {

@@ -16,6 +16,10 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
       [this](uint64_t qid, const NetAddress& proxy, const Tuple& t) {
         ForwardAnswer(qid, proxy, t);
       });
+  executor_->set_batch_result_sink(
+      [this](uint64_t qid, const NetAddress& proxy, const TupleBatch& b) {
+        ForwardAnswerBatch(qid, proxy, b);
+      });
 
   // Teardown cost flush: a node whose operators consumed tuples but never
   // emitted an answer has a ledger the piggyback path never ships. Send it
@@ -168,6 +172,11 @@ QueryProcessor::QueryProcessor(Vri* vri, Dht* dht, Options options)
       kMsgAnswer, [this](const NetAddress& from, std::string_view body) {
         HandleAnswerMsg(from, body);
       });
+
+  dht_->router()->RegisterDirectType(
+      kMsgAnswerBatch, [this](const NetAddress& from, std::string_view body) {
+        HandleAnswerBatchMsg(from, body);
+      });
 }
 
 QueryProcessor::~QueryProcessor() {
@@ -214,13 +223,22 @@ size_t QueryProcessor::MakePublishItem(const std::string& table,
                                        const Tuple& t, TimeUs lifetime,
                                        std::vector<DhtPutItem>* items,
                                        int replicas) {
+  return MakePublishItemRaw(table, t.PartitionKey(key_attrs), t.Encode(),
+                            lifetime, items, replicas);
+}
+
+size_t QueryProcessor::MakePublishItemRaw(const std::string& ns,
+                                          std::string key, std::string value,
+                                          TimeUs lifetime,
+                                          std::vector<DhtPutItem>* items,
+                                          int replicas) {
   if (lifetime <= 0) lifetime = options_.publish_lifetime;
   DhtPutItem item;
-  item.ns = table;
-  item.key = t.PartitionKey(key_attrs);
+  item.ns = ns;
+  item.key = std::move(key);
   item.suffix = std::to_string(next_suffix_++) + "@" +
                 std::to_string(dht_->local_address().host);
-  item.value = t.Encode();
+  item.value = std::move(value);
   item.lifetime = lifetime;
   item.replicas = replicas;
   size_t bytes = item.value.size();
@@ -781,6 +799,78 @@ void QueryProcessor::ForwardAnswer(uint64_t query_id, const NetAddress& proxy,
           executor_->NoteAnswerForwardFailure(query_id, proxy);
         }
       });
+}
+
+void QueryProcessor::ForwardAnswerBatch(uint64_t query_id,
+                                        const NetAddress& proxy,
+                                        const TupleBatch& batch) {
+  const size_t n = batch.num_rows();
+  if (n == 0) return;
+  if (n == 1) {
+    // Singleton fallback: the per-tuple frame keeps the wire byte-identical
+    // to the scalar path.
+    ForwardAnswer(query_id, proxy, batch.RowTuple(0));
+    return;
+  }
+  if (proxy == dht_->local_address() || proxy.IsNull()) {
+    // Local proxy: per-row delivery, each answer metered exactly as on the
+    // scalar path (no wire message). clients_ is re-found per row because a
+    // client may Cancel() from inside its own on_tuple.
+    for (size_t r = 0; r < n; ++r) {
+      executor_->MeterAnswer(query_id, 0, /*on_wire=*/false);
+      auto it = clients_.find(query_id);
+      if (it == clients_.end()) continue;
+      DeliverAnswer(&it->second, batch.RowTuple(r));
+    }
+    return;
+  }
+  stats_.answers_forwarded += n;
+  WireWriter w = OverlayRouter::FrameMessage(kMsgAnswerBatch);
+  w.PutU64(query_id);
+  batch.EncodeTo(&w);
+  // Meter every row, but charge the wire exactly once with the real frame
+  // size — the whole point of batching is n tuples for one message, and the
+  // meter must agree with independently counted wire traffic (E16).
+  for (size_t r = 0; r + 1 < n; ++r)
+    executor_->MeterAnswer(query_id, 0, /*on_wire=*/false);
+  QueryMeter* meter = executor_->MeterAnswer(query_id, w.size(),
+                                             /*on_wire=*/true);
+  if (answer_bytes_metric_ != nullptr)
+    answer_bytes_metric_->Observe(static_cast<double>(w.size()));
+  if (meter != nullptr && meter->ShouldPiggyback()) AppendCostBlock(&w, *meter);
+  dht_->router()->SendFramed(
+      proxy, std::move(w).data(), [this, query_id, proxy](const Status& s) {
+        if (s.ok()) {
+          executor_->NoteAnswerForwardSuccess(query_id, proxy);
+        } else {
+          executor_->NoteAnswerForwardFailure(query_id, proxy);
+        }
+      });
+}
+
+void QueryProcessor::HandleAnswerBatchMsg(const NetAddress& from,
+                                          std::string_view body) {
+  WireReader r(body);
+  uint64_t qid;
+  if (!r.GetU64(&qid).ok()) return;
+  // Zero-copy decode: string cells alias `body` for the duration of this
+  // handler; every row is materialized before the frame goes away.
+  Result<TupleBatch> batch = TupleBatch::DecodeFrom(&r, body);
+  if (!batch.ok()) return;
+  auto it = clients_.find(qid);
+  if (it == clients_.end()) {
+    executor_->NoteStrayAnswer(qid);
+    it = clients_.find(qid);
+    if (it == clients_.end()) return;
+  }
+  std::map<QueryMeter::Key, OpCost> snapshot;
+  if (DecodeCostBlock(&r, &snapshot))
+    it->second.remote_costs[from] = std::move(snapshot);
+  for (size_t row = 0; row < batch->num_rows(); ++row) {
+    auto cit = clients_.find(qid);  // the client may Cancel() mid-batch
+    if (cit == clients_.end()) return;
+    DeliverAnswer(&cit->second, batch->RowTuple(row));
+  }
 }
 
 void QueryProcessor::HandleAnswerMsg(const NetAddress& from,

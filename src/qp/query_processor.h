@@ -123,6 +123,14 @@ class QueryProcessor {
                          const Tuple& t, TimeUs lifetime,
                          std::vector<DhtPutItem>* items, int replicas = 0);
 
+  /// Append an already-encoded put (partition key + wire value built by the
+  /// caller, e.g. from TupleBatch rows) to `items`, minting the suffix and
+  /// applying the default lifetime exactly like MakePublishItem. Returns the
+  /// value size.
+  size_t MakePublishItemRaw(const std::string& ns, std::string key,
+                            std::string value, TimeUs lifetime,
+                            std::vector<DhtPutItem>* items, int replicas = 0);
+
   /// Append a secondary-index entry for `t` to `items`; a tuple without the
   /// indexed attribute contributes nothing (sparse indexes).
   void MakeSecondaryItem(const std::string& index_table,
@@ -292,6 +300,10 @@ class QueryProcessor {
  private:
   /// Router direct-message type for answer tuples (16-21 are the DHT's).
   static constexpr uint8_t kMsgAnswer = 32;
+  /// A batch of answer tuples in one frame: query id + TupleBatch wire
+  /// format. Framing once per destination amortizes the per-message header
+  /// and cost-block overhead across every row of a window flush.
+  static constexpr uint8_t kMsgAnswerBatch = 38;
   /// Namespace of durable cancel tombstones: CancelQuery of a continuous
   /// query stores one under the query id (lifetime = remaining deadline),
   /// and AdoptQuery checks it after adopting — a successor that missed the
@@ -393,7 +405,12 @@ class QueryProcessor {
   void Disseminate(const QueryPlan& plan);
   void HandleDisseminationBlob(std::string_view blob);
   void HandleAnswerMsg(const NetAddress& from, std::string_view body);
+  void HandleAnswerBatchMsg(const NetAddress& from, std::string_view body);
   void ForwardAnswer(uint64_t query_id, const NetAddress& proxy, const Tuple& t);
+  /// Batch flavor: one kMsgAnswerBatch frame per destination (singleton
+  /// batches take the per-tuple path, keeping the wire format unchanged).
+  void ForwardAnswerBatch(uint64_t query_id, const NetAddress& proxy,
+                          const TupleBatch& batch);
   void StartRangeGraph(const QueryPlan& meta, const OpGraph& g);
 
   Vri* vri_;

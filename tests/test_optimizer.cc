@@ -222,6 +222,34 @@ CostParams Params(double nodes) {
   return p;
 }
 
+TEST(CostModel, PutBatchAmortizesMessagesNotBytes) {
+  CostParams unbatched = Params(64);
+  CostParams batched = Params(64);
+  batched.put_batch = 16;
+  Cost a = CostModel(unbatched).DhtPut(1600, 80);
+  Cost b = CostModel(batched).DhtPut(1600, 80);
+  // 16 same-owner items share a frame: 1/16th the messages, same payload.
+  EXPECT_DOUBLE_EQ(b.messages, a.messages / 16.0);
+  EXPECT_DOUBLE_EQ(b.bytes, a.bytes);
+  EXPECT_LT(CostModel(batched).Total(b), CostModel(unbatched).Total(a));
+  // put_batch=1 (the default) is exactly the unbatched pricing.
+  Cost c = CostModel(Params(64)).DhtPut(1600, 80);
+  EXPECT_DOUBLE_EQ(c.messages, a.messages);
+  EXPECT_DOUBLE_EQ(c.bytes, a.bytes);
+}
+
+TEST(CostModel, BatchingDiscountSyncsThroughSetPublishBatching) {
+  // The client mirrors its publish-batching knob into the cost params its
+  // optimizer prices with, so Explain under batching sees the discount.
+  SimPier net(4);
+  PierClient* c = net.client(0);
+  EXPECT_DOUBLE_EQ(c->cost_params().put_batch, 1.0);
+  c->SetPublishBatching(64, 0);
+  EXPECT_DOUBLE_EQ(c->cost_params().put_batch, 64.0);
+  c->SetPublishBatching(0, 0);
+  EXPECT_DOUBLE_EQ(c->cost_params().put_batch, 1.0);
+}
+
 TEST(Optimizer, SmallProbeLargeIndexedBuildPicksFetchMatches) {
   StatsRegistry reg;
   Seed(&reg, "probe", 100, 100, 8);

@@ -24,6 +24,14 @@ are all invisible to the compiler and tedious for reviewers:
                   Scheduler is one thread per node; a sleep freezes every
                   query on the node (and in simulation, the whole fleet).
 
+  hot-alloc       A per-row heap allocation of a Tuple (make_shared<Tuple>,
+                  make_unique<Tuple>, new Tuple) inside a loop in an
+                  operator's ProcessBatch body. The batch path exists to
+                  amortize per-tuple costs; materializing a heap Tuple per
+                  row silently gives the win back. Use the batch row
+                  accessors (RowTuple/EncodeRow/RowHash are by-value and
+                  stack-friendly) or hoist the allocation out of the loop.
+
 Driving: reads compile_commands.json (pass -p BUILD_DIR) for the TU list and,
 when the libclang python bindings are importable, uses the clang AST; without
 them (this container ships none) it falls back to a built-in lexical engine
@@ -44,9 +52,17 @@ import os
 import re
 import sys
 
-RULES = ("timer-capture", "wallclock", "blocking")
+RULES = ("timer-capture", "wallclock", "blocking", "hot-alloc")
 
 SCHEDULE_CALL = re.compile(r"\b(ScheduleAt|ScheduleAfter|ScheduleEvent)\s*\(")
+
+PROCESS_BATCH = re.compile(r"\bProcessBatch\s*\(")
+LOOP_KEYWORD = re.compile(r"\b(for|while|do)\b")
+HOT_ALLOC_TOKENS = [
+    (re.compile(r"\bmake_shared\s*<\s*Tuple\s*>"), "make_shared<Tuple>"),
+    (re.compile(r"\bmake_unique\s*<\s*Tuple\s*>"), "make_unique<Tuple>"),
+    (re.compile(r"\bnew\s+Tuple\b"), "new Tuple"),
+]
 
 # Ambient nondeterminism. Matched against comment/string-stripped text.
 WALLCLOCK_TOKENS = [
@@ -163,6 +179,19 @@ def matching_paren(text, open_idx):
     return -1
 
 
+def matching_brace(text, open_idx):
+    """Index of the '}' matching text[open_idx] == '{' (or -1)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
 LAMBDA_INTRO = re.compile(r"\[([^\[\]]*)\]\s*(?:\([^()]*\)\s*)?"
                           r"(?:mutable\s*)?(?:->\s*[\w:<>&*\s]+\s*)?\{")
 
@@ -221,6 +250,67 @@ def check_timer_capture(path, text, diags):
                                           m.group(1))))
 
 
+def loop_body_ranges(body, base):
+    """Absolute (start, end) offsets of brace-delimited for/while/do bodies
+    inside `body` (which starts at offset `base` of the full text). Nested
+    loops yield nested ranges; membership in any range is what matters."""
+    ranges = []
+    for lm in LOOP_KEYWORD.finditer(body):
+        i = lm.end()
+        if lm.group(1) in ("for", "while"):
+            while i < len(body) and body[i] in " \t\n":
+                i += 1
+            if i >= len(body) or body[i] != "(":
+                continue  # e.g. the trailing `while` of a do-while
+            close = matching_paren(body, i)
+            if close < 0:
+                continue
+            i = close + 1
+        while i < len(body) and body[i] in " \t\n":
+            i += 1
+        if i < len(body) and body[i] == "{":
+            end = matching_brace(body, i)
+            if end >= 0:
+                ranges.append((base + i, base + end))
+    return ranges
+
+
+def check_hot_alloc(path, text, diags):
+    """Per-row heap Tuple allocation inside a loop in a ProcessBatch body."""
+    for m in PROCESS_BATCH.finditer(text):
+        open_idx = text.index("(", m.end() - 1)
+        close_idx = matching_paren(text, open_idx)
+        if close_idx < 0:
+            continue
+        j = close_idx + 1
+        while j < len(text) and text[j] not in "{;":
+            j += 1  # skip `override`, `const`, whitespace
+        if j >= len(text) or text[j] != "{":
+            continue  # declaration or a call statement, not a definition
+        body_end = matching_brace(text, j)
+        if body_end < 0:
+            continue
+        loops = loop_body_ranges(text[j + 1:body_end], j + 1)
+        if not loops:
+            continue
+        seen = set()
+        for rx, name in HOT_ALLOC_TOKENS:
+            for am in rx.finditer(text, j + 1, body_end):
+                pos = am.start()
+                if not any(s <= pos < e for s, e in loops):
+                    continue
+                ln = line_of(text, pos)
+                if (ln, name) in seen:
+                    continue
+                seen.add((ln, name))
+                diags.append(Diagnostic(
+                    path, ln, "hot-alloc",
+                    "%s inside a ProcessBatch loop heap-allocates one Tuple "
+                    "per row, forfeiting the batch path's amortization; use "
+                    "the batch row accessors (RowTuple/EncodeRowTo/RowHash) "
+                    "or hoist the allocation out of the loop" % name))
+
+
 def check_token_rules(path, text, tokens, rule, why, diags):
     for lineno, line in enumerate(text.split("\n"), start=1):
         for rx, name in tokens:
@@ -259,6 +349,8 @@ def lint_text(path, raw_text, effective_path=None):
             path, text, BLOCKING_TOKENS, "blocking",
             "the Main Scheduler is single-threaded; blocking here stalls "
             "every query on the node", diags)
+    # hot-alloc applies everywhere: any ProcessBatch body is a batch hot path.
+    check_hot_alloc(path, text, diags)
 
     kept = []
     for d in diags:

@@ -1,0 +1,46 @@
+// Fixture: per-row heap Tuple allocation inside a ProcessBatch loop. The
+// batch path exists to amortize per-tuple costs; a heap Tuple per row gives
+// the win back silently. Each offending line carries an `// expect:` marker.
+// (Fixtures are linted, never compiled.)
+
+#include "data/tuple_batch.h"
+#include "qp/dataflow.h"
+
+namespace pier {
+
+class RowCopierOp : public Operator {
+ public:
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      auto t = std::make_shared<Tuple>(batch.RowTuple(r));  // expect: hot-alloc
+      Push(tag, *t);
+    }
+  }
+};
+
+class WhileWalkerOp : public Operator {
+ public:
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    size_t r = 0;
+    while (r < batch.num_rows()) {
+      std::unique_ptr<Tuple> t = std::make_unique<Tuple>(batch.RowTuple(r));  // expect: hot-alloc
+      Push(tag, *t);
+      ++r;
+    }
+  }
+};
+
+class NestedLoopOp : public Operator {
+ public:
+  void ProcessBatch(int port, uint32_t tag, const TupleBatch& batch) override {
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      for (int k = 0; k < 2; ++k) {
+        Tuple* raw = new Tuple(batch.RowTuple(r));  // expect: hot-alloc
+        Push(tag, *raw);
+        delete raw;
+      }
+    }
+  }
+};
+
+}  // namespace pier
